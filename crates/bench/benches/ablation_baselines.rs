@@ -1,0 +1,117 @@
+//! Ablation: the paper's model-choice claims, tested head-to-head.
+//!
+//! §1: random forest "usually outperforms the more traditional
+//! classification and regression algorithms, such as support vector machine
+//! and neural networks, especially for scarce training data"; §2 argues
+//! stepwise-regression approaches (Stargazer) are "less powerful".
+//!
+//! This bench evaluates RF vs stepwise linear regression vs a
+//! single-hidden-layer MLP vs MARS on the paper's own workload datasets
+//! (MM and NW), at both full and scarce training sizes, printing held-out
+//! R² per model before timing the fits.
+
+use blackforest::collect::{collect_matmul, collect_nw, CollectOptions};
+use blackforest::Dataset;
+use bf_forest::{ForestParams, RandomForest};
+use bf_linalg::stats::r_squared;
+use bf_regress::{
+    Mars, MarsParams, MlpParams, MlpRegressor, StepwiseModel, StepwiseParams,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn datasets() -> Vec<(&'static str, Dataset)> {
+    let gpu = GpuConfig::gtx580();
+    let opts = CollectOptions::default().with_repetitions(2, 0.02);
+    let mm_sizes: Vec<usize> = (2..=24).step_by(2).map(|k| k * 16).collect();
+    let nw_lengths: Vec<usize> = (1..=24).map(|k| k * 64).collect();
+    vec![
+        ("matmul", collect_matmul(&gpu, &mm_sizes, &opts).unwrap()),
+        ("nw", collect_nw(&gpu, &nw_lengths, &opts).unwrap()),
+    ]
+}
+
+fn holdout_r2(ds: &Dataset, train_n: Option<usize>, seed: u64) -> Vec<(String, f64)> {
+    let (mut train, test) = ds.split(0.8, seed);
+    if let Some(n) = train_n {
+        train.rows.truncate(n);
+        train.response.truncate(n);
+    }
+    let mut out = Vec::new();
+    let rf = RandomForest::fit(
+        &train.rows,
+        &train.response,
+        &ForestParams::default().with_trees(300).with_seed(seed),
+    )
+    .unwrap();
+    out.push(("random forest".into(), r_squared(&rf.predict(&test.rows).unwrap(), &test.response)));
+    let sw = StepwiseModel::fit(&train.rows, &train.response, &StepwiseParams::default()).unwrap();
+    out.push(("stepwise linear".into(), r_squared(&sw.predict(&test.rows), &test.response)));
+    let mlp = MlpRegressor::fit(
+        &train.rows,
+        &train.response,
+        &MlpParams { epochs: 3000, ..MlpParams::default() },
+    )
+    .unwrap();
+    out.push(("mlp (1 hidden)".into(), r_squared(&mlp.predict(&test.rows), &test.response)));
+    let mars = Mars::fit(
+        &train.rows,
+        &train.response,
+        &MarsParams { max_terms: 15, max_knots: 12, ..MarsParams::default() },
+    )
+    .unwrap();
+    out.push(("mars".into(), r_squared(&mars.predict(&test.rows), &test.response)));
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let data = datasets();
+    for (name, ds) in &data {
+        eprintln!("== ablation_baselines {name}: held-out R^2 ==");
+        for (train_n, label) in [(None, "full train"), (Some(12), "scarce train (12 runs)")] {
+            eprintln!("  [{label}]");
+            for (model, r2) in holdout_r2(ds, train_n, 2016) {
+                eprintln!("    {model:<18} {r2:+.4}");
+            }
+        }
+    }
+
+    let (_, mm) = &data[0];
+    let mut g = c.benchmark_group("ablation_baselines_fit");
+    g.sample_size(10);
+    g.bench_function("random_forest_300", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&mm.rows),
+                black_box(&mm.response),
+                &ForestParams::default().with_trees(300).with_seed(1),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("stepwise", |b| {
+        b.iter(|| {
+            StepwiseModel::fit(
+                black_box(&mm.rows),
+                black_box(&mm.response),
+                &StepwiseParams::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("mlp", |b| {
+        b.iter(|| {
+            MlpRegressor::fit(
+                black_box(&mm.rows),
+                black_box(&mm.response),
+                &MlpParams { epochs: 500, ..MlpParams::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: forest hyperparameter sensitivity — tree count, mtry, and
+//! training-set size (paper §7: "additional studies need to be made to
+//! determine the minimal training set").
+//!
+//! Accuracy per setting is printed once (OOB explained variance); criterion
+//! tracks the fit cost so the accuracy/cost trade-off is visible in one run.
+
+use blackforest::collect::{collect_matmul, CollectOptions};
+use blackforest::Dataset;
+use bf_forest::{ForestParams, RandomForest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    let sizes: Vec<usize> = (2..=20).map(|k| k * 16).collect();
+    collect_matmul(
+        &GpuConfig::gtx580(),
+        &sizes,
+        &CollectOptions::default().with_repetitions(4, 0.02),
+    )
+    .unwrap()
+}
+
+fn report_sensitivity(ds: &Dataset) {
+    eprintln!("== ablation_forest sensitivity (OOB explained variance) ==");
+    for trees in [10usize, 50, 200, 500] {
+        let f = RandomForest::fit(
+            &ds.rows,
+            &ds.response,
+            &ForestParams::default().with_trees(trees).with_seed(5),
+        )
+        .unwrap();
+        eprintln!("  n_trees {trees:4}: {:.4}", f.oob_r_squared());
+    }
+    for mtry in [1usize, 4, 8, 16] {
+        let f = RandomForest::fit(
+            &ds.rows,
+            &ds.response,
+            &ForestParams::default().with_trees(200).with_mtry(mtry).with_seed(5),
+        )
+        .unwrap();
+        eprintln!("  mtry {mtry:4}   : {:.4}", f.oob_r_squared());
+    }
+    // Training-set size: fit on a prefix fraction, measure OOB.
+    for frac in [0.25f64, 0.5, 0.75, 1.0] {
+        let n = ((ds.len() as f64) * frac) as usize;
+        let f = RandomForest::fit(
+            &ds.rows[..n],
+            &ds.response[..n],
+            &ForestParams::default().with_trees(200).with_seed(5),
+        )
+        .unwrap();
+        eprintln!("  train n {n:4}: {:.4}", f.oob_r_squared());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    report_sensitivity(&ds);
+    let mut g = c.benchmark_group("ablation_forest_trees");
+    for &trees in &[10usize, 100, 500] {
+        g.bench_with_input(BenchmarkId::new("n_trees", trees), &trees, |b, &t| {
+            b.iter(|| {
+                RandomForest::fit(
+                    black_box(&ds.rows),
+                    black_box(&ds.response),
+                    &ForestParams::default().with_trees(t).with_seed(5),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation: random forest vs a single regression tree vs a GLM as the
+//! response model (paper §1: RF "usually outperforms the more traditional
+//! classification and regression algorithms ... especially for scarce
+//! training data").
+//!
+//! Criterion measures the fit cost of each model family on the same MM
+//! dataset; the accuracy side of the ablation (OOB/test R² per family) is
+//! printed once at startup so a bench run documents both.
+
+use blackforest::collect::{collect_matmul, CollectOptions};
+use blackforest::Dataset;
+use bf_forest::{ForestParams, RandomForest};
+use bf_regress::glm::{Basis, LinearModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    let sizes: Vec<usize> = (2..=20).map(|k| k * 16).collect();
+    collect_matmul(
+        &GpuConfig::gtx580(),
+        &sizes,
+        &CollectOptions::default().with_repetitions(3, 0.02),
+    )
+    .unwrap()
+}
+
+fn glm_basis(p: usize) -> Vec<Basis> {
+    let mut b = vec![Basis::Intercept];
+    for f in 0..p {
+        b.push(Basis::Power { feature: f, power: 1 });
+    }
+    b
+}
+
+fn report_accuracy(ds: &Dataset) {
+    let (train, test) = ds.split(0.8, 99);
+    let rf = RandomForest::fit(
+        &train.rows,
+        &train.response,
+        &ForestParams::default().with_trees(500).with_seed(1),
+    )
+    .unwrap();
+    let tree = RandomForest::fit(
+        &train.rows,
+        &train.response,
+        &ForestParams::default().with_trees(1).with_seed(1),
+    )
+    .unwrap();
+    let glm = LinearModel::fit(&glm_basis(ds.n_features()), &train.rows, &train.response).unwrap();
+    let r2 = |pred: &[f64]| bf_linalg::stats::r_squared(pred, &test.response);
+    eprintln!("== ablation_models accuracy (test R^2) ==");
+    eprintln!("  random forest (500): {:.4}", r2(&rf.predict(&test.rows).unwrap()));
+    eprintln!("  single tree        : {:.4}", r2(&tree.predict(&test.rows).unwrap()));
+    eprintln!("  linear GLM         : {:.4}", r2(&glm.predict(&test.rows)));
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    report_accuracy(&ds);
+    let mut g = c.benchmark_group("ablation_models_fit");
+    g.bench_function("random_forest_500", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&ds.rows),
+                black_box(&ds.response),
+                &ForestParams::default().with_trees(500).with_seed(1),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("single_tree", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&ds.rows),
+                black_box(&ds.response),
+                &ForestParams::default().with_trees(1).with_seed(1),
+            )
+            .unwrap()
+        })
+    });
+    let basis = glm_basis(ds.n_features());
+    g.bench_function("glm", |b| {
+        b.iter(|| LinearModel::fit(&basis, black_box(&ds.rows), black_box(&ds.response)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

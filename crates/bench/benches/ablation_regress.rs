@@ -1,0 +1,58 @@
+//! Ablation: GLM vs MARS counter models on the NW workload (§6.1.2 uses
+//! MARS precisely because the NW counters are nonlinear in the sequence
+//! length).
+//!
+//! Accuracy per family (training R² per counter) is printed once; criterion
+//! measures the fit cost of each family.
+
+use blackforest::collect::{collect_nw, CollectOptions};
+use blackforest::countermodel::{CounterModelSet, ModelStrategy};
+use blackforest::model::{BlackForestModel, ModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn setup() -> (blackforest::Dataset, Vec<String>) {
+    let lengths: Vec<usize> = (1..=24).map(|k| k * 64).collect();
+    let ds = collect_nw(
+        &GpuConfig::gtx580(),
+        &lengths,
+        &CollectOptions::default().with_repetitions(2, 0.02),
+    )
+    .unwrap();
+    let model = BlackForestModel::fit(&ds, &ModelConfig::quick(77)).unwrap();
+    let selected = model.selected.clone();
+    (ds, selected)
+}
+
+fn bench(c: &mut Criterion) {
+    let (ds, selected) = setup();
+    let chars = vec!["size".to_string()];
+    for strategy in [ModelStrategy::Glm, ModelStrategy::Mars] {
+        let set = CounterModelSet::fit(&ds, &selected, &chars, strategy).unwrap();
+        eprintln!(
+            "== ablation_regress {:?}: mean R^2 {:.4} ==",
+            strategy,
+            set.mean_r_squared()
+        );
+        for m in &set.models {
+            eprintln!("  {:<28} {:.4}", m.counter, m.r_squared);
+        }
+    }
+    let mut g = c.benchmark_group("ablation_regress_fit");
+    g.sample_size(20);
+    g.bench_function("glm", |b| {
+        b.iter(|| {
+            CounterModelSet::fit(black_box(&ds), &selected, &chars, ModelStrategy::Glm).unwrap()
+        })
+    });
+    g.bench_function("mars", |b| {
+        b.iter(|| {
+            CounterModelSet::fit(black_box(&ds), &selected, &chars, ModelStrategy::Mars).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: sampled-thread-block sensitivity of the simulator.
+//!
+//! The engine simulates one resident set per launch and scales; this
+//! ablation documents that the per-block cost model is stable across grid
+//! positions (block-id choice) and measures simulation cost versus problem
+//! size — the justification for the sampling strategy in DESIGN.md.
+
+use bf_kernels::matmul::MatmulTiled;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::cache::Cache;
+use gpu_sim::sm::simulate_sm;
+use gpu_sim::trace::KernelTrace;
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn block_cycles(gpu: &GpuConfig, k: &MatmulTiled, block: usize) -> f64 {
+    let t = k.block_trace(block, gpu);
+    let mut l1 = Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc);
+    let mut l2 = Cache::new(gpu.l2_size / gpu.num_sms, 32, gpu.l2_assoc);
+    simulate_sm(gpu, std::slice::from_ref(&t), &mut l1, &mut l2)
+        .unwrap()
+        .cycles
+}
+
+fn report_stability() {
+    let gpu = GpuConfig::gtx580();
+    let k = MatmulTiled::new(512);
+    let grid = k.launch_config().grid_blocks;
+    let samples: Vec<f64> = (0..8).map(|i| block_cycles(&gpu, &k, i * grid / 8)).collect();
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let max_dev = samples
+        .iter()
+        .map(|c| (c - mean).abs() / mean)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "== ablation_sim: per-block cycle spread over 8 grid positions: max deviation {:.2}% of mean ==",
+        max_dev * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_stability();
+    let gpu = GpuConfig::gtx580();
+    let mut g = c.benchmark_group("ablation_sim_block_cost");
+    g.sample_size(20);
+    for &n in &[128usize, 512, 2048] {
+        g.bench_with_input(BenchmarkId::new("mm_block_n", n), &n, |b, &n| {
+            let k = MatmulTiled::new(n);
+            b.iter(|| black_box(block_cycles(&gpu, &k, 0)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the GPU-simulator substrate: per-kernel launch
+//! simulation and full-application profiling throughput.
+
+use bf_kernels::matmul::matmul_application;
+use bf_kernels::nw::nw_application;
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuConfig;
+use std::hint::black_box;
+
+fn bench_reduce(c: &mut Criterion) {
+    let gpu = GpuConfig::gtx580();
+    let mut g = c.benchmark_group("sim_reduce1");
+    for &n in &[1usize << 16, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("elems", n), &n, |b, &n| {
+            b.iter(|| {
+                let app = reduce_application(ReduceVariant::Reduce1, n, 256);
+                black_box(app.profile(&gpu).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let gpu = GpuConfig::gtx580();
+    let mut g = c.benchmark_group("sim_matmul");
+    g.sample_size(20);
+    for &n in &[256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| black_box(matmul_application(n).profile(&gpu).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_nw(c: &mut Criterion) {
+    let gpu = GpuConfig::gtx580();
+    let mut g = c.benchmark_group("sim_nw");
+    g.sample_size(10);
+    for &n in &[512usize, 2048] {
+        g.bench_with_input(BenchmarkId::new("len", n), &n, |b, &n| {
+            b.iter(|| black_box(nw_application(n, 10).profile(&gpu).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_matmul, bench_nw);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the statistical substrates: eigendecomposition, PCA
+//! with varimax, MARS, and the GLM solver — the per-model costs behind one
+//! BlackForest pipeline run.
+
+use bf_linalg::{Matrix, SymmetricEigen};
+use bf_pca::{varimax, Pca, PcaOptions};
+use bf_regress::glm::{Basis, LinearModel};
+use bf_regress::mars::{Mars, MarsParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn correlated_matrix(n: usize, p: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..p)
+                .map(|j| {
+                    let base = (i * (j + 1)) as f64;
+                    base.sin() * 10.0 + (i as f64) * 0.1 * (j % 3) as f64
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_eigen");
+    for &p in &[8usize, 16, 32] {
+        let x = correlated_matrix(200, p);
+        let cov = bf_linalg::stats::covariance_matrix(&x).unwrap();
+        g.bench_with_input(BenchmarkId::new("p", p), &p, |b, _| {
+            b.iter(|| SymmetricEigen::decompose(black_box(&cov)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_pca_varimax(c: &mut Criterion) {
+    let x = correlated_matrix(120, 28); // a figure-sized counter matrix
+    c.bench_function("pca_fit_28f", |b| {
+        b.iter(|| Pca::fit(black_box(&x), PcaOptions::default()).unwrap());
+    });
+    let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+    let loadings = pca.factor_loadings(4).unwrap();
+    c.bench_function("varimax_28x4", |b| {
+        b.iter(|| varimax(black_box(&loadings), true));
+    });
+}
+
+fn bench_regressions(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|r| (r[0] / 20.0).min(3.0) * 7.0 + r[0] * 0.01)
+        .collect();
+    c.bench_function("mars_fit_120x1", |b| {
+        b.iter(|| Mars::fit(black_box(&xs), black_box(&ys), &MarsParams::default()).unwrap());
+    });
+    let basis = Basis::polynomial(0, 3);
+    c.bench_function("glm_cubic_120x1", |b| {
+        b.iter(|| LinearModel::fit(&basis, black_box(&xs), black_box(&ys)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_eigen, bench_pca_varimax, bench_regressions);
+criterion_main!(benches);

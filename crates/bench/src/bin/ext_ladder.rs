@@ -1,0 +1,65 @@
+//! Extension experiment: the full reduction optimisation ladder.
+//!
+//! The paper analyses three of the CUDA SDK's seven reduction kernels; this
+//! binary runs BlackForest over *all seven*, reproducing the tutorial's
+//! famous speedup ladder and showing how the primary bottleneck category
+//! shifts at each optimisation step — the §5 narrative, end to end.
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, reduce_sweep};
+use blackforest::bottleneck::BottleneckReport;
+use blackforest::collect::collect_reduce;
+use blackforest::model::BlackForestModel;
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Extension", "The reduce0..reduce6 optimisation ladder");
+    let gpu = GpuConfig::gtx580();
+
+    // Part 1: the speedup ladder at a fixed large size (the tutorial's
+    // headline table).
+    let n = 1 << 22;
+    println!("timing ladder at {n} elements, 256 threads/block:\n");
+    println!(
+        "  {:<8} {:>12} {:>9} {:>12}",
+        "kernel", "time (ms)", "speedup", "bandwidth"
+    );
+    let mut t0 = None;
+    for v in ReduceVariant::ALL {
+        let run = reduce_application(v, n, 256).profile(&gpu).expect("profile");
+        let t = run.time_ms;
+        let base = *t0.get_or_insert(t);
+        let gbps = (n * 4) as f64 / (t / 1e3) / 1e9;
+        println!(
+            "  {:<8} {:>12.4} {:>8.2}x {:>9.1} GB/s",
+            v.name(),
+            t,
+            base / t,
+            gbps
+        );
+    }
+
+    // Part 2: the dominant bottleneck per variant from full BlackForest
+    // analyses.
+    println!("\nprimary bottleneck per variant (BlackForest analysis):\n");
+    let (sizes, threads) = reduce_sweep();
+    for v in ReduceVariant::ALL {
+        let ds = collect_reduce(&gpu, v, &sizes, &threads, &figure_collect_options())
+            .expect("collect");
+        let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
+        let report = BottleneckReport::analyze(&model, 8);
+        let conflicts = ds.feature_names.iter().any(|f| f == "l1_shared_bank_conflict");
+        let divergence = ds
+            .column("divergent_branch")
+            .map(|c| c.iter().sum::<f64>() > 0.0)
+            .unwrap_or(false);
+        println!(
+            "  {:<8} top counter: {:<26} primary pattern: {:<38} conflicts: {:<3} divergence: {}",
+            v.name(),
+            report.findings[0].counter,
+            report.primary().map(|f| f.category.label()).unwrap_or("-"),
+            if conflicts { "yes" } else { "no" },
+            if divergence { "yes" } else { "no" },
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Extension experiment (paper §7): power draw as the response variable.
+//!
+//! "We also note that our method is not limited to predicting execution
+//! time — one could use other metrics of interest, such as power, as
+//! response variable. ... one can then both assess the power consumption
+//! behavior of the different functional units and of the application, and
+//! predict that for unseen problem sizes."
+//!
+//! This binary runs the full BlackForest pipeline with average power (from
+//! the simulator's event-energy model, standing in for the Kepler SMI
+//! reading) as the response, for both MM and NW on the K20m.
+
+use bf_bench::{banner, figure_model_config, matmul_sweep, nw_sweep, quick_mode};
+use blackforest::collect::{collect_matmul, collect_nw, CollectOptions, ResponseMetric};
+use blackforest::countermodel::ModelStrategy;
+use blackforest::predict::{summarize, ProblemScalingPredictor};
+use blackforest::report;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Extension", "Power draw as the response variable (paper §7)");
+    let gpu = GpuConfig::k20m(); // §7 names Kepler's SMI power readout
+    let opts = CollectOptions {
+        response: ResponseMetric::AvgPowerW,
+        ..CollectOptions::default().with_repetitions(3, 0.02)
+    };
+
+    println!("--- matrixMul, power response ---");
+    let mm = collect_matmul(&gpu, &matmul_sweep(), &opts).expect("collect mm");
+    let p = ProblemScalingPredictor::fit(
+        &mm,
+        &figure_model_config(),
+        &["size"],
+        ModelStrategy::Auto,
+    )
+    .expect("fit mm");
+    println!(
+        "power range: {:.1}..{:.1} W; forest OOB explained variance {:.1}%",
+        mm.response.iter().cloned().fold(f64::INFINITY, f64::min),
+        mm.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        p.model.validation.oob_r_squared * 100.0
+    );
+    println!("{}", report::importance_chart(&p.model, 8));
+    let s = summarize(&p.evaluate_holdout().expect("holdout"));
+    println!("power prediction on unseen sizes: R^2 {:.3}, MAPE {:.1}%\n", s.r_squared, s.mape);
+
+    println!("--- needle (NW), power response ---");
+    let lengths = if quick_mode() { nw_sweep() } else { (1..=64).map(|k| k * 64).collect() };
+    let nw = collect_nw(&gpu, &lengths, &opts).expect("collect nw");
+    let p = ProblemScalingPredictor::fit(
+        &nw,
+        &figure_model_config(),
+        &["size"],
+        ModelStrategy::Mars,
+    )
+    .expect("fit nw");
+    println!(
+        "power range: {:.1}..{:.1} W; forest OOB explained variance {:.1}%",
+        nw.response.iter().cloned().fold(f64::INFINITY, f64::min),
+        nw.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        p.model.validation.oob_r_squared * 100.0
+    );
+    println!("{}", report::importance_chart(&p.model, 8));
+    let s = summarize(&p.evaluate_holdout().expect("holdout"));
+    println!("power prediction on unseen lengths: R^2 {:.3}, MAPE {:.1}%", s.r_squared, s.mape);
+}

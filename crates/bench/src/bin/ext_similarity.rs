@@ -1,0 +1,116 @@
+//! Extension experiment (paper §7): the hardware-similarity test.
+//!
+//! "We plan to tackle this problem by designing a 'similarity' test to
+//! determine platforms that can be used for hardware scalability."
+//!
+//! For every ordered GPU pair, this binary computes the top-k importance
+//! overlap (the [`HardwareScalingPredictor::similarity`] score) for MM and
+//! NW and reports the resulting similarity matrices. Expectation, matching
+//! §6.2: same-generation pairs (GTX480↔GTX580, GTX680↔K20m) score high;
+//! cross-generation NW pairs score lower than cross-generation MM pairs
+//! (caching counters shift on Kepler).
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, matmul_sweep, quick_mode};
+use blackforest::collect::{collect_matmul, collect_nw, CollectOptions};
+use blackforest::predict::{HardwareScalingPredictor, HwFeatureStrategy};
+use blackforest::Dataset;
+use gpu_sim::GpuConfig;
+
+fn collect_all(
+    gpus: &[GpuConfig],
+    workload: &str,
+) -> Vec<Dataset> {
+    let opts = CollectOptions {
+        include_machine_metrics: true,
+        drop_constant: false,
+        ..figure_collect_options()
+    };
+    gpus.iter()
+        .map(|g| match workload {
+            "matmul" => collect_matmul(g, &matmul_sweep(), &opts).expect("collect"),
+            _ => {
+                let lengths: Vec<usize> = if quick_mode() {
+                    (1..=12).map(|k| k * 64).collect()
+                } else {
+                    (1..=40).map(|k| k * 64).collect()
+                };
+                collect_nw(g, &lengths, &opts).expect("collect")
+            }
+        })
+        .collect()
+}
+
+fn similarity_matrix(gpus: &[GpuConfig], datasets: &[Dataset]) -> Vec<Vec<f64>> {
+    let cfg = figure_model_config();
+    let mut m = vec![vec![1.0; gpus.len()]; gpus.len()];
+    for (i, src) in datasets.iter().enumerate() {
+        for (j, tgt) in datasets.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let (tgt_train, _) = tgt.split(0.8, cfg.seed);
+            let hw = HardwareScalingPredictor::fit(
+                src,
+                &tgt_train,
+                &cfg,
+                HwFeatureStrategy::SourceImportance,
+            )
+            .expect("fit");
+            // Average the two views: top-k overlap and Spearman of the
+            // full ranking (mapped from [-1,1] to [0,1]).
+            m[i][j] = 0.5 * hw.similarity + 0.5 * (0.5 + 0.5 * hw.rank_correlation);
+        }
+    }
+    m
+}
+
+fn print_matrix(gpus: &[GpuConfig], m: &[Vec<f64>]) {
+    print!("{:>10}", "");
+    for g in gpus {
+        print!("{:>9}", g.name);
+    }
+    println!();
+    for (i, g) in gpus.iter().enumerate() {
+        print!("{:>10}", g.name);
+        for v in &m[i][..gpus.len()] {
+            print!("{v:>9.2}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    banner(
+        "Extension",
+        "Hardware-similarity test across GPU pairs (paper §7)",
+    );
+    let gpus = GpuConfig::presets();
+    for workload in ["matmul", "nw"] {
+        println!("\n--- {workload}: top-{} importance-ranking overlap ---", figure_model_config().top_k);
+        let datasets = collect_all(&gpus, workload);
+        let m = similarity_matrix(&gpus, &datasets);
+        print_matrix(&gpus, &m);
+        // Aggregate the §6.2 expectation: same-generation overlap should
+        // beat cross-generation overlap.
+        let gen = |g: &GpuConfig| g.arch;
+        let mut same = (0.0, 0usize);
+        let mut cross = (0.0, 0usize);
+        for i in 0..gpus.len() {
+            for j in 0..gpus.len() {
+                if i == j {
+                    continue;
+                }
+                if gen(&gpus[i]) == gen(&gpus[j]) {
+                    same = (same.0 + m[i][j], same.1 + 1);
+                } else {
+                    cross = (cross.0 + m[i][j], cross.1 + 1);
+                }
+            }
+        }
+        println!(
+            "mean same-generation similarity {:.2}, cross-generation {:.2}",
+            same.0 / same.1 as f64,
+            cross.0 / cross.1 as f64
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Extension experiment: block-size tuning via BlackForest.
+//!
+//! The tile edge of `matrixMul` is a *tunable* problem characteristic. This
+//! binary sweeps (size, tile) pairs, lets the forest learn the joint
+//! surface, and asks the practical tuning questions: which tile is fastest
+//! at large sizes, and which counters explain the difference?
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, quick_mode};
+use blackforest::collect::collect_matmul_tiles;
+use blackforest::model::BlackForestModel;
+use blackforest::report;
+use bf_kernels::matmul::matmul_application_tiled;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Extension", "matrixMul block-size tuning (tile as characteristic)");
+    let gpu = GpuConfig::gtx580();
+    let tiles = [8usize, 16, 32];
+
+    // Direct timing table.
+    println!("time (ms) by size and tile:\n");
+    print!("  {:>6}", "size");
+    for t in tiles {
+        print!(" {:>10}", format!("tile {t}"));
+    }
+    println!();
+    let table_sizes = if quick_mode() { vec![128, 512] } else { vec![128, 512, 1024, 2048] };
+    for &n in &table_sizes {
+        print!("  {n:>6}");
+        for &t in &tiles {
+            let ms = matmul_application_tiled(n, t).profile(&gpu).unwrap().time_ms;
+            print!(" {ms:>10.4}");
+        }
+        println!();
+    }
+
+    // BlackForest on the joint sweep.
+    let sweep_sizes: Vec<usize> = if quick_mode() {
+        (2..=10).map(|k| k * 32).collect()
+    } else {
+        (2..=32).step_by(2).map(|k| k * 32).collect()
+    };
+    let ds = collect_matmul_tiles(&gpu, &sweep_sizes, &tiles, &figure_collect_options())
+        .expect("collect");
+    let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
+    println!(
+        "\njoint (size, tile) model over {} runs: OOB explained variance {:.1}%\n",
+        ds.len(),
+        model.validation.oob_r_squared * 100.0
+    );
+    println!("{}", report::importance_chart(&model, 10));
+    if let Some(pos) = model.ranking.iter().position(|n| n == "tile") {
+        println!("`tile` ranks {}/{} among predictors", pos + 1, model.ranking.len());
+    }
+    if let Some(pd) = model.partial_dependence("tile", 3) {
+        println!(
+            "partial dependence of time on tile: {:?} (corr {:+.2})",
+            pd.trend(),
+            pd.correlation()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates Figure 3: counters affecting the performance of `reduce2`
+//! (sequential addressing).
+//!
+//! Paper result: the most relevant counters all pertain to the memory
+//! subsystem (`l1_global_load_miss`, `l2_write_transactions`,
+//! `l2_read_transactions`); the most important counter for `reduce1`
+//! (shared replay) becomes the least important; PCA yields four components
+//! covering >96% variance and the bank-conflict metric vanishes.
+
+use bf_bench::{
+    banner, figure_collect_options, figure_model_config, print_kernel_analysis, reduce_sweep,
+};
+use blackforest::bottleneck::{categorize, BottleneckCategory};
+use blackforest::collect::collect_reduce;
+use blackforest::model::BlackForestModel;
+use bf_kernels::reduce::ReduceVariant;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Figure 3", "Counters affecting the performance of reduce2");
+    let gpu = GpuConfig::gtx580();
+    let (sizes, threads) = reduce_sweep();
+    let ds = collect_reduce(
+        &gpu,
+        ReduceVariant::Reduce2,
+        &sizes,
+        &threads,
+        &figure_collect_options(),
+    )
+    .expect("collection");
+    let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
+    print_kernel_analysis(&ds, &model);
+
+    let missing = !ds.feature_names.iter().any(|n| n == "l1_shared_bank_conflict");
+    println!(
+        "bank-conflict metric vanished from the analysis: {}",
+        if missing { "yes (constant zero over the sweep)" } else { "NO" }
+    );
+    let mem_top = model
+        .ranking
+        .iter()
+        .take(5)
+        .filter(|n| {
+            matches!(
+                categorize(n),
+                BottleneckCategory::MemoryAccessPattern | BottleneckCategory::MemoryBandwidth
+            )
+        })
+        .count();
+    println!("memory-subsystem counters among top 5: {mem_top}/5");
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 4: counters affecting the performance of `reduce6`
+//! (grid-stride loop, all optimisations applied).
+//!
+//! Paper result: memory counters remain the most influential
+//! (`gst_request`, `shared_store`, `shared_load` top the ranking) with a
+//! strong positive partial dependence, confirming the bandwidth-bound
+//! character of the reduction primitive.
+
+use bf_bench::{
+    banner, figure_collect_options, figure_model_config, print_kernel_analysis, reduce_sweep,
+};
+use blackforest::collect::collect_reduce;
+use blackforest::model::BlackForestModel;
+use bf_kernels::reduce::ReduceVariant;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Figure 4", "Counters affecting the performance of reduce6");
+    let gpu = GpuConfig::gtx580();
+    let (sizes, threads) = reduce_sweep();
+    let ds = collect_reduce(
+        &gpu,
+        ReduceVariant::Reduce6,
+        &sizes,
+        &threads,
+        &figure_collect_options(),
+    )
+    .expect("collection");
+    let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
+    print_kernel_analysis(&ds, &model);
+
+    for name in ["gst_request", "shared_store", "shared_load"] {
+        if let Some(pos) = model.ranking.iter().position(|n| n == name) {
+            let pd = model.partial_dependence(name, 16).unwrap();
+            println!(
+                "{:<14} rank {:>2}/{}  partial-dependence corr {:+.2} ({:?})",
+                name,
+                pos + 1,
+                model.ranking.len(),
+                pd.correlation(),
+                pd.trend()
+            );
+        }
+    }
+    // Bandwidth-bound check: achieved load throughput at the largest size
+    // approaches the device bandwidth.
+    let gld = ds.column("gld_throughput").unwrap();
+    let max_tp = gld.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "peak simulated gld_throughput {:.0} GB/s of {:.0} GB/s device bandwidth ({:.0}%)",
+        max_tp,
+        gpu.mem_bandwidth_gbps,
+        100.0 * max_tp / gpu.mem_bandwidth_gbps
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates Figure 5: characterization and prediction of matrix multiply.
+//!
+//! Paper result: (a) global-store-throughput and occupancy counters top the
+//! importance ranking; (b) problem-scaling predictions on unseen sizes match
+//! measurements (average MSE 3.2, 98% explained variance); (c) GLM counter
+//! models have low residual deviance (0–2.7) except `inst_replay_overhead`
+//! (≈203), whose poor fit visibly affects predictions.
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, matmul_sweep};
+use blackforest::collect::collect_matmul;
+use blackforest::countermodel::ModelStrategy;
+use blackforest::predict::{summarize, ProblemScalingPredictor};
+use blackforest::report;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Figure 5", "Characterization and prediction of MM");
+    let gpu = GpuConfig::gtx580();
+    let sizes = matmul_sweep();
+    println!("sweep: {} sizes from {} to {}", sizes.len(), sizes[0], sizes[sizes.len() - 1]);
+    let ds = collect_matmul(&gpu, &sizes, &figure_collect_options()).expect("collection");
+    // The paper prefers GLMs for trivial relations and MARS otherwise
+    // (§4.2 "Results interpretation"); Auto applies exactly that rule per
+    // counter.
+    let predictor = ProblemScalingPredictor::fit(
+        &ds,
+        &figure_model_config(),
+        &["size"],
+        ModelStrategy::Auto,
+    )
+    .expect("fit");
+    let model = &predictor.model;
+
+    println!("\n(a) {}", report::importance_chart(model, 10));
+
+    println!("(b) prediction of unseen sizes (held-out 20%):");
+    let points = predictor.evaluate_holdout().expect("holdout");
+    println!("{}", report::prediction_table(&points, "size"));
+    let s = summarize(&points);
+    println!(
+        "forest validation: test MSE {:.3}, OOB explained variance {:.1}%; chain MSE {:.3}, R^2 {:.3}",
+        model.validation.mse,
+        model.validation.oob_r_squared * 100.0,
+        s.mse,
+        s.r_squared
+    );
+
+    println!("\n(c) GLM counter models (size -> counter):");
+    println!(
+        "  {:<28} {:<8} {:>10} {:>14}",
+        "counter", "family", "R^2", "mean resid dev"
+    );
+    for m in &predictor.counters.models {
+        println!(
+            "  {:<28} {:<8} {:>10.4} {:>14.4}",
+            m.counter,
+            m.family(),
+            m.r_squared,
+            m.mean_residual_deviance
+        );
+    }
+    if let Some(worst) = predictor.counters.worst_fit() {
+        println!(
+            "worst-modelled counter: {} (R^2 {:.3}) — the paper's analogue is inst_replay_overhead",
+            worst.counter, worst.r_squared
+        );
+    }
+
+    println!("\ncounter-model curves (measured vs model, the 5c series):");
+    bf_bench::print_counter_model_series(&predictor, &ds, "size", 8);
+}

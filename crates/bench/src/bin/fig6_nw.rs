@@ -1,0 +1,69 @@
+//! Regenerates Figure 6: characterization and prediction of
+//! Needleman-Wunsch.
+//!
+//! Paper result: (a) `achieved_occupancy` and `size` are the most
+//! influential predictors, followed by a band of near-equal memory
+//! throughput metrics; (b) predictions of unseen sequence lengths are very
+//! accurate (forest MSE ≈ 0, 99% explained variance); (c) the counter models
+//! need MARS (`earth`), reaching an average R² of 0.99.
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, nw_sweep};
+use blackforest::collect::collect_nw;
+use blackforest::countermodel::ModelStrategy;
+use blackforest::predict::{summarize, ProblemScalingPredictor};
+use blackforest::report;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Figure 6", "Characterization and prediction of NW");
+    let gpu = GpuConfig::gtx580();
+    let lengths = nw_sweep();
+    println!(
+        "sweep: {} sequence lengths from {} to {}",
+        lengths.len(),
+        lengths[0],
+        lengths[lengths.len() - 1]
+    );
+    let ds = collect_nw(&gpu, &lengths, &figure_collect_options()).expect("collection");
+    let predictor = ProblemScalingPredictor::fit(
+        &ds,
+        &figure_model_config(),
+        &["size"],
+        ModelStrategy::Mars, // the paper uses earth (MARS) for NW
+    )
+    .expect("fit");
+    let model = &predictor.model;
+
+    println!("\n(a) {}", report::importance_chart(model, 12));
+    for name in ["achieved_occupancy", "size", "l1_global_load_miss"] {
+        if let Some(pos) = model.ranking.iter().position(|n| n == name) {
+            println!("  {name}: rank {}/{}", pos + 1, model.ranking.len());
+        }
+    }
+
+    println!("\n(b) prediction of unseen sequence lengths (held-out 20%):");
+    let points = predictor.evaluate_holdout().expect("holdout");
+    // Print every 4th row to keep the table readable at 129 lengths.
+    let thinned: Vec<_> = points.iter().step_by(4.max(points.len() / 16)).cloned().collect();
+    println!("{}", report::prediction_table(&thinned, "size"));
+    let s = summarize(&points);
+    println!(
+        "full holdout: chain MSE {:.4}, R^2 {:.4}; forest OOB explained variance {:.1}%",
+        s.mse,
+        s.r_squared,
+        model.validation.oob_r_squared * 100.0
+    );
+
+    println!("\n(c) MARS counter models (size -> counter):");
+    println!("  {:<28} {:<8} {:>10}", "counter", "family", "R^2");
+    for m in &predictor.counters.models {
+        println!("  {:<28} {:<8} {:>10.4}", m.counter, m.family(), m.r_squared);
+    }
+    println!(
+        "average counter-model R^2: {:.4} (paper: 0.99 with earth)",
+        predictor.counters.mean_r_squared()
+    );
+
+    println!("\ncounter-model curves (measured vs model, the 6c series):");
+    bf_bench::print_counter_model_series(&predictor, &ds, "size", 8);
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 7: K20m predictions for MM from a GTX580-trained
+//! forest (hardware scaling, the straightforward case).
+//!
+//! Paper result: predictions mostly match measurements (edge inaccuracies
+//! from interpolation); the calibration shows the most important variables
+//! are almost the same on both architectures, which is what makes the
+//! straightforward transfer work.
+
+use bf_bench::{banner, figure_collect_options, figure_model_config, matmul_sweep};
+use blackforest::collect::{collect_matmul, CollectOptions};
+use blackforest::predict::{summarize, HardwareScalingPredictor, HwFeatureStrategy};
+use blackforest::report;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Figure 7", "K20m predictions for MM from GTX580");
+    let src_gpu = GpuConfig::gtx580();
+    let tgt_gpu = GpuConfig::k20m();
+    let sizes = matmul_sweep();
+    let opts = CollectOptions {
+        include_machine_metrics: true,
+        drop_constant: false,
+        ..figure_collect_options()
+    };
+    let src = collect_matmul(&src_gpu, &sizes, &opts).expect("source collection");
+    let tgt = collect_matmul(&tgt_gpu, &sizes, &opts).expect("target collection");
+    let (tgt_train, tgt_test) = tgt.split(0.8, figure_model_config().seed);
+
+    let hw = HardwareScalingPredictor::fit(
+        &src,
+        &tgt_train,
+        &figure_model_config(),
+        HwFeatureStrategy::SourceImportance,
+    )
+    .expect("fit");
+
+    println!("top-6 importance on GTX580 : {:?}", &hw.source_ranking[..6]);
+    println!("top-6 importance on K20m   : {:?}", &hw.target_ranking[..6]);
+    println!(
+        "ranking similarity (top-6 overlap): {:.0}% — \"sufficiently similar hardware\"",
+        hw.similarity * 100.0
+    );
+    println!("transfer features: {:?}\n", hw.features);
+
+    let points = hw.evaluate(&tgt_test, "size").expect("evaluate");
+    println!("{}", report::prediction_table(&points, "size"));
+    let s = summarize(&points);
+    println!(
+        "hardware-scaled MM predictions: MSE {:.3}, R^2 {:.3}, MAPE {:.1}%",
+        s.mse, s.r_squared, s.mape
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 1: the performance counters used in the study, with
+//! their meanings and per-architecture availability.
+
+use bf_bench::banner;
+use gpu_sim::counters::COUNTER_CATALOG;
+
+fn main() {
+    banner("Table 1", "Performance counters used in this study");
+    println!("{:<28} {:<6} {:<7} meaning", "counter", "fermi", "kepler");
+    println!("{}", "-".repeat(100));
+    for c in COUNTER_CATALOG {
+        println!(
+            "{:<28} {:<6} {:<7} {}",
+            c.name,
+            if c.on_fermi { "yes" } else { "-" },
+            if c.on_kepler { "yes" } else { "-" },
+            c.meaning
+        );
+    }
+    println!();
+    println!(
+        "{} counters total; {} Fermi-only, {} Kepler-only",
+        COUNTER_CATALOG.len(),
+        COUNTER_CATALOG.iter().filter(|c| c.on_fermi && !c.on_kepler).count(),
+        COUNTER_CATALOG.iter().filter(|c| !c.on_fermi && c.on_kepler).count(),
+    );
+}

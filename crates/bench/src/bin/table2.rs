@@ -1,0 +1,25 @@
+//! Regenerates Table 2: GPU hardware metrics of the training and target
+//! cards, exactly the rows the hardware-scaling experiments inject as
+//! machine characteristics.
+
+use bf_bench::banner;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    banner("Table 2", "GPU hardware metrics");
+    let gpus = [GpuConfig::gtx480(), GpuConfig::gtx580(), GpuConfig::k20m()];
+    let rows = gpus[0].machine_metrics();
+    print!("{:<8} {:<28}", "metric", "meaning");
+    for g in &gpus {
+        print!(" {:>8}", g.name);
+    }
+    println!();
+    println!("{}", "-".repeat(72));
+    for (i, row) in rows.iter().enumerate() {
+        print!("{:<8} {:<28}", row.name, row.meaning);
+        for g in &gpus {
+            print!(" {:>8}", g.machine_metrics()[i].value);
+        }
+        println!();
+    }
+}

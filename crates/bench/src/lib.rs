@@ -1,0 +1,159 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see `DESIGN.md` for the experiment index).
+//!
+//! Each `fig*`/`table*` binary prints the same rows/series the paper
+//! reports; `EXPERIMENTS.md` records paper-vs-measured values. Set
+//! `BF_QUICK=1` to shrink the sweeps for smoke runs.
+
+use blackforest::collect::{self, CollectOptions};
+use blackforest::model::{BlackForestModel, ModelConfig};
+use blackforest::report;
+use blackforest::Dataset;
+use gpu_sim::GpuConfig;
+
+/// Whether quick mode is enabled (`BF_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var("BF_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The standard collection options used by all figure experiments:
+/// 3 profiler repetitions with ±2% measurement noise, as real `nvprof`
+/// collection would exhibit.
+pub fn figure_collect_options() -> CollectOptions {
+    CollectOptions::default().with_repetitions(3, 0.02)
+}
+
+/// The standard model configuration for figures: the paper's 500-tree
+/// forest and 80:20 split.
+pub fn figure_model_config() -> ModelConfig {
+    ModelConfig {
+        n_trees: if quick_mode() { 120 } else { 500 },
+        seed: 2016,
+        ..ModelConfig::default()
+    }
+}
+
+/// Reduction sweep for Figures 2–4 (shrunk under `BF_QUICK`).
+pub fn reduce_sweep() -> (Vec<usize>, Vec<usize>) {
+    if quick_mode() {
+        ((14..=18).map(|e| 1usize << e).collect(), vec![64, 256])
+    } else {
+        collect::paper_reduce_sweep()
+    }
+}
+
+/// MM sweep for Figures 5 and 7.
+pub fn matmul_sweep() -> Vec<usize> {
+    if quick_mode() {
+        (2..=16).step_by(2).map(|k| k * 16).collect()
+    } else {
+        collect::paper_matmul_sizes()
+    }
+}
+
+/// NW sweep for Figures 6 and 8.
+pub fn nw_sweep() -> Vec<usize> {
+    if quick_mode() {
+        (1..=16).map(|k| k * 64).collect()
+    } else {
+        collect::paper_nw_lengths()
+    }
+}
+
+/// Prints the figure banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Prints the standard per-kernel analysis block used by Figures 2–4:
+/// importance chart (subfigure a), partial dependence of the top counter
+/// (subfigure b), and the PCA component table (the in-text PC analysis).
+pub fn print_kernel_analysis(ds: &Dataset, model: &BlackForestModel) {
+    println!(
+        "dataset: {} runs x {} predictors; forest OOB MSE {:.4e}, explained variance {:.1}%",
+        ds.len(),
+        ds.n_features(),
+        model.validation.oob_mse,
+        model.validation.oob_r_squared * 100.0
+    );
+    println!();
+    println!("(a) {}", report::importance_chart(model, 10));
+    if let Some(top) = model.ranking.first() {
+        println!("(b) {}", report::partial_dependence_chart(model, top, 32));
+    }
+    if let Some(pca) = &model.pca {
+        println!("(c) {}", report::pca_table(pca, 5));
+    }
+}
+
+/// Returns the named GPU preset.
+pub fn gpu_by_name(name: &str) -> Option<GpuConfig> {
+    GpuConfig::by_name(name)
+}
+
+/// Prints the per-counter model curves of subfigures 5(c)/6(c): for each
+/// retained counter, measured (dotted line in the paper) vs model-predicted
+/// (solid line) values over the characteristic sweep.
+pub fn print_counter_model_series(
+    predictor: &blackforest::predict::ProblemScalingPredictor,
+    ds: &Dataset,
+    char_name: &str,
+    max_rows: usize,
+) {
+    let Some(cj) = ds.feature_index(char_name) else {
+        println!("(characteristic {char_name} missing)");
+        return;
+    };
+    // One row per distinct characteristic value (thinned to max_rows).
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    order.sort_by(|&a, &b| ds.rows[a][cj].partial_cmp(&ds.rows[b][cj]).unwrap());
+    order.dedup_by_key(|&mut i| ds.rows[i][cj].to_bits());
+    let step = (order.len() / max_rows.max(1)).max(1);
+    let picks: Vec<usize> = order.into_iter().step_by(step).collect();
+
+    for model in &predictor.counters.models {
+        if model.family() == "identity" {
+            continue;
+        }
+        let Some(kj) = ds.feature_index(&model.counter) else {
+            continue;
+        };
+        println!(
+            "  {} ({}; R^2 {:.4}): {:>8}  {:>14}  {:>14}",
+            model.counter,
+            model.family(),
+            model.r_squared,
+            char_name,
+            "measured",
+            "model"
+        );
+        for &i in &picks {
+            let c = ds.rows[i][cj];
+            let measured = ds.rows[i][kj];
+            let predicted = model.predict(&[c]);
+            println!("      {c:>16.0}  {measured:>14.4}  {predicted:>14.4}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_lookup_is_case_insensitive() {
+        assert!(gpu_by_name("GTX580").is_some());
+        assert!(gpu_by_name("k20m").is_some());
+        assert!(gpu_by_name("rtx9090").is_none());
+    }
+
+    #[test]
+    fn sweeps_are_nonempty() {
+        let (s, t) = reduce_sweep();
+        assert!(!s.is_empty() && !t.is_empty());
+        assert!(!matmul_sweep().is_empty());
+        assert!(!nw_sweep().is_empty());
+    }
+}

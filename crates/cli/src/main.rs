@@ -1,0 +1,331 @@
+//! `blackforest` — the command-line front-end of the toolchain.
+//!
+//! Subcommands (run with no arguments for usage):
+//!
+//! * `gpus` — list the available GPU presets.
+//! * `counters [--gpu NAME]` — list the counter catalogue (Table 1).
+//! * `collect --workload W [--gpu NAME] [--out FILE]` — run the profiling
+//!   sweep and write the dataset as CSV.
+//! * `analyze --workload W [--gpu NAME]` — full pipeline: collect, model,
+//!   bottleneck report.
+//! * `predict --workload W --size N [--gpu NAME]` — problem-scaling
+//!   prediction for an unseen size.
+
+use blackforest::collect::CollectOptions;
+use blackforest::model::ModelConfig;
+use blackforest::{BlackForest, Workload};
+use bf_kernels::reduce::ReduceVariant;
+use gpu_sim::GpuConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+blackforest - bottleneck analysis and performance prediction for GPU kernels
+
+USAGE:
+    blackforest <COMMAND> [OPTIONS]
+
+COMMANDS:
+    gpus                         list GPU presets
+    counters [--gpu NAME]        list hardware performance counters
+    collect  --workload W [--gpu NAME] [--out FILE] [--quick]
+    analyze  --workload W [--gpu NAME] [--quick]
+    train    --workload W --out MODEL.json [--gpu NAME] [--quick]
+    predict  --workload W --size N [--model MODEL.json] [--gpu NAME] [--quick]
+    hwscale  --workload W --target NAME [--gpu NAME] [--quick]
+
+WORKLOADS:
+    reduce0..reduce6, matmul, nw, stencil
+
+OPTIONS:
+    --gpu NAME      gtx580 (default), gtx480, gtx680, or k20m
+    --target NAME   target GPU for hardware scaling (hwscale)
+    --out FILE      output path (collect: CSV; train: model JSON)
+    --size N        problem size to predict (predict)
+    --model FILE    reuse a trained model instead of re-collecting (predict)
+    --quick         smaller sweep and forest (faster)
+";
+
+struct Args {
+    command: String,
+    workload: Option<String>,
+    gpu: String,
+    out: Option<PathBuf>,
+    model: Option<PathBuf>,
+    size: Option<f64>,
+    target: Option<String>,
+    quick: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().ok_or("missing command")?,
+        workload: None,
+        gpu: "gtx580".into(),
+        out: None,
+        model: None,
+        size: None,
+        target: None,
+        quick: false,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => args.workload = Some(it.next().ok_or("--workload needs a value")?.clone()),
+            "--gpu" => args.gpu = it.next().ok_or("--gpu needs a value")?.clone(),
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--model" => {
+                args.model = Some(PathBuf::from(it.next().ok_or("--model needs a value")?))
+            }
+            "--target" => args.target = Some(it.next().ok_or("--target needs a value")?.clone()),
+            "--size" => {
+                args.size = Some(
+                    it.next()
+                        .ok_or("--size needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --size: {e}"))?,
+                )
+            }
+            "--quick" => args.quick = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn gpu_by_name(name: &str) -> Result<GpuConfig, String> {
+    GpuConfig::by_name(name).ok_or_else(|| format!("unknown GPU {name}; try `blackforest gpus`"))
+}
+
+fn workload_by_name(name: &str) -> Result<Workload, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "reduce0" => Ok(Workload::Reduce(ReduceVariant::Reduce0)),
+        "reduce1" => Ok(Workload::Reduce(ReduceVariant::Reduce1)),
+        "reduce2" => Ok(Workload::Reduce(ReduceVariant::Reduce2)),
+        "reduce3" => Ok(Workload::Reduce(ReduceVariant::Reduce3)),
+        "reduce4" => Ok(Workload::Reduce(ReduceVariant::Reduce4)),
+        "reduce5" => Ok(Workload::Reduce(ReduceVariant::Reduce5)),
+        "reduce6" => Ok(Workload::Reduce(ReduceVariant::Reduce6)),
+        "matmul" => Ok(Workload::MatMul),
+        "nw" | "needle" => Ok(Workload::Nw),
+        "stencil" | "jacobi2d" => Ok(Workload::Stencil),
+        other => Err(format!("unknown workload {other}")),
+    }
+}
+
+/// Default sweep of the primary problem characteristic per workload.
+fn default_sizes(workload: Workload, quick: bool) -> Vec<usize> {
+    match workload {
+        Workload::Reduce(_) => {
+            let hi = if quick { 18 } else { 21 };
+            (14..=hi).map(|e| 1usize << e).collect()
+        }
+        Workload::MatMul => {
+            let hi = if quick { 24 } else { 40 };
+            (2..=hi).step_by(2).map(|k| k * 16).collect()
+        }
+        Workload::Nw => {
+            let hi = if quick { 16 } else { 64 };
+            (1..=hi).map(|k| k * 64).collect()
+        }
+        Workload::Stencil => {
+            let hi = if quick { 16 } else { 48 };
+            (2..=hi).step_by(2).map(|k| k * 16).collect()
+        }
+    }
+}
+
+fn toolchain(args: &Args) -> Result<BlackForest, String> {
+    let gpu = gpu_by_name(&args.gpu)?;
+    let mut bf = BlackForest::new(gpu);
+    bf.collect = CollectOptions::default().with_repetitions(3, 0.02);
+    if args.quick {
+        bf = bf.with_config(ModelConfig::quick(2016));
+        bf.collect = CollectOptions::default();
+    } else {
+        bf = bf.with_config(ModelConfig {
+            seed: 2016,
+            ..ModelConfig::default()
+        });
+    }
+    Ok(bf)
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let args = parse_args(&argv)?;
+    match args.command.as_str() {
+        "gpus" => {
+            for gpu in GpuConfig::presets() {
+                println!(
+                    "{:<8} {:?}: {} SMs x {} cores @ {} GHz, {} GB/s",
+                    gpu.name,
+                    gpu.arch,
+                    gpu.num_sms,
+                    gpu.cores_per_sm,
+                    gpu.clock_ghz,
+                    gpu.mem_bandwidth_gbps
+                );
+            }
+            Ok(())
+        }
+        "counters" => {
+            let gpu = gpu_by_name(&args.gpu)?;
+            for name in gpu_sim::counters::counters_for(gpu.arch) {
+                let info = gpu_sim::counters::counter_info(name).unwrap();
+                println!("{:<28} {}", info.name, info.meaning);
+            }
+            Ok(())
+        }
+        "collect" => {
+            let workload = workload_by_name(
+                args.workload.as_deref().ok_or("collect needs --workload")?,
+            )?;
+            let bf = toolchain(&args)?;
+            let sizes = default_sizes(workload, args.quick);
+            let ds = bf.collect(workload, &sizes).map_err(|e| e.to_string())?;
+            let out = args
+                .out
+                .unwrap_or_else(|| PathBuf::from(format!("{}_{}.csv", workload.name(), args.gpu)));
+            ds.write_csv(&out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} runs x {} predictors to {}",
+                ds.len(),
+                ds.n_features(),
+                out.display()
+            );
+            Ok(())
+        }
+        "analyze" => {
+            let workload = workload_by_name(
+                args.workload.as_deref().ok_or("analyze needs --workload")?,
+            )?;
+            let bf = toolchain(&args)?;
+            let sizes = default_sizes(workload, args.quick);
+            let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
+            println!("{}", report.render());
+            if let Some(out) = &args.out {
+                let md = blackforest::markdown::analysis_markdown(&report);
+                std::fs::write(out, md).map_err(|e| e.to_string())?;
+                println!("markdown report written to {}", out.display());
+            }
+            Ok(())
+        }
+        "train" => {
+            let workload = workload_by_name(
+                args.workload.as_deref().ok_or("train needs --workload")?,
+            )?;
+            let out = args.out.clone().ok_or("train needs --out MODEL.json")?;
+            let bf = toolchain(&args)?;
+            let sizes = default_sizes(workload, args.quick);
+            let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
+            report.predictor.save(&out).map_err(|e| e.to_string())?;
+            println!(
+                "trained {} on {} ({} runs); model written to {}",
+                workload.name(),
+                args.gpu,
+                report.dataset.len(),
+                out.display()
+            );
+            Ok(())
+        }
+        "predict" => {
+            let workload = workload_by_name(
+                args.workload.as_deref().ok_or("predict needs --workload")?,
+            )?;
+            let size = args.size.ok_or("predict needs --size")?;
+            let predictor = match &args.model {
+                Some(path) => blackforest::predict::ProblemScalingPredictor::load(path)
+                    .map_err(|e| e.to_string())?,
+                None => {
+                    let bf = toolchain(&args)?;
+                    let sizes = default_sizes(workload, args.quick);
+                    bf.analyze(workload, &sizes).map_err(|e| e.to_string())?.predictor
+                }
+            };
+            // Reduce kernels have a second characteristic (block size);
+            // use 256 threads, the SDK default.
+            let chars: Vec<f64> = match workload {
+                Workload::Reduce(_) => vec![size, 256.0],
+                Workload::Stencil => vec![size, 1.0],
+                _ => vec![size],
+            };
+            let t = predictor.predict(&chars).map_err(|e| e.to_string())?;
+            println!(
+                "{} on {}, size {}: predicted execution time {:.4} ms",
+                workload.name(),
+                args.gpu,
+                size,
+                t
+            );
+            Ok(())
+        }
+        "hwscale" => {
+            let workload = workload_by_name(
+                args.workload.as_deref().ok_or("hwscale needs --workload")?,
+            )?;
+            let target_name = args.target.clone().ok_or("hwscale needs --target")?;
+            let src_gpu = gpu_by_name(&args.gpu)?;
+            let tgt_gpu = gpu_by_name(&target_name)?;
+            let opts = blackforest::collect::CollectOptions {
+                include_machine_metrics: true,
+                drop_constant: false,
+                ..blackforest::collect::CollectOptions::default()
+            };
+            let sizes = default_sizes(workload, args.quick);
+            let mut bf_src = toolchain(&args)?;
+            bf_src.gpu = src_gpu;
+            bf_src.collect = opts.clone();
+            let src = bf_src.collect(workload, &sizes).map_err(|e| e.to_string())?;
+            let mut bf_tgt = toolchain(&args)?;
+            bf_tgt.gpu = tgt_gpu;
+            bf_tgt.collect = opts;
+            let tgt = bf_tgt.collect(workload, &sizes).map_err(|e| e.to_string())?;
+            let (tgt_train, tgt_test) = tgt.split(0.8, 2016);
+            let cfg = if args.quick {
+                ModelConfig::quick(2016)
+            } else {
+                ModelConfig { seed: 2016, ..ModelConfig::default() }
+            };
+            let hw = blackforest::predict::HardwareScalingPredictor::fit(
+                &src,
+                &tgt_train,
+                &cfg,
+                blackforest::predict::HwFeatureStrategy::MixedImportance,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{} -> {}: top-{} overlap {:.0}%, Spearman {:.2}",
+                args.gpu,
+                target_name,
+                cfg.top_k,
+                hw.similarity * 100.0,
+                hw.rank_correlation
+            );
+            println!("source top: {:?}", &hw.source_ranking[..6.min(hw.source_ranking.len())]);
+            println!("target top: {:?}", &hw.target_ranking[..6.min(hw.target_ranking.len())]);
+            let points = hw.evaluate(&tgt_test, "size").map_err(|e| e.to_string())?;
+            println!("{}", blackforest::report::prediction_table(&points, "size"));
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Datasets: named feature columns plus a response, with splitting and
+//! CSV persistence.
+//!
+//! One row = one profiled run. Features are performance-counter values plus
+//! problem characteristics (e.g. `size`) and, for hardware scaling, machine
+//! characteristics (Table 2). The response is execution time in
+//! milliseconds.
+
+use crate::{BfError, Result};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A feature matrix with named columns and a named response vector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Column names, in row order.
+    pub feature_names: Vec<String>,
+    /// Observations (row-major).
+    pub rows: Vec<Vec<f64>>,
+    /// Response name (conventionally `time_ms`).
+    pub response_name: String,
+    /// Response values, one per row.
+    pub response: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given schema.
+    pub fn new(feature_names: Vec<String>, response_name: &str) -> Dataset {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            response_name: response_name.to_string(),
+            response: Vec::new(),
+        }
+    }
+
+    /// Appends one observation. The row length must match the schema.
+    pub fn push(&mut self, row: Vec<f64>, response: f64) -> Result<()> {
+        if row.len() != self.feature_names.len() {
+            return Err(BfError::Data(format!(
+                "row has {} values, schema has {} features",
+                row.len(),
+                self.feature_names.len()
+            )));
+        }
+        self.rows.push(row);
+        self.response.push(response);
+        Ok(())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Index of a named feature.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Copies one named feature column.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let j = self.feature_index(name)?;
+        Some(self.rows.iter().map(|r| r[j]).collect())
+    }
+
+    /// Random train/test split (the paper uses 80:20). Deterministic for a
+    /// given seed; both halves keep the full schema.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, self.len().saturating_sub(1).max(1));
+        let mut train = Dataset::new(self.feature_names.clone(), &self.response_name);
+        let mut test = Dataset::new(self.feature_names.clone(), &self.response_name);
+        for (k, &i) in order.iter().enumerate() {
+            let target = if k < n_train { &mut train } else { &mut test };
+            target.rows.push(self.rows[i].clone());
+            target.response.push(self.response[i]);
+        }
+        (train, test)
+    }
+
+    /// Projects the dataset onto a subset of named features (keeping the
+    /// response) — used after variable-importance selection.
+    pub fn select(&self, names: &[String]) -> Result<Dataset> {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                self.feature_index(n)
+                    .ok_or_else(|| BfError::Data(format!("unknown feature {n}")))
+            })
+            .collect::<Result<_>>()?;
+        let mut out = Dataset::new(names.to_vec(), &self.response_name);
+        for (row, &y) in self.rows.iter().zip(self.response.iter()) {
+            out.rows.push(idx.iter().map(|&j| row[j]).collect());
+            out.response.push(y);
+        }
+        Ok(out)
+    }
+
+    /// Appends a constant column (used to inject machine characteristics
+    /// into every row of a per-GPU dataset).
+    pub fn add_constant_column(&mut self, name: &str, value: f64) {
+        self.feature_names.push(name.to_string());
+        for row in &mut self.rows {
+            row.push(value);
+        }
+    }
+
+    /// Vertically concatenates another dataset with an identical schema.
+    pub fn append(&mut self, other: &Dataset) -> Result<()> {
+        if other.feature_names != self.feature_names || other.response_name != self.response_name
+        {
+            return Err(BfError::Data("schema mismatch in append".into()));
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        self.response.extend(other.response.iter().copied());
+        Ok(())
+    }
+
+    /// Drops features that are constant across all rows (they carry no
+    /// signal and inflate importance noise). Returns the removed names.
+    pub fn drop_constant_features(&mut self) -> Vec<String> {
+        if self.rows.is_empty() {
+            return Vec::new();
+        }
+        let keep: Vec<bool> = (0..self.n_features())
+            .map(|j| {
+                let first = self.rows[0][j];
+                self.rows.iter().any(|r| r[j] != first)
+            })
+            .collect();
+        let removed = self
+            .feature_names
+            .iter()
+            .zip(keep.iter())
+            .filter(|(_, &k)| !k)
+            .map(|(n, _)| n.clone())
+            .collect();
+        self.feature_names = self
+            .feature_names
+            .iter()
+            .zip(keep.iter())
+            .filter(|(_, &k)| k)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for row in &mut self.rows {
+            let mut j = 0;
+            row.retain(|_| {
+                let k = keep[j];
+                j += 1;
+                k
+            });
+        }
+        removed
+    }
+
+    /// Per-feature summary statistics: `(name, min, mean, max)` rows plus a
+    /// final row for the response — the quick sanity view a practitioner
+    /// wants right after collection.
+    pub fn describe(&self) -> Vec<(String, f64, f64, f64)> {
+        let mut out = Vec::with_capacity(self.n_features() + 1);
+        let summarize = |name: &str, vals: &[f64]| {
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            (name.to_string(), min, mean, max)
+        };
+        for (j, name) in self.feature_names.iter().enumerate() {
+            let col: Vec<f64> = self.rows.iter().map(|r| r[j]).collect();
+            out.push(summarize(name, &col));
+        }
+        out.push(summarize(&self.response_name, &self.response));
+        out
+    }
+
+    /// Writes the dataset as CSV (header = features then response).
+    pub fn write_csv(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(
+            w,
+            "{},{}",
+            self.feature_names.join(","),
+            self.response_name
+        )?;
+        for (row, y) in self.rows.iter().zip(self.response.iter()) {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{},{y}", cells.join(","))?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Writes the dataset as JSON (schema-preserving alternative to CSV,
+    /// convenient next to the JSON model files).
+    pub fn write_json(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(|e| BfError::Data(format!("serialize dataset: {e}")))
+    }
+
+    /// Reads a dataset previously written by [`Dataset::write_json`].
+    pub fn read_json(path: &Path) -> Result<Dataset> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| BfError::Data(format!("deserialize dataset: {e}")))
+    }
+
+    /// Reads a dataset previously written by [`Dataset::write_csv`]. The
+    /// last column is the response.
+    pub fn read_csv(path: &Path) -> Result<Dataset> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| BfError::Data("empty csv".into()))??;
+        let mut names: Vec<String> = header.split(',').map(|s| s.to_string()).collect();
+        let response_name = names
+            .pop()
+            .ok_or_else(|| BfError::Data("csv header has no columns".into()))?;
+        let mut ds = Dataset::new(names, &response_name);
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut vals: Vec<f64> = Vec::with_capacity(ds.n_features() + 1);
+            for cell in line.split(',') {
+                vals.push(cell.trim().parse::<f64>().map_err(|e| {
+                    BfError::Data(format!("line {}: bad number {cell:?}: {e}", lineno + 2))
+                })?);
+            }
+            let y = vals
+                .pop()
+                .ok_or_else(|| BfError::Data(format!("line {}: empty", lineno + 2)))?;
+            ds.push(vals, y)?;
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            "time_ms",
+        );
+        for i in 0..20 {
+            ds.push(vec![i as f64, (i * 2) as f64, 5.0], i as f64 * 1.5)
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_rejects_wrong_width() {
+        let mut ds = sample();
+        assert!(ds.push(vec![1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn split_preserves_rows_and_is_deterministic() {
+        let ds = sample();
+        let (tr1, te1) = ds.split(0.8, 42);
+        let (tr2, te2) = ds.split(0.8, 42);
+        assert_eq!(tr1.len(), 16);
+        assert_eq!(te1.len(), 4);
+        assert_eq!(tr1.rows, tr2.rows);
+        assert_eq!(te1.response, te2.response);
+        // Different seed gives a different shuffle.
+        let (tr3, _) = ds.split(0.8, 43);
+        assert_ne!(tr1.rows, tr3.rows);
+    }
+
+    #[test]
+    fn split_never_leaves_empty_train() {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        ds.push(vec![1.0], 1.0).unwrap();
+        ds.push(vec![2.0], 2.0).unwrap();
+        let (tr, te) = ds.split(0.8, 1);
+        assert_eq!(tr.len() + te.len(), 2);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn select_projects_columns() {
+        let ds = sample();
+        let sub = ds.select(&["c".into(), "a".into()]).unwrap();
+        assert_eq!(sub.feature_names, vec!["c", "a"]);
+        assert_eq!(sub.rows[3], vec![5.0, 3.0]);
+        assert_eq!(sub.response, ds.response);
+        assert!(ds.select(&["nope".into()]).is_err());
+    }
+
+    #[test]
+    fn add_constant_column_extends_every_row() {
+        let mut ds = sample();
+        ds.add_constant_column("mbw", 192.4);
+        assert_eq!(ds.n_features(), 4);
+        assert!(ds.rows.iter().all(|r| r[3] == 192.4));
+    }
+
+    #[test]
+    fn append_requires_matching_schema() {
+        let mut a = sample();
+        let b = sample();
+        let n = a.len();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2 * n);
+        let mut c = Dataset::new(vec!["x".into()], "time_ms");
+        c.push(vec![1.0], 1.0).unwrap();
+        assert!(a.append(&c).is_err());
+    }
+
+    #[test]
+    fn drop_constant_features_removes_c() {
+        let mut ds = sample();
+        let removed = ds.drop_constant_features();
+        assert_eq!(removed, vec!["c".to_string()]);
+        assert_eq!(ds.feature_names, vec!["a", "b"]);
+        assert_eq!(ds.rows[2].len(), 2);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("bf_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        ds.write_csv(&path).unwrap();
+        let back = Dataset::read_csv(&path).unwrap();
+        assert_eq!(back.feature_names, ds.feature_names);
+        assert_eq!(back.response_name, ds.response_name);
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.rows.iter().zip(ds.rows.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("bf_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        ds.write_json(&path).unwrap();
+        let back = Dataset::read_json(&path).unwrap();
+        assert_eq!(back.feature_names, ds.feature_names);
+        assert_eq!(back.rows, ds.rows);
+        assert_eq!(back.response, ds.response);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_csv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("bf_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b,y\n1,2,3\n1,zzz,3\n").unwrap();
+        assert!(Dataset::read_csv(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn column_returns_named_values() {
+        let ds = sample();
+        assert_eq!(ds.column("b").unwrap()[4], 8.0);
+        assert!(ds.column("zzz").is_none());
+    }
+
+    #[test]
+    fn describe_covers_all_columns_and_response() {
+        let ds = sample();
+        let desc = ds.describe();
+        assert_eq!(desc.len(), 4); // a, b, c + response
+        let (name, min, mean, max) = &desc[0];
+        assert_eq!(name, "a");
+        assert_eq!(*min, 0.0);
+        assert_eq!(*max, 19.0);
+        assert!((mean - 9.5).abs() < 1e-12);
+        let (rname, _, _, rmax) = &desc[3];
+        assert_eq!(rname, "time_ms");
+        assert!((rmax - 19.0 * 1.5).abs() < 1e-12);
+    }
+}

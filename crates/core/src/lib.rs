@@ -1,0 +1,106 @@
+//! # BlackForest
+//!
+//! Bottleneck analysis and performance prediction for GPU-accelerated
+//! applications — a Rust reproduction of the toolchain of Madougou,
+//! Varbanescu, de Laat and van Nieuwpoort (2016).
+//!
+//! BlackForest is a statistical method built on hardware performance
+//! counters and ensemble learning:
+//!
+//! 1. **Data collection** ([`collect`]) — run the application tens to
+//!    hundreds of times with varying problem characteristics, recording the
+//!    performance counters and the execution time (here: on the `gpu-sim`
+//!    substrate instead of `nvprof`).
+//! 2. **Random-forest construction and validation** ([`model`]) — 80:20
+//!    train/test split, forest with execution time as the response, OOB
+//!    error and explained variance as validity checks.
+//! 3. **Variable-importance analysis** ([`model`], [`bottleneck`]) — the
+//!    most influential counters, their partial-dependence trends, and the
+//!    mapping from counters to performance patterns with elimination hints.
+//! 4. **Refinement with PCA** ([`model`]) — principal components of the
+//!    counter matrix with varimax-rotated factor loadings, for the
+//!    pathological cases where single counters explain only part of the
+//!    response range.
+//! 5. **Results interpretation** ([`countermodel`], [`predict`]) — GLM/MARS
+//!    models of each retained counter in terms of problem (and machine)
+//!    characteristics, chained through the forest to predict execution time
+//!    for unseen problem sizes (*problem scaling*) and unseen-but-similar
+//!    GPUs (*machine scaling*).
+//!
+//! The [`toolchain`] module wires the stages together behind one facade, and
+//! [`report`] renders human-readable analyses.
+//!
+//! ```
+//! use blackforest::collect::{collect_matmul, CollectOptions};
+//! use blackforest::model::{BlackForestModel, ModelConfig};
+//! use gpu_sim::GpuConfig;
+//!
+//! let gpu = GpuConfig::gtx580();
+//! let sizes: Vec<usize> = (1..=12).map(|k| k * 16).collect();
+//! let data = collect_matmul(&gpu, &sizes, &CollectOptions::default()).unwrap();
+//! let model = BlackForestModel::fit(&data, &ModelConfig::quick(7)).unwrap();
+//! assert!(model.validation.r_squared > 0.5);
+//! ```
+
+// Index-based loops are the clearer idiom throughout this numeric code
+// (parallel arrays, in-place matrix updates), so the pedantic lint is off.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bottleneck;
+pub mod collect;
+pub mod countermodel;
+pub mod cv;
+pub mod dataset;
+pub mod markdown;
+pub mod model;
+pub mod predict;
+pub mod report;
+pub mod toolchain;
+
+pub use bottleneck::{BottleneckCategory, BottleneckReport};
+pub use collect::CollectOptions;
+pub use dataset::Dataset;
+pub use model::{BlackForestModel, ModelConfig};
+pub use predict::{HardwareScalingPredictor, ProblemScalingPredictor};
+pub use toolchain::{AnalysisReport, BlackForest, Workload};
+
+/// Errors raised by the BlackForest toolchain.
+#[derive(Debug)]
+pub enum BfError {
+    /// Dataset malformed or too small for the requested operation.
+    Data(String),
+    /// An underlying statistical fit failed.
+    Fit(String),
+    /// The GPU simulation failed.
+    Sim(gpu_sim::SimError),
+    /// I/O error during dataset or model persistence.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BfError::Data(msg) => write!(f, "data error: {msg}"),
+            BfError::Fit(msg) => write!(f, "fit error: {msg}"),
+            BfError::Sim(e) => write!(f, "simulation error: {e}"),
+            BfError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BfError {}
+
+impl From<gpu_sim::SimError> for BfError {
+    fn from(e: gpu_sim::SimError) -> Self {
+        BfError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for BfError {
+    fn from(e: std::io::Error) -> Self {
+        BfError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, BfError>;

@@ -1,0 +1,207 @@
+//! Markdown rendering of BlackForest analyses.
+//!
+//! The plain-text renderer in [`crate::report`] targets terminals; this
+//! module produces a self-contained Markdown document — the artefact a
+//! performance engineer would attach to a ticket or commit next to the
+//! kernel. Covers the same content as `AnalysisReport::render` plus the
+//! dataset summary and the prediction table.
+
+use crate::predict::{summarize, PredictionPoint};
+use crate::toolchain::AnalysisReport;
+use std::fmt::Write as _;
+
+/// Renders a full analysis as a Markdown document.
+pub fn analysis_markdown(report: &AnalysisReport) -> String {
+    let model = report.model();
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# BlackForest analysis: `{}` on {}\n",
+        report.workload.name(),
+        report.gpu
+    );
+    let _ = writeln!(
+        md,
+        "- runs: **{}** (train {}, test {})",
+        report.dataset.len(),
+        model.train.len(),
+        model.test.len()
+    );
+    let _ = writeln!(
+        md,
+        "- forest: OOB MSE **{:.4}**, explained variance **{:.1}%**, test R² **{:.3}**\n",
+        model.validation.oob_mse,
+        model.validation.oob_r_squared * 100.0,
+        model.validation.r_squared
+    );
+
+    let _ = writeln!(md, "## Variable importance\n");
+    let _ = writeln!(md, "| rank | counter | importance (ΔMSE) | relative |");
+    let _ = writeln!(md, "|---:|---|---:|---:|");
+    let rel = model.importance.relative();
+    for (rank, name) in model.ranking.iter().take(12).enumerate() {
+        let j = model.feature_names.iter().position(|n| n == name).unwrap();
+        let _ = writeln!(
+            md,
+            "| {} | `{}` | {:.3e} | {:.1}% |",
+            rank + 1,
+            name,
+            model.importance.mean_increase_mse[j],
+            rel[j]
+        );
+    }
+    let _ = writeln!(md);
+
+    if let Some(pca) = &model.pca {
+        let _ = writeln!(md, "## PCA refinement\n");
+        let _ = writeln!(
+            md,
+            "{} components explain {:.1}% of predictor variance.\n",
+            pca.n_components,
+            pca.cumulative * 100.0
+        );
+        let _ = writeln!(md, "| component | variance | dimension | dominant loadings |");
+        let _ = writeln!(md, "|---|---:|---|---|");
+        for c in 0..pca.n_components {
+            let dom: Vec<String> = pca
+                .dominant(c, 4)
+                .into_iter()
+                .map(|(n, l)| format!("`{n}` {l:+.2}"))
+                .collect();
+            let _ = writeln!(
+                md,
+                "| PC{} | {:.1}% | {} | {} |",
+                c + 1,
+                pca.explained[c] * 100.0,
+                crate::bottleneck::component_label(pca, c),
+                dom.join(", ")
+            );
+        }
+        let _ = writeln!(md);
+    }
+
+    let _ = writeln!(md, "## Bottleneck findings\n");
+    let _ = writeln!(md, "| counter | pattern | trend | relative importance |");
+    let _ = writeln!(md, "|---|---|---|---:|");
+    for f in &report.bottlenecks.findings {
+        let _ = writeln!(
+            md,
+            "| `{}` | {} | {:?} ({:+.2}) | {:.1}% |",
+            f.counter,
+            f.category.label(),
+            f.trend,
+            f.correlation,
+            f.relative_importance
+        );
+    }
+    if let Some(primary) = report.bottlenecks.primary() {
+        let _ = writeln!(
+            md,
+            "\n**Primary bottleneck:** {} (via `{}`).\n\n**Suggested fix:** {}\n",
+            primary.category.label(),
+            primary.counter,
+            primary.category.hint()
+        );
+    }
+
+    let _ = writeln!(md, "## Counter models\n");
+    let _ = writeln!(md, "| counter | family | R² | mean residual deviance |");
+    let _ = writeln!(md, "|---|---|---:|---:|");
+    for m in &report.predictor.counters.models {
+        let _ = writeln!(
+            md,
+            "| `{}` | {} | {:.4} | {:.4} |",
+            m.counter,
+            m.family(),
+            m.r_squared,
+            m.mean_residual_deviance
+        );
+    }
+    let _ = writeln!(md);
+
+    if let Ok(points) = report.predictor.evaluate_holdout() {
+        if !points.is_empty() {
+            let _ = writeln!(md, "## Held-out predictions\n");
+            md.push_str(&prediction_markdown(&points, "size"));
+        }
+    }
+    md
+}
+
+/// Renders measured-vs-predicted points as a Markdown table with a summary
+/// line.
+pub fn prediction_markdown(points: &[PredictionPoint], char_name: &str) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "| {char_name} | measured (ms) | predicted (ms) | error |");
+    let _ = writeln!(md, "|---:|---:|---:|---:|");
+    for p in points {
+        let err = if p.measured_ms != 0.0 {
+            100.0 * (p.predicted_ms - p.measured_ms) / p.measured_ms
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            md,
+            "| {:.0} | {:.4} | {:.4} | {:+.1}% |",
+            p.characteristics[0], p.measured_ms, p.predicted_ms, err
+        );
+    }
+    let s = summarize(points);
+    let _ = writeln!(
+        md,
+        "\nMSE {:.4} · R² {:.4} · MAPE {:.1}%\n",
+        s.mse, s.r_squared, s.mape
+    );
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::toolchain::{BlackForest, Workload};
+    use gpu_sim::GpuConfig;
+
+    fn report() -> AnalysisReport {
+        let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(81));
+        let sizes: Vec<usize> = (2..=13).map(|k| k * 16).collect();
+        bf.analyze(Workload::MatMul, &sizes).unwrap()
+    }
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let md = analysis_markdown(&report());
+        for section in [
+            "# BlackForest analysis",
+            "## Variable importance",
+            "## Bottleneck findings",
+            "## Counter models",
+            "## Held-out predictions",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        // Tables are well-formed: every table row line has pipes.
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() > 10);
+    }
+
+    #[test]
+    fn markdown_mentions_top_counter_and_fix() {
+        let r = report();
+        let md = analysis_markdown(&r);
+        assert!(md.contains(&format!("`{}`", r.model().ranking[0])));
+        if r.bottlenecks.primary().is_some() {
+            assert!(md.contains("Suggested fix"));
+        }
+    }
+
+    #[test]
+    fn prediction_markdown_summarises() {
+        let points = vec![
+            PredictionPoint { characteristics: vec![64.0], predicted_ms: 1.0, measured_ms: 1.1 },
+            PredictionPoint { characteristics: vec![128.0], predicted_ms: 4.4, measured_ms: 4.0 },
+        ];
+        let md = prediction_markdown(&points, "size");
+        assert!(md.contains("| 64 |"));
+        assert!(md.contains("MAPE"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Human-readable rendering of BlackForest analyses.
+//!
+//! The paper stresses that its outputs — variable-importance plots, partial
+//! dependence, PCA loadings — must be digestible by performance engineers.
+//! This module renders them as plain-text tables and bar/line charts,
+//! mirroring the figures: importance bars (Figs 2a–4a, 5a, 6a, 8a/b),
+//! partial-dependence curves (Figs 2b–4b), counter-model fits (5c, 6c) and
+//! measured-vs-predicted tables (5b, 6b, 7, 8c).
+
+use crate::bottleneck::BottleneckReport;
+use crate::model::{BlackForestModel, PcaSummary};
+use crate::predict::{summarize, PredictionPoint};
+use std::fmt::Write as _;
+
+/// Renders a horizontal ASCII bar chart of variable importance, most
+/// important first (the x-axis is %IncMSE relative to the top variable).
+pub fn importance_chart(model: &BlackForestModel, top: usize) -> String {
+    let rel = model.importance.relative();
+    let mut out = String::new();
+    let _ = writeln!(out, "variable importance (increase in OOB MSE, relative):");
+    let width = model
+        .ranking
+        .iter()
+        .take(top)
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(8);
+    for name in model.ranking.iter().take(top) {
+        let j = model.feature_names.iter().position(|n| n == name).unwrap();
+        let pct = rel[j];
+        let bar = "#".repeat((pct / 2.5).round() as usize);
+        let _ = writeln!(out, "  {name:width$}  {bar} {pct:6.1}%");
+    }
+    out
+}
+
+/// Renders a partial-dependence curve as a compact ASCII line plot.
+pub fn partial_dependence_chart(model: &BlackForestModel, feature: &str, points: usize) -> String {
+    let Some(pd) = model.partial_dependence(feature, points) else {
+        return format!("(no such feature: {feature})\n");
+    };
+    let lo = pd.response.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = pd.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "partial dependence of time on {feature} (trend: {:?}, corr {:+.2}):",
+        pd.trend(),
+        pd.correlation()
+    );
+    const ROWS: usize = 8;
+    for r in (0..ROWS).rev() {
+        let threshold = if hi > lo {
+            lo + (hi - lo) * r as f64 / (ROWS - 1) as f64
+        } else {
+            lo
+        };
+        let mut line = String::new();
+        for &v in &pd.response {
+            line.push(if v >= threshold { '*' } else { ' ' });
+        }
+        let _ = writeln!(out, "  {threshold:10.3} |{line}");
+    }
+    let _ = writeln!(
+        out,
+        "  {:>10}  {:<12.4}...{:>12.4}",
+        "", pd.grid[0], pd.grid[pd.grid.len() - 1]
+    );
+    out
+}
+
+/// Renders the PCA summary: retained components, variance, the §5-style
+/// performance-dimension label, and dominant variables with signed loadings.
+pub fn pca_table(pca: &PcaSummary, top_vars: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PCA: {} components explain {:.1}% of counter variance",
+        pca.n_components,
+        pca.cumulative * 100.0
+    );
+    for c in 0..pca.n_components {
+        let _ = writeln!(
+            out,
+            "  PC{} ({:.1}%) — {}:",
+            c + 1,
+            pca.explained[c] * 100.0,
+            crate::bottleneck::component_label(pca, c)
+        );
+        for (name, loading) in pca.dominant(c, top_vars) {
+            let _ = writeln!(out, "    {loading:+.3}  {name}");
+        }
+    }
+    out
+}
+
+/// Renders measured-vs-predicted points with summary statistics.
+pub fn prediction_table(points: &[PredictionPoint], char_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {char_name:>10}  {:>14}  {:>14}  {:>8}",
+        "measured (ms)", "predicted (ms)", "err %"
+    );
+    for p in points {
+        let err = if p.measured_ms != 0.0 {
+            100.0 * (p.predicted_ms - p.measured_ms) / p.measured_ms
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:>10.0}  {:>14.4}  {:>14.4}  {:>+7.1}%",
+            p.characteristics[0], p.measured_ms, p.predicted_ms, err
+        );
+    }
+    let s = summarize(points);
+    let _ = writeln!(
+        out,
+        "  MSE {:.4}  R^2 {:.4}  MAPE {:.1}%",
+        s.mse, s.r_squared, s.mape
+    );
+    out
+}
+
+/// Renders the bottleneck report with categories, trends and hints.
+pub fn bottleneck_text(report: &BottleneckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bottleneck analysis:");
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "  [{:5.1}%] {} -> {} (trend {:?}, corr {:+.2})",
+            f.relative_importance,
+            f.counter,
+            f.category.label(),
+            f.trend,
+            f.correlation
+        );
+    }
+    if let Some(primary) = report.primary() {
+        let _ = writeln!(
+            out,
+            "primary bottleneck: {} ({})",
+            primary.category.label(),
+            primary.counter
+        );
+        let _ = writeln!(out, "suggested fix: {}", primary.category.hint());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_matmul, CollectOptions};
+    use crate::model::{BlackForestModel, ModelConfig};
+    use crate::predict::PredictionPoint;
+    use gpu_sim::GpuConfig;
+
+    fn model() -> BlackForestModel {
+        let gpu = GpuConfig::gtx580();
+        let sizes: Vec<usize> = (2..=13).map(|k| k * 16).collect();
+        let ds = collect_matmul(&gpu, &sizes, &CollectOptions::default()).unwrap();
+        BlackForestModel::fit(&ds, &ModelConfig::quick(41)).unwrap()
+    }
+
+    #[test]
+    fn importance_chart_lists_top_features() {
+        let m = model();
+        let chart = importance_chart(&m, 5);
+        assert!(chart.contains('%'));
+        assert!(chart.contains(&m.ranking[0]));
+        // 5 features + header.
+        assert_eq!(chart.lines().count(), 6);
+    }
+
+    #[test]
+    fn partial_dependence_chart_renders_grid() {
+        let m = model();
+        let chart = partial_dependence_chart(&m, "size", 16);
+        assert!(chart.contains("partial dependence"));
+        assert!(chart.contains('*'));
+        assert!(partial_dependence_chart(&m, "zzz", 4).contains("no such feature"));
+    }
+
+    #[test]
+    fn pca_table_mentions_components() {
+        let m = model();
+        let pca = m.pca.as_ref().unwrap();
+        let t = pca_table(pca, 3);
+        assert!(t.contains("PC1"));
+        assert!(t.contains('%'));
+    }
+
+    #[test]
+    fn prediction_table_includes_summary() {
+        let points = vec![
+            PredictionPoint { characteristics: vec![64.0], predicted_ms: 1.1, measured_ms: 1.0 },
+            PredictionPoint { characteristics: vec![128.0], predicted_ms: 4.0, measured_ms: 4.2 },
+        ];
+        let t = prediction_table(&points, "size");
+        assert!(t.contains("MSE"));
+        assert!(t.contains("MAPE"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn bottleneck_text_has_primary_and_hint() {
+        let m = model();
+        let report = crate::bottleneck::BottleneckReport::analyze(&m, 6);
+        let t = bottleneck_text(&report);
+        assert!(t.contains("bottleneck analysis"));
+        if report.primary().is_some() {
+            assert!(t.contains("suggested fix"));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The end-to-end toolchain (the paper's Figure 1): data collection →
+//! model building → analysis/prediction → reporting, behind one facade.
+
+use crate::bottleneck::BottleneckReport;
+use crate::collect::{self, CollectOptions};
+use crate::countermodel::ModelStrategy;
+use crate::dataset::Dataset;
+use crate::model::{BlackForestModel, ModelConfig};
+use crate::predict::ProblemScalingPredictor;
+use crate::report;
+use crate::Result;
+use bf_kernels::reduce::ReduceVariant;
+use gpu_sim::GpuConfig;
+
+/// The workloads the toolchain knows how to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// One of the CUDA SDK reduction kernels.
+    Reduce(ReduceVariant),
+    /// Tiled matrix multiply.
+    MatMul,
+    /// Needleman-Wunsch sequence alignment.
+    Nw,
+    /// 2D Jacobi stencil (extension workload beyond the paper's evaluation).
+    Stencil,
+}
+
+impl Workload {
+    /// Workload name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Reduce(v) => v.name().to_string(),
+            Workload::MatMul => "matrixMul".to_string(),
+            Workload::Nw => "needle".to_string(),
+            Workload::Stencil => "jacobi2d".to_string(),
+        }
+    }
+
+    /// The problem-characteristic columns this workload's sweeps produce.
+    pub fn characteristics(&self) -> Vec<&'static str> {
+        match self {
+            Workload::Reduce(_) => vec!["size", "threads"],
+            Workload::MatMul | Workload::Nw => vec!["size"],
+            Workload::Stencil => vec!["size", "sweeps"],
+        }
+    }
+}
+
+/// A complete analysis of one workload on one GPU.
+pub struct AnalysisReport {
+    /// Workload analysed.
+    pub workload: Workload,
+    /// GPU name.
+    pub gpu: String,
+    /// The collected dataset.
+    pub dataset: Dataset,
+    /// The fitted model (with importance, PCA, validation).
+    pub predictor: ProblemScalingPredictor,
+    /// The bottleneck findings.
+    pub bottlenecks: BottleneckReport,
+}
+
+impl AnalysisReport {
+    /// Borrow the fitted model.
+    pub fn model(&self) -> &BlackForestModel {
+        &self.predictor.model
+    }
+
+    /// Renders the full text report: validation, importance, partial
+    /// dependence of the top variable, PCA, bottlenecks.
+    pub fn render(&self) -> String {
+        let model = self.model();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== BlackForest analysis: {} on {} ==\n",
+            self.workload.name(),
+            self.gpu
+        ));
+        out.push_str(&format!(
+            "runs: {} (train {}, test {})\n",
+            self.dataset.len(),
+            model.train.len(),
+            model.test.len()
+        ));
+        out.push_str(&format!(
+            "forest: OOB MSE {:.4}, explained variance {:.1}%, test R^2 {:.3}\n\n",
+            model.validation.oob_mse,
+            model.validation.oob_r_squared * 100.0,
+            model.validation.r_squared
+        ));
+        out.push_str(&report::importance_chart(model, 10));
+        out.push('\n');
+        if let Some(top) = model.ranking.first() {
+            out.push_str(&report::partial_dependence_chart(model, top, 24));
+            out.push('\n');
+        }
+        if let Some(pca) = &model.pca {
+            out.push_str(&report::pca_table(pca, 4));
+            out.push('\n');
+        }
+        out.push_str(&report::bottleneck_text(&self.bottlenecks));
+        out
+    }
+}
+
+/// The toolchain facade.
+pub struct BlackForest {
+    /// Target GPU configuration.
+    pub gpu: GpuConfig,
+    /// Modeling configuration.
+    pub config: ModelConfig,
+    /// Collection options.
+    pub collect: CollectOptions,
+}
+
+impl BlackForest {
+    /// Creates a toolchain for a GPU with default settings.
+    pub fn new(gpu: GpuConfig) -> BlackForest {
+        BlackForest {
+            gpu,
+            config: ModelConfig::default(),
+            collect: CollectOptions::default(),
+        }
+    }
+
+    /// Overrides the model configuration (builder style).
+    pub fn with_config(mut self, config: ModelConfig) -> BlackForest {
+        self.config = config;
+        self
+    }
+
+    /// Collects a dataset for a workload over the given sweep of the
+    /// primary problem size (reduction also sweeps block sizes).
+    pub fn collect(&self, workload: Workload, sizes: &[usize]) -> Result<Dataset> {
+        match workload {
+            Workload::Reduce(v) => {
+                collect::collect_reduce(&self.gpu, v, sizes, &[64, 128, 256, 512], &self.collect)
+            }
+            Workload::MatMul => collect::collect_matmul(&self.gpu, sizes, &self.collect),
+            Workload::Nw => collect::collect_nw(&self.gpu, sizes, &self.collect),
+            Workload::Stencil => {
+                collect::collect_stencil(&self.gpu, sizes, &[1, 2, 4], &self.collect)
+            }
+        }
+    }
+
+    /// Runs the full pipeline: collect, fit, analyse.
+    pub fn analyze(&self, workload: Workload, sizes: &[usize]) -> Result<AnalysisReport> {
+        let dataset = self.collect(workload, sizes)?;
+        self.analyze_dataset(workload, dataset)
+    }
+
+    /// Runs modeling and analysis on an already-collected dataset.
+    pub fn analyze_dataset(&self, workload: Workload, dataset: Dataset) -> Result<AnalysisReport> {
+        let chars = workload.characteristics();
+        let predictor = ProblemScalingPredictor::fit(
+            &dataset,
+            &self.config,
+            &chars,
+            ModelStrategy::Auto,
+        )?;
+        let bottlenecks = BottleneckReport::analyze(&predictor.model, 10.min(dataset.n_features()));
+        Ok(AnalysisReport {
+            workload,
+            gpu: self.gpu.name.clone(),
+            dataset,
+            predictor,
+            bottlenecks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_matmul_analysis() {
+        let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(51));
+        let sizes: Vec<usize> = (2..=14).map(|k| k * 16).collect();
+        let report = bf.analyze(Workload::MatMul, &sizes).unwrap();
+        assert_eq!(report.workload, Workload::MatMul);
+        assert!(!report.bottlenecks.findings.is_empty());
+        let text = report.render();
+        assert!(text.contains("BlackForest analysis"));
+        assert!(text.contains("variable importance"));
+        assert!(text.contains("bottleneck analysis"));
+    }
+
+    #[test]
+    fn end_to_end_reduce_analysis() {
+        let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(52));
+        let sizes: Vec<usize> = (12..=16).map(|e| 1usize << e).collect();
+        let report = bf
+            .analyze(Workload::Reduce(ReduceVariant::Reduce1), &sizes)
+            .unwrap();
+        assert!(report.dataset.len() >= 20); // sizes x 4 block sizes
+        assert!(report.model().validation.oob_r_squared > 0.0);
+    }
+
+    #[test]
+    fn workload_names_and_characteristics() {
+        assert_eq!(Workload::MatMul.name(), "matrixMul");
+        assert_eq!(Workload::Nw.characteristics(), vec!["size"]);
+        assert_eq!(
+            Workload::Reduce(ReduceVariant::Reduce6).characteristics(),
+            vec!["size", "threads"]
+        );
+        assert_eq!(Workload::Stencil.characteristics(), vec!["size", "sweeps"]);
+    }
+
+    #[test]
+    fn end_to_end_stencil_analysis() {
+        let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(54));
+        let sizes: Vec<usize> = (2..=8).map(|k| k * 32).collect();
+        let report = bf.analyze(Workload::Stencil, &sizes).unwrap();
+        assert!(report.dataset.len() >= 20); // sizes x 3 sweep counts
+        assert!(report.model().validation.oob_r_squared > 0.0);
+        // Bandwidth-bound kernel: a memory counter should lead.
+        let top = &report.bottlenecks.findings[0];
+        assert!(
+            top.counter != "ipc",
+            "unexpected compute-bound profile: {:?}",
+            report.model().ranking
+        );
+    }
+
+    #[test]
+    fn predictor_predicts_unseen_size() {
+        let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(53));
+        let sizes: Vec<usize> = (2..=14).map(|k| k * 16).collect();
+        let report = bf.analyze(Workload::MatMul, &sizes).unwrap();
+        // 176 is inside the sweep range but need not be a training point.
+        let t = report.predictor.predict(&[176.0]).unwrap();
+        assert!(t > 0.0 && t.is_finite());
+    }
+}

@@ -1,0 +1,434 @@
+//! Random forests: bagged ensembles of unpruned CART trees.
+//!
+//! Construction follows the paper's algorithm verbatim: (1) draw `n_trees`
+//! bootstrap samples, (2) grow an unpruned regression tree on each with
+//! `mtry` random candidate features per node, (3) predict new data by
+//! averaging the trees. Out-of-bag (OOB) samples provide an unbiased error
+//! estimate and feed the permutation-importance calculation.
+
+use crate::importance::VariableImportance;
+use crate::tree::{rows_to_columns, RegressionTree, TreeParams};
+use crate::{ForestError, Result};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters. Defaults mirror R's `randomForest` for regression:
+/// 500 trees, `mtry = max(p/3, 1)`, minimum node size 5.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees `n_t`.
+    pub n_trees: usize,
+    /// Candidate features per split; `None` selects `max(p/3, 1)`.
+    pub mtry: Option<usize>,
+    /// Minimum samples per terminal node.
+    pub min_node_size: usize,
+    /// Optional depth cap (default: unbounded, as RF prescribes).
+    pub max_depth: usize,
+    /// RNG seed for reproducible forests.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 500,
+            mtry: None,
+            min_node_size: 5,
+            max_depth: usize::MAX,
+            seed: 0xB1AC_F05E,
+        }
+    }
+}
+
+impl ForestParams {
+    /// Returns a copy with the given seed (builder-style convenience).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given tree count.
+    pub fn with_trees(mut self, n: usize) -> Self {
+        self.n_trees = n;
+        self
+    }
+
+    /// Returns a copy with an explicit `mtry`.
+    pub fn with_mtry(mut self, mtry: usize) -> Self {
+        self.mtry = Some(mtry);
+        self
+    }
+}
+
+/// A fitted random-forest regressor, retaining the training data (column
+/// major) so OOB statistics, importance, and partial dependence can be
+/// computed after the fact — the same data the R object keeps around.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    pub(crate) trees: Vec<RegressionTree>,
+    /// For each tree, the sorted list of OOB sample indices.
+    pub(crate) oob_indices: Vec<Vec<u32>>,
+    /// Column-major copy of the training features.
+    pub(crate) columns: Vec<Vec<f64>>,
+    /// Training response.
+    pub(crate) y: Vec<f64>,
+    pub(crate) params: ForestParams,
+    pub(crate) n_features: usize,
+    /// Seeds used per tree (needed to reproduce importance permutations).
+    pub(crate) tree_seeds: Vec<u64>,
+}
+
+impl RandomForest {
+    /// Fits a forest on row-major observations `x` and response `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &ForestParams) -> Result<RandomForest> {
+        if x.is_empty() || y.is_empty() {
+            return Err(ForestError::BadTrainingData("empty training set".into()));
+        }
+        if x.len() != y.len() {
+            return Err(ForestError::BadTrainingData(format!(
+                "{} feature rows but {} responses",
+                x.len(),
+                y.len()
+            )));
+        }
+        let p = x[0].len();
+        if p == 0 {
+            return Err(ForestError::BadTrainingData("zero features".into()));
+        }
+        if x.iter().any(|r| r.len() != p) {
+            return Err(ForestError::BadTrainingData("ragged feature rows".into()));
+        }
+        if params.n_trees == 0 {
+            return Err(ForestError::BadParams("n_trees must be positive".into()));
+        }
+        if params.min_node_size == 0 {
+            return Err(ForestError::BadParams("min_node_size must be positive".into()));
+        }
+        let n = y.len();
+        let columns = rows_to_columns(x);
+        let mtry = params.mtry.unwrap_or_else(|| (p / 3).max(1)).min(p);
+        let tree_params = TreeParams {
+            min_node_size: params.min_node_size,
+            mtry,
+            max_depth: params.max_depth,
+        };
+        // Derive one independent seed per tree from the master seed so the
+        // parallel build is deterministic regardless of scheduling.
+        let mut master = StdRng::seed_from_u64(params.seed);
+        let tree_seeds: Vec<u64> = (0..params.n_trees).map(|_| master.random()).collect();
+
+        let built: Vec<(RegressionTree, Vec<u32>)> = tree_seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Bootstrap sample of size n, with replacement.
+                let mut in_bag = vec![false; n];
+                let mut idx = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let i = rng.random_range(0..n);
+                    idx.push(i as u32);
+                    in_bag[i] = true;
+                }
+                let tree =
+                    RegressionTree::fit_on_indices(&columns, y, &idx, &tree_params, &mut rng);
+                let oob: Vec<u32> = (0..n as u32).filter(|&i| !in_bag[i as usize]).collect();
+                (tree, oob)
+            })
+            .collect();
+
+        let (trees, oob_indices): (Vec<_>, Vec<_>) = built.into_iter().unzip();
+        Ok(RandomForest {
+            trees,
+            oob_indices,
+            columns,
+            y: y.to_vec(),
+            params: ForestParams {
+                mtry: Some(mtry),
+                ..*params
+            },
+            n_features: p,
+            tree_seeds,
+        })
+    }
+
+    /// Predicts the response for one feature row (average over all trees).
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if row.len() != self.n_features {
+            return Err(ForestError::BadQuery {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Out-of-bag prediction for every training sample. Samples that were
+    /// in-bag for every tree (rare beyond ~20 trees) fall back to the full
+    /// forest prediction.
+    pub fn oob_predictions(&self) -> Vec<f64> {
+        let n = self.y.len();
+        let mut sums = vec![0.0; n];
+        let mut counts = vec![0u32; n];
+        for (tree, oob) in self.trees.iter().zip(self.oob_indices.iter()) {
+            for &i in oob {
+                sums[i as usize] += tree.predict_columns(&self.columns, i as usize, None);
+                counts[i as usize] += 1;
+            }
+        }
+        (0..n)
+            .map(|i| {
+                if counts[i] > 0 {
+                    sums[i] / counts[i] as f64
+                } else {
+                    let row: Vec<f64> = self.columns.iter().map(|c| c[i]).collect();
+                    self.predict_row(&row).unwrap_or(0.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Out-of-bag mean squared error — the forest's honest generalisation
+    /// error estimate (the paper's `MSE_OOB`).
+    pub fn oob_mse(&self) -> f64 {
+        let preds = self.oob_predictions();
+        bf_mse(&preds, &self.y)
+    }
+
+    /// Percentage of response variance explained, computed from OOB error as
+    /// R's `randomForest` does: `1 - MSE_OOB / var(y)`.
+    pub fn oob_r_squared(&self) -> f64 {
+        let var = population_variance(&self.y);
+        if var == 0.0 {
+            return if self.oob_mse() == 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - self.oob_mse() / var
+    }
+
+    /// Permutation variable importance (see [`crate::importance`]).
+    pub fn permutation_importance(&self) -> VariableImportance {
+        VariableImportance::compute(self)
+    }
+
+    /// Impurity-based importance: total SSE decrease credited to each
+    /// feature, summed over all trees, normalised to sum to 1. A cheap
+    /// cross-check on the permutation measure.
+    pub fn impurity_importance(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (t, &v) in total.iter_mut().zip(tree.impurity_importance.iter()) {
+                *t += v;
+            }
+        }
+        let s: f64 = total.iter().sum();
+        if s > 0.0 {
+            for t in &mut total {
+                *t /= s;
+            }
+        }
+        total
+    }
+
+    /// Number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features the forest was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The effective parameters used in the fit (with `mtry` resolved).
+    pub fn params(&self) -> &ForestParams {
+        &self.params
+    }
+
+    /// Borrow the training response.
+    pub fn training_response(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Borrow the column-major training features.
+    pub fn training_columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+}
+
+pub(crate) fn bf_mse(pred: &[f64], obs: &[f64]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(obs.iter())
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+pub(crate) fn population_variance(y: &[f64]) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    let m = y.iter().sum::<f64>() / y.len() as f64;
+    y.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / y.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_linear(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 2*x0 + noiseless; x1 is shuffled noise.
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, ((i * 31) % 17) as f64])
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| 2.0 * i as f64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fit_predict_recovers_monotone_signal() {
+        let (x, y) = make_linear(80);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(100).with_seed(1))
+            .unwrap();
+        let p = f.predict_row(&[40.0, 3.0]).unwrap();
+        assert!((p - 80.0).abs() < 12.0, "prediction {p} too far from 80");
+    }
+
+    #[test]
+    fn oob_r_squared_high_on_learnable_signal() {
+        let (x, y) = make_linear(100);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(200).with_seed(2))
+            .unwrap();
+        assert!(f.oob_r_squared() > 0.9, "r2 = {}", f.oob_r_squared());
+    }
+
+    #[test]
+    fn oob_r_squared_near_zero_on_pure_noise() {
+        // Response unrelated to features: OOB R² must not be meaningfully
+        // positive.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 2654435761usize) % 97) as f64).collect();
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(100).with_seed(3))
+            .unwrap();
+        assert!(f.oob_r_squared() < 0.3, "r2 = {}", f.oob_r_squared());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = make_linear(50);
+        let p = ForestParams::default().with_trees(50).with_seed(42);
+        let f1 = RandomForest::fit(&x, &y, &p).unwrap();
+        let f2 = RandomForest::fit(&x, &y, &p).unwrap();
+        assert_eq!(
+            f1.predict_row(&[25.0, 1.0]).unwrap(),
+            f2.predict_row(&[25.0, 1.0]).unwrap()
+        );
+        assert_eq!(f1.oob_mse(), f2.oob_mse());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = make_linear(50);
+        let f1 = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(50).with_seed(1))
+            .unwrap();
+        let f2 = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(50).with_seed(2))
+            .unwrap();
+        // Same data, same hyperparameters, different bootstraps: OOB error
+        // will almost surely differ.
+        assert_ne!(f1.oob_mse(), f2.oob_mse());
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_oob() {
+        let (x, y) = make_linear(120);
+        let many = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(200).with_seed(5))
+            .unwrap();
+        let one = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(1).with_seed(5))
+            .unwrap();
+        assert!(many.oob_mse() <= one.oob_mse() * 1.05);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_input() {
+        assert!(RandomForest::fit(&[], &[], &ForestParams::default()).is_err());
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(RandomForest::fit(&x, &[1.0], &ForestParams::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let x = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(RandomForest::fit(&x, &[1.0, 2.0], &ForestParams::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_trees_or_zero_node_size() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![1.0, 2.0];
+        let p = ForestParams { n_trees: 0, ..ForestParams::default() };
+        assert!(RandomForest::fit(&x, &y, &p).is_err());
+        let p = ForestParams { min_node_size: 0, ..ForestParams::default() };
+        assert!(RandomForest::fit(&x, &y, &p).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let (x, y) = make_linear(30);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(10)).unwrap();
+        assert!(matches!(
+            f.predict_row(&[1.0]),
+            Err(ForestError::BadQuery { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn mtry_defaults_to_third_of_features() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| (0..9).map(|j| ((i * (j + 1)) % 13) as f64).collect())
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(5)).unwrap();
+        assert_eq!(f.params().mtry, Some(3));
+    }
+
+    #[test]
+    fn oob_predictions_cover_every_sample() {
+        let (x, y) = make_linear(60);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(100).with_seed(8))
+            .unwrap();
+        let preds = f.oob_predictions();
+        assert_eq!(preds.len(), 60);
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn impurity_importance_sums_to_one_and_ranks_signal_first() {
+        let (x, y) = make_linear(100);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(60).with_seed(9))
+            .unwrap();
+        let imp = f.impurity_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn predictions_bounded_by_training_response() {
+        let (x, y) = make_linear(60);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(50).with_seed(10))
+            .unwrap();
+        let (lo, hi) = (0.0, 118.0);
+        for q in [-50.0, 0.0, 30.0, 59.0, 500.0] {
+            let p = f.predict_row(&[q, 0.0]).unwrap();
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+}

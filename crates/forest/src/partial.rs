@@ -1,0 +1,246 @@
+//! Partial dependence: the marginal effect of one predictor on the forest's
+//! average prediction.
+//!
+//! For a grid of values `v` of feature `j`, the partial dependence is
+//! `PD_j(v) = mean_i f(x_i with x_ij := v)` over the training set. The paper
+//! reads these plots qualitatively: a monotonic decrease means the counter is
+//! *negatively* correlated with execution time over its range (e.g.
+//! `shared_replay_overhead` for `reduce1`, Figure 2b), a monotonic increase a
+//! positive correlation (e.g. `gst_request` for `reduce6`, Figure 4b).
+
+use crate::forest::RandomForest;
+use serde::{Deserialize, Serialize};
+
+/// A computed partial-dependence curve for one feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartialDependence {
+    /// Feature index the curve describes.
+    pub feature: usize,
+    /// Grid of feature values (ascending).
+    pub grid: Vec<f64>,
+    /// Average forest prediction at each grid value.
+    pub response: Vec<f64>,
+}
+
+/// Qualitative trend classification of a partial-dependence curve, used by
+/// the bottleneck analyser to decide whether a counter helps or hurts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trend {
+    /// Response increases with the feature over (almost) the whole range.
+    Increasing,
+    /// Response decreases with the feature over (almost) the whole range.
+    Decreasing,
+    /// No dominant monotone direction.
+    Mixed,
+    /// Response is essentially flat.
+    Flat,
+}
+
+impl PartialDependence {
+    /// Computes the curve for `feature` on an evenly spaced grid of
+    /// `grid_size` points spanning the feature's training range.
+    pub fn compute(forest: &RandomForest, feature: usize, grid_size: usize) -> PartialDependence {
+        let col = &forest.training_columns()[feature];
+        let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let grid: Vec<f64> = if grid_size <= 1 || lo == hi {
+            vec![lo]
+        } else {
+            (0..grid_size)
+                .map(|k| lo + (hi - lo) * k as f64 / (grid_size - 1) as f64)
+                .collect()
+        };
+        let response = grid
+            .iter()
+            .map(|&v| Self::average_prediction(forest, feature, v))
+            .collect();
+        PartialDependence {
+            feature,
+            grid,
+            response,
+        }
+    }
+
+    /// Computes the curve on the feature's observed unique values (closer to
+    /// R's `partialPlot` when training points are sparse).
+    pub fn compute_at_observed(forest: &RandomForest, feature: usize) -> PartialDependence {
+        let mut grid: Vec<f64> = forest.training_columns()[feature].clone();
+        grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        grid.dedup();
+        let response = grid
+            .iter()
+            .map(|&v| Self::average_prediction(forest, feature, v))
+            .collect();
+        PartialDependence {
+            feature,
+            grid,
+            response,
+        }
+    }
+
+    fn average_prediction(forest: &RandomForest, feature: usize, value: f64) -> f64 {
+        let n = forest.training_response().len();
+        let mut total = 0.0;
+        for i in 0..n {
+            for tree in &forest.trees {
+                total += tree.predict_columns(forest.training_columns(), i, Some((feature, value)));
+            }
+        }
+        total / (n as f64 * forest.trees.len() as f64)
+    }
+
+    /// Classifies the curve's qualitative trend.
+    ///
+    /// The curve is `Flat` when its total span is below 1% of the mean
+    /// response magnitude; otherwise the balance of up-steps vs down-steps
+    /// decides between `Increasing`, `Decreasing`, and `Mixed`.
+    pub fn trend(&self) -> Trend {
+        if self.response.len() < 2 {
+            return Trend::Flat;
+        }
+        let max = self.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.response.iter().cloned().fold(f64::INFINITY, f64::min);
+        let scale = self.response.iter().map(|v| v.abs()).sum::<f64>() / self.response.len() as f64;
+        if max - min <= 0.01 * scale.max(1e-300) {
+            return Trend::Flat;
+        }
+        let mut up = 0.0f64;
+        let mut down = 0.0f64;
+        for w in self.response.windows(2) {
+            let d = w[1] - w[0];
+            if d > 0.0 {
+                up += d;
+            } else {
+                down -= d;
+            }
+        }
+        let total = up + down;
+        if up / total >= 0.85 {
+            Trend::Increasing
+        } else if down / total >= 0.85 {
+            Trend::Decreasing
+        } else {
+            Trend::Mixed
+        }
+    }
+
+    /// Pearson correlation between grid and response — a scalar summary of
+    /// the direction and strength of the marginal relationship.
+    pub fn correlation(&self) -> f64 {
+        pearson(&self.grid, &self.response)
+    }
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ForestParams, RandomForest};
+
+    fn fit_monotone(increasing: bool) -> RandomForest {
+        let x: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![i as f64, ((i * 13) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = (0..80)
+            .map(|i| {
+                if increasing {
+                    3.0 * i as f64
+                } else {
+                    240.0 - 3.0 * i as f64
+                }
+            })
+            .collect();
+        RandomForest::fit(&x, &y, &ForestParams::default().with_trees(60).with_seed(21)).unwrap()
+    }
+
+    #[test]
+    fn increasing_signal_yields_increasing_trend() {
+        let f = fit_monotone(true);
+        let pd = PartialDependence::compute(&f, 0, 20);
+        assert_eq!(pd.trend(), Trend::Increasing);
+        assert!(pd.correlation() > 0.95);
+    }
+
+    #[test]
+    fn decreasing_signal_yields_decreasing_trend() {
+        let f = fit_monotone(false);
+        let pd = PartialDependence::compute(&f, 0, 20);
+        assert_eq!(pd.trend(), Trend::Decreasing);
+        assert!(pd.correlation() < -0.95);
+    }
+
+    #[test]
+    fn irrelevant_feature_is_flat_or_weak() {
+        let f = fit_monotone(true);
+        let pd = PartialDependence::compute(&f, 1, 10);
+        // Feature 1 carries no signal; the curve's span should be tiny
+        // compared to the response range (0..237).
+        let span = pd.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - pd.response.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span < 30.0, "span {span}");
+    }
+
+    #[test]
+    fn grid_spans_training_range() {
+        let f = fit_monotone(true);
+        let pd = PartialDependence::compute(&f, 0, 11);
+        assert_eq!(pd.grid.len(), 11);
+        assert!((pd.grid[0] - 0.0).abs() < 1e-12);
+        assert!((pd.grid[10] - 79.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_grid_dedups_and_sorts() {
+        let x = vec![vec![3.0], vec![1.0], vec![3.0], vec![2.0], vec![1.0], vec![2.0],
+                     vec![3.0], vec![1.0], vec![2.0], vec![1.0], vec![3.0], vec![2.0]];
+        let y = vec![3.0, 1.0, 3.0, 2.0, 1.0, 2.0, 3.0, 1.0, 2.0, 1.0, 3.0, 2.0];
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(30).with_seed(22).with_mtry(1),
+        )
+        .unwrap();
+        let pd = PartialDependence::compute_at_observed(&f, 0);
+        assert_eq!(pd.grid, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn constant_feature_gives_single_point_flat() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(20).with_seed(23))
+            .unwrap();
+        let pd = PartialDependence::compute(&f, 1, 10);
+        assert_eq!(pd.grid.len(), 1);
+        assert_eq!(pd.trend(), Trend::Flat);
+    }
+
+    #[test]
+    fn response_stays_within_training_bounds() {
+        let f = fit_monotone(true);
+        let pd = PartialDependence::compute(&f, 0, 25);
+        for &r in &pd.response {
+            assert!((0.0..=237.0 + 1e-9).contains(&r));
+        }
+    }
+}

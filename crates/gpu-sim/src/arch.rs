@@ -1,0 +1,352 @@
+//! GPU architecture descriptors.
+//!
+//! Two generations are modelled, matching the paper's experimental setup:
+//! Fermi (GTX480/GTX580, compute capability 2.0) and Kepler (Tesla K20m,
+//! CC 3.5). The fields of [`GpuConfig`] are a superset of the paper's Table 2
+//! machine metrics (`wsched`, `freq`, `smp`, `rco`, `mbw`, registers, L2
+//! size), which [`GpuConfig::machine_metrics`] exposes verbatim for the
+//! hardware-scaling experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU micro-architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuArchitecture {
+    /// Compute capability 2.x (GTX480/GTX580 era). Global loads are cached
+    /// in L1 (128-byte lines).
+    Fermi,
+    /// Compute capability 3.x (K20m era). Global loads bypass L1 and are
+    /// serviced in 32-byte sectors from L2.
+    Kepler,
+}
+
+/// A machine metric row of the paper's Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineMetric {
+    /// Short metric name (`wsched`, `freq`, ...), as used in the paper.
+    pub name: &'static str,
+    /// Human-readable meaning.
+    pub meaning: &'static str,
+    /// Value on this GPU.
+    pub value: f64,
+}
+
+/// Full configuration of a simulated GPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Marketing name, e.g. "GTX580".
+    pub name: String,
+    /// Architecture generation.
+    pub arch: GpuArchitecture,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// CUDA cores per SM (`rco` in Table 2).
+    pub cores_per_sm: usize,
+    /// Warp schedulers per SM (`wsched`).
+    pub warp_schedulers: usize,
+    /// Core clock in GHz (`freq`).
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s (`mbw`).
+    pub mem_bandwidth_gbps: f64,
+    /// Warp width in threads (32 on all NVIDIA parts).
+    pub warp_size: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Maximum registers addressable per thread (Table 2's register row).
+    pub max_registers_per_thread: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: usize,
+    /// Number of shared-memory banks.
+    pub shared_banks: usize,
+    /// Shared-memory bank width in bytes.
+    pub bank_width: usize,
+    /// L1 data cache size in bytes (per SM).
+    pub l1_size: usize,
+    /// L1 line size in bytes.
+    pub l1_line: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// Whether global loads are cached in L1 (true on Fermi, false on
+    /// Kepler where L1 is reserved for local/register spills).
+    pub l1_caches_globals: bool,
+    /// Total L2 size in bytes (`l2c` in Table 2, there reported in KB).
+    pub l2_size: usize,
+    /// L2 line size in bytes.
+    pub l2_line: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Arithmetic (ALU) dependent-issue latency in cycles.
+    pub alu_latency: u64,
+    /// Special-function-unit latency in cycles.
+    pub sfu_latency: u64,
+    /// Shared-memory access latency in cycles.
+    pub smem_latency: u64,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Warp-instructions per cycle the ALU pipeline sustains per SM
+    /// (= cores_per_sm / warp_size, precomputed for clarity).
+    pub alu_throughput: f64,
+    /// Memory (LDST) instructions issued per cycle per SM.
+    pub ldst_units: f64,
+    /// SFU instructions per cycle per SM.
+    pub sfu_throughput: f64,
+}
+
+impl GpuConfig {
+    /// The GTX580 (Fermi GF110) — the paper's training GPU.
+    pub fn gtx580() -> GpuConfig {
+        GpuConfig {
+            name: "GTX580".into(),
+            arch: GpuArchitecture::Fermi,
+            num_sms: 16,
+            cores_per_sm: 32,
+            warp_schedulers: 2,
+            clock_ghz: 1.544,
+            mem_bandwidth_gbps: 192.4,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            registers_per_sm: 32768,
+            max_registers_per_thread: 63,
+            shared_mem_per_sm: 48 * 1024,
+            shared_banks: 32,
+            bank_width: 4,
+            l1_size: 16 * 1024,
+            l1_line: 128,
+            l1_assoc: 4,
+            l1_caches_globals: true,
+            l2_size: 768 * 1024,
+            // The L2 is modelled sectored at DRAM-transaction granularity
+            // (32B) so miss traffic equals DRAM traffic exactly.
+            l2_line: 32,
+            l2_assoc: 16,
+            alu_latency: 18,
+            sfu_latency: 30,
+            smem_latency: 26,
+            l1_latency: 40,
+            l2_latency: 180,
+            dram_latency: 440,
+            alu_throughput: 1.0,
+            ldst_units: 0.5,
+            sfu_throughput: 0.125,
+        }
+    }
+
+    /// The GTX480 (Fermi GF100) — the card in the paper's Table 2.
+    pub fn gtx480() -> GpuConfig {
+        GpuConfig {
+            name: "GTX480".into(),
+            num_sms: 15,
+            clock_ghz: 1.4,
+            mem_bandwidth_gbps: 177.4,
+            ..GpuConfig::gtx580()
+        }
+    }
+
+    /// The Tesla K20m (Kepler GK110) — the paper's hardware-scaling target.
+    pub fn k20m() -> GpuConfig {
+        GpuConfig {
+            name: "K20m".into(),
+            arch: GpuArchitecture::Kepler,
+            num_sms: 13,
+            cores_per_sm: 192,
+            warp_schedulers: 4,
+            clock_ghz: 0.71,
+            mem_bandwidth_gbps: 208.0,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            registers_per_sm: 65536,
+            max_registers_per_thread: 255,
+            shared_mem_per_sm: 48 * 1024,
+            shared_banks: 32,
+            bank_width: 4,
+            l1_size: 16 * 1024,
+            l1_line: 128,
+            l1_assoc: 4,
+            l1_caches_globals: false,
+            l2_size: 1280 * 1024,
+            l2_line: 32,
+            l2_assoc: 16,
+            alu_latency: 10,
+            sfu_latency: 20,
+            smem_latency: 24,
+            l1_latency: 35,
+            l2_latency: 200,
+            dram_latency: 460,
+            alu_throughput: 4.0,
+            ldst_units: 1.0,
+            sfu_throughput: 1.0,
+        }
+    }
+
+    /// The GTX680 (Kepler GK104) — a second Kepler part with the *same*
+    /// architecture as the K20m but different resource ratios (fewer SMX,
+    /// higher clock, smaller L2), for "sufficiently similar hardware"
+    /// scaling experiments within one generation (§6.2's easy case).
+    pub fn gtx680() -> GpuConfig {
+        GpuConfig {
+            name: "GTX680".into(),
+            num_sms: 8,
+            clock_ghz: 1.006,
+            mem_bandwidth_gbps: 192.2,
+            l2_size: 512 * 1024,
+            ..GpuConfig::k20m()
+        }
+    }
+
+    /// All built-in presets.
+    pub fn presets() -> Vec<GpuConfig> {
+        vec![
+            GpuConfig::gtx480(),
+            GpuConfig::gtx580(),
+            GpuConfig::gtx680(),
+            GpuConfig::k20m(),
+        ]
+    }
+
+    /// Looks up a preset by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<GpuConfig> {
+        GpuConfig::presets()
+            .into_iter()
+            .find(|g| g.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Peak DRAM bandwidth in bytes per core-clock cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        // GB/s / (Gcycles/s) = bytes/cycle.
+        self.mem_bandwidth_gbps / self.clock_ghz
+    }
+
+    /// The machine-characteristic rows of the paper's Table 2 for this GPU,
+    /// injected as extra predictors in the hardware-scaling experiments.
+    pub fn machine_metrics(&self) -> Vec<MachineMetric> {
+        vec![
+            MachineMetric {
+                name: "wsched",
+                meaning: "number of warp schedulers",
+                value: self.warp_schedulers as f64,
+            },
+            MachineMetric {
+                name: "freq",
+                meaning: "clock rate (GHz)",
+                value: self.clock_ghz,
+            },
+            MachineMetric {
+                name: "smp",
+                meaning: "number of MPs",
+                value: self.num_sms as f64,
+            },
+            MachineMetric {
+                name: "rco",
+                meaning: "cores per MP",
+                value: self.cores_per_sm as f64,
+            },
+            MachineMetric {
+                name: "mbw",
+                meaning: "memory bandwidth (GB/s)",
+                value: self.mem_bandwidth_gbps,
+            },
+            MachineMetric {
+                name: "l1c",
+                meaning: "registers",
+                value: self.max_registers_per_thread as f64,
+            },
+            MachineMetric {
+                name: "l2c",
+                meaning: "L2 size (KB)",
+                value: (self.l2_size / 1024) as f64,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper_gtx480() {
+        let g = GpuConfig::gtx480();
+        let m: std::collections::HashMap<_, _> =
+            g.machine_metrics().into_iter().map(|m| (m.name, m.value)).collect();
+        assert_eq!(m["wsched"], 2.0);
+        assert!((m["freq"] - 1.4).abs() < 1e-12);
+        assert_eq!(m["smp"], 15.0);
+        assert_eq!(m["rco"], 32.0);
+        assert!((m["mbw"] - 177.4).abs() < 1e-12);
+        assert_eq!(m["l1c"], 63.0);
+        assert_eq!(m["l2c"], 768.0);
+    }
+
+    #[test]
+    fn table2_values_match_paper_k20m() {
+        let g = GpuConfig::k20m();
+        let m: std::collections::HashMap<_, _> =
+            g.machine_metrics().into_iter().map(|m| (m.name, m.value)).collect();
+        assert_eq!(m["wsched"], 4.0);
+        assert!((m["freq"] - 0.71).abs() < 1e-12);
+        assert_eq!(m["smp"], 13.0);
+        assert_eq!(m["rco"], 192.0);
+        assert!((m["mbw"] - 208.0).abs() < 1e-12);
+        assert_eq!(m["l1c"], 255.0);
+        assert_eq!(m["l2c"], 1280.0);
+    }
+
+    #[test]
+    fn fermi_caches_globals_kepler_does_not() {
+        assert!(GpuConfig::gtx580().l1_caches_globals);
+        assert!(!GpuConfig::k20m().l1_caches_globals);
+        assert!(!GpuConfig::gtx680().l1_caches_globals);
+    }
+
+    #[test]
+    fn by_name_finds_all_presets_case_insensitively() {
+        for g in GpuConfig::presets() {
+            let found = GpuConfig::by_name(&g.name.to_lowercase()).unwrap();
+            assert_eq!(found.name, g.name);
+        }
+        assert!(GpuConfig::by_name("rtx9090").is_none());
+    }
+
+    #[test]
+    fn gtx680_is_kepler_with_smaller_l2_than_k20m() {
+        let g = GpuConfig::gtx680();
+        assert_eq!(g.arch, GpuArchitecture::Kepler);
+        assert!(g.l2_size < GpuConfig::k20m().l2_size);
+        assert!(g.clock_ghz > GpuConfig::k20m().clock_ghz);
+    }
+
+    #[test]
+    fn kepler_has_bigger_l2() {
+        assert!(GpuConfig::k20m().l2_size > GpuConfig::gtx580().l2_size);
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_bandwidth_over_clock() {
+        let g = GpuConfig::gtx580();
+        assert!((g.bytes_per_cycle() - 192.4 / 1.544).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alu_throughput_consistent_with_core_counts() {
+        let fermi = GpuConfig::gtx580();
+        assert!((fermi.alu_throughput - fermi.cores_per_sm as f64 / 32.0).abs() < 1e-12);
+        // Kepler: 192 cores / 32 lanes = 6, but only 4 schedulers can issue,
+        // so effective ALU issue throughput is capped at 4.
+        let kepler = GpuConfig::k20m();
+        assert!(kepler.alu_throughput <= kepler.cores_per_sm as f64 / 32.0);
+    }
+}

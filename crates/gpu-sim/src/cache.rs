@@ -1,0 +1,222 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Used for both the per-SM L1 (write-evict: stores bypass and invalidate,
+//! matching Fermi's write-through-to-L2 policy for globals) and the shared
+//! L2 slice. The model is a plain tag store — no data is held, because the
+//! simulator only needs hit/miss streams for the counter and latency models.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Access {
+    /// Tag present.
+    Hit,
+    /// Tag absent; line (re)filled.
+    Miss,
+}
+
+/// A set-associative LRU tag store.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<CacheSet>,
+    line: u64,
+    set_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    /// Tags ordered most-recently-used first.
+    tags: Vec<u64>,
+    ways: usize,
+}
+
+impl Cache {
+    /// Builds a cache of `size` bytes with `line`-byte lines and `assoc`
+    /// ways. Size is rounded down to a power-of-two set count (at least 1).
+    pub fn new(size: usize, line: usize, assoc: usize) -> Cache {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1, "need at least one way");
+        let num_lines = (size / line).max(1);
+        // Round the set count *down* to a power of two so indexing is a mask.
+        let raw_sets = (num_lines / assoc).max(1);
+        let num_sets = 1usize << (usize::BITS - 1 - raw_sets.leading_zeros());
+        Cache {
+            sets: (0..num_sets)
+                .map(|_| CacheSet {
+                    tags: Vec::with_capacity(assoc),
+                    ways: assoc,
+                })
+                .collect(),
+            line: line as u64,
+            set_shift: line.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs a read access at a byte address; allocates on miss.
+    pub fn read(&mut self, addr: u64) -> Access {
+        let tag = addr / self.line;
+        let set = ((addr >> self.set_shift) & self.set_mask) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.tags.iter().position(|&t| t == tag) {
+            // Move to MRU.
+            let t = s.tags.remove(pos);
+            s.tags.insert(0, t);
+            self.hits += 1;
+            Access::Hit
+        } else {
+            s.tags.insert(0, tag);
+            if s.tags.len() > s.ways {
+                s.tags.pop();
+            }
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Performs a write access. Policy: write-through without allocate, and
+    /// the written line is *evicted* if present (Fermi L1 global-store
+    /// semantics), keeping subsequent reads honest.
+    pub fn write_evict(&mut self, addr: u64) {
+        let tag = addr / self.line;
+        let set = ((addr >> self.set_shift) & self.set_mask) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.tags.iter().position(|&t| t == tag) {
+            s.tags.remove(pos);
+        }
+    }
+
+    /// Write access that allocates (used for the L2, which caches stores).
+    pub fn write_allocate(&mut self, addr: u64) -> Access {
+        self.read(addr)
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.tags.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of sets (exposed for tests).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(16 * 1024, 128, 4);
+        assert_eq!(c.read(0x1000), Access::Miss);
+        assert_eq!(c.read(0x1000), Access::Hit);
+        assert_eq!(c.read(0x1004), Access::Hit); // same line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_miss_independently() {
+        let mut c = Cache::new(16 * 1024, 128, 4);
+        assert_eq!(c.read(0), Access::Miss);
+        assert_eq!(c.read(128), Access::Miss);
+        assert_eq!(c.read(0), Access::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // Direct construction of a tiny cache: 4 lines, 2 ways, 2 sets.
+        let mut c = Cache::new(512, 128, 2);
+        assert_eq!(c.num_sets(), 2);
+        // Three lines mapping to the same set (stride = line * num_sets).
+        let stride = 128 * 2;
+        assert_eq!(c.read(0), Access::Miss);
+        assert_eq!(c.read(stride), Access::Miss);
+        assert_eq!(c.read(2 * stride), Access::Miss); // evicts addr 0
+        assert_eq!(c.read(0), Access::Miss); // was evicted
+        assert_eq!(c.read(2 * stride), Access::Hit);
+    }
+
+    #[test]
+    fn mru_promotion_protects_hot_line() {
+        let mut c = Cache::new(512, 128, 2);
+        let stride = 128 * 2;
+        c.read(0);
+        c.read(stride);
+        c.read(0); // promote
+        c.read(2 * stride); // evicts `stride`, not 0
+        assert_eq!(c.read(0), Access::Hit);
+        assert_eq!(c.read(stride), Access::Miss);
+    }
+
+    #[test]
+    fn write_evict_removes_line() {
+        let mut c = Cache::new(16 * 1024, 128, 4);
+        c.read(0x2000);
+        c.write_evict(0x2000);
+        assert_eq!(c.read(0x2000), Access::Miss);
+    }
+
+    #[test]
+    fn write_allocate_installs_line() {
+        let mut c = Cache::new(16 * 1024, 128, 4);
+        assert_eq!(c.write_allocate(0x3000), Access::Miss);
+        assert_eq!(c.read(0x3000), Access::Hit);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = Cache::new(1024, 128, 2); // 8 lines
+        // Stream 64 distinct lines twice: second pass still misses (capacity).
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                let r = c.read(i * 128);
+                if pass == 1 {
+                    assert_eq!(r, Access::Miss);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits_on_second_pass() {
+        let mut c = Cache::new(16 * 1024, 128, 8); // 128 lines
+        for i in 0..32u64 {
+            c.read(i * 128);
+        }
+        for i in 0..32u64 {
+            assert_eq!(c.read(i * 128), Access::Hit);
+        }
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = Cache::new(1024, 128, 2);
+        c.read(0);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.read(0), Access::Miss);
+    }
+}

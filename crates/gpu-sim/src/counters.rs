@@ -1,0 +1,400 @@
+//! Raw hardware events and named performance counters.
+//!
+//! [`RawEvents`] is what the simulation engine accumulates: plain event
+//! counts, deliberately close to what the hardware PM units of the paper's
+//! GPUs count. [`CounterSet`] is the nvprof-facing view: named metrics (the
+//! paper's Table 1 plus the additional counters its figures reference), with
+//! per-architecture availability.
+
+use crate::arch::GpuArchitecture;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Raw event counts accumulated by the simulator. All fields are `f64`
+/// because sampled-block counts are scaled to the full grid.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RawEvents {
+    /// Total SM cycles covered by the launch (sum over waves of wave cycles).
+    pub elapsed_cycles: f64,
+    /// Warp instructions executed (replays excluded).
+    pub inst_executed: f64,
+    /// Warp instructions issued (replays included).
+    pub inst_issued: f64,
+    /// Thread-level instructions executed (sums active lanes).
+    pub thread_inst_executed: f64,
+    /// Executed global-load warp instructions.
+    pub gld_request: f64,
+    /// Executed global-store warp instructions.
+    pub gst_request: f64,
+    /// Bytes the kernel actually asked for in global loads (active lanes).
+    pub gld_requested_bytes: f64,
+    /// Bytes the kernel actually asked for in global stores (active lanes).
+    pub gst_requested_bytes: f64,
+    /// Global load transactions (L1 lines on Fermi, 32B sectors on Kepler).
+    pub global_load_transactions: f64,
+    /// Global store transactions.
+    pub global_store_transactions: f64,
+    /// L1 hits for global loads (Fermi only; 0 on Kepler).
+    pub l1_global_load_hit: f64,
+    /// L1 misses for global loads (Fermi only; 0 on Kepler).
+    pub l1_global_load_miss: f64,
+    /// Executed shared-memory load warp instructions.
+    pub shared_load: f64,
+    /// Executed shared-memory store warp instructions.
+    pub shared_store: f64,
+    /// Replays caused by shared-memory bank conflicts on loads.
+    pub shared_load_replay: f64,
+    /// Replays caused by shared-memory bank conflicts on stores.
+    pub shared_store_replay: f64,
+    /// L2 read transactions (32-byte sectors).
+    pub l2_read_transactions: f64,
+    /// L2 write transactions (32-byte sectors).
+    pub l2_write_transactions: f64,
+    /// L2 read hits.
+    pub l2_read_hits: f64,
+    /// DRAM read transactions (32-byte).
+    pub dram_read_transactions: f64,
+    /// DRAM write transactions (32-byte).
+    pub dram_write_transactions: f64,
+    /// Branch warp instructions executed.
+    pub branch: f64,
+    /// Divergent branch warp instructions.
+    pub divergent_branch: f64,
+    /// Integral of resident active warps over time (warp-cycles).
+    pub active_warp_cycles: f64,
+    /// Cycles during which at least one warp was resident.
+    pub active_cycles: f64,
+    /// Cycles the LDST pipeline was busy.
+    pub ldst_busy_cycles: f64,
+    /// Issue slots available (elapsed_cycles x warp schedulers).
+    pub issue_slots: f64,
+    /// Warps launched.
+    pub warps_launched: f64,
+    /// Thread blocks launched.
+    pub blocks_launched: f64,
+    /// Elapsed wall-clock seconds of the launch.
+    pub time_seconds: f64,
+}
+
+impl RawEvents {
+    /// Accumulates another launch's events into this one (used by host
+    /// drivers that issue many launches per application run, e.g. the
+    /// multi-pass reduction and the per-diagonal NW kernels).
+    pub fn accumulate(&mut self, other: &RawEvents) {
+        macro_rules! acc {
+            ($($f:ident),*) => { $( self.$f += other.$f; )* };
+        }
+        acc!(
+            elapsed_cycles,
+            inst_executed,
+            inst_issued,
+            thread_inst_executed,
+            gld_request,
+            gst_request,
+            gld_requested_bytes,
+            gst_requested_bytes,
+            global_load_transactions,
+            global_store_transactions,
+            l1_global_load_hit,
+            l1_global_load_miss,
+            shared_load,
+            shared_store,
+            shared_load_replay,
+            shared_store_replay,
+            l2_read_transactions,
+            l2_write_transactions,
+            l2_read_hits,
+            dram_read_transactions,
+            dram_write_transactions,
+            branch,
+            divergent_branch,
+            active_warp_cycles,
+            active_cycles,
+            ldst_busy_cycles,
+            issue_slots,
+            warps_launched,
+            blocks_launched,
+            time_seconds
+        );
+    }
+
+    /// Scales every event count by `factor` (time and cycles included) —
+    /// used to extrapolate sampled blocks to the full grid.
+    pub fn scaled_counts(&self, factor: f64) -> RawEvents {
+        let mut out = self.clone();
+        macro_rules! scale {
+            ($($f:ident),*) => { $( out.$f *= factor; )* };
+        }
+        scale!(
+            inst_executed,
+            inst_issued,
+            thread_inst_executed,
+            gld_request,
+            gst_request,
+            gld_requested_bytes,
+            gst_requested_bytes,
+            global_load_transactions,
+            global_store_transactions,
+            l1_global_load_hit,
+            l1_global_load_miss,
+            shared_load,
+            shared_store,
+            shared_load_replay,
+            shared_store_replay,
+            l2_read_transactions,
+            l2_write_transactions,
+            l2_read_hits,
+            dram_read_transactions,
+            dram_write_transactions,
+            branch,
+            divergent_branch,
+            active_warp_cycles,
+            ldst_busy_cycles,
+            warps_launched,
+            blocks_launched
+        );
+        out
+    }
+}
+
+/// A named set of performance-counter/metric values, the simulator's
+/// equivalent of one nvprof profiling run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Sets (or overwrites) a counter value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Reads a counter value, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Whether a counter is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Counter names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.values.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Description of one counter: its name, meaning (Table 1 wording), and the
+/// architectures it exists on.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CounterInfo {
+    /// nvprof-style counter/metric name.
+    pub name: &'static str,
+    /// Human-readable meaning.
+    pub meaning: &'static str,
+    /// Present on Fermi-class GPUs.
+    pub on_fermi: bool,
+    /// Present on Kepler-class GPUs.
+    pub on_kepler: bool,
+}
+
+/// The full catalogue of counters this profiler emits — the paper's Table 1
+/// plus the extra counters referenced by its figures (`inst_issued`,
+/// `l2_read_transactions`, `gld_throughput`, `ldst_fu_utilization`, ...).
+pub const COUNTER_CATALOG: &[CounterInfo] = &[
+    CounterInfo { name: "shared_replay_overhead", meaning: "average number of replays due to shared memory conflicts for each instruction executed", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "shared_load", meaning: "number of executed shared load instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "shared_store", meaning: "number of executed shared store instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "inst_replay_overhead", meaning: "average number of replays for each instruction executed", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "l1_global_load_hit", meaning: "number of cache lines that hit in L1 for global memory load accesses", on_fermi: true, on_kepler: false },
+    CounterInfo { name: "l1_global_load_miss", meaning: "number of cache lines that miss in L1 for global memory load accesses", on_fermi: true, on_kepler: false },
+    CounterInfo { name: "l1_shared_bank_conflict", meaning: "number of shared memory bank conflicts", on_fermi: true, on_kepler: false },
+    CounterInfo { name: "shared_load_replay", meaning: "replays of shared load instructions due to bank conflicts", on_fermi: false, on_kepler: true },
+    CounterInfo { name: "shared_store_replay", meaning: "replays of shared store instructions due to bank conflicts", on_fermi: false, on_kepler: true },
+    CounterInfo { name: "gld_request", meaning: "number of executed global load instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "gst_request", meaning: "similar to gld_request for store instructions", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "global_load_transaction", meaning: "number of global load transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "global_store_transaction", meaning: "number of global store transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "gld_requested_throughput", meaning: "requested global memory load throughput (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "gst_requested_throughput", meaning: "requested global memory store throughput (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "gld_throughput", meaning: "achieved global memory load throughput (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "gst_throughput", meaning: "achieved global memory store throughput (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "achieved_occupancy", meaning: "ratio of average active warps per active cycle to the maximum number of warps per SM", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "l2_read_transactions", meaning: "memory read transactions at L2 cache", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "l2_write_transactions", meaning: "memory write transactions at L2 cache", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "l2_read_throughput", meaning: "memory read throughput at L2 cache (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "l2_write_throughput", meaning: "memory write throughput at L2 cache (GB/s)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "dram_read_transactions", meaning: "device memory read transactions", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "dram_write_transactions", meaning: "device memory write transactions", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "ipc", meaning: "number of instructions executed per cycle", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "issue_slot_utilization", meaning: "percentage of issue slots that issued at least one instruction, averaged across all cycles", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "warp_execution_efficiency", meaning: "ratio of the average active threads per warp to the maximum number of threads per warp supported by the multiprocessor", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "inst_executed", meaning: "number of warp instructions executed (does not include replays)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "inst_issued", meaning: "number of warp instructions issued (includes replays)", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "branch", meaning: "number of branch instructions executed per warp on a multiprocessor", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "divergent_branch", meaning: "number of divergent branches within a warp", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "ldst_fu_utilization", meaning: "utilization level of the load/store function units", on_fermi: true, on_kepler: true },
+];
+
+/// Looks up a counter's catalogue entry by name.
+pub fn counter_info(name: &str) -> Option<&'static CounterInfo> {
+    COUNTER_CATALOG.iter().find(|c| c.name == name)
+}
+
+/// Whether a counter exists on the given architecture.
+pub fn counter_available(name: &str, arch: GpuArchitecture) -> bool {
+    counter_info(name).is_some_and(|c| match arch {
+        GpuArchitecture::Fermi => c.on_fermi,
+        GpuArchitecture::Kepler => c.on_kepler,
+    })
+}
+
+/// All counter names available on an architecture, in catalogue order.
+pub fn counters_for(arch: GpuArchitecture) -> Vec<&'static str> {
+    COUNTER_CATALOG
+        .iter()
+        .filter(|c| match arch {
+            GpuArchitecture::Fermi => c.on_fermi,
+            GpuArchitecture::Kepler => c.on_kepler,
+        })
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_no_duplicate_names() {
+        let mut names: Vec<_> = COUNTER_CATALOG.iter().map(|c| c.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn fermi_specific_counters_absent_on_kepler() {
+        assert!(counter_available("l1_shared_bank_conflict", GpuArchitecture::Fermi));
+        assert!(!counter_available("l1_shared_bank_conflict", GpuArchitecture::Kepler));
+        assert!(counter_available("l1_global_load_miss", GpuArchitecture::Fermi));
+        assert!(!counter_available("l1_global_load_miss", GpuArchitecture::Kepler));
+    }
+
+    #[test]
+    fn kepler_specific_counters_absent_on_fermi() {
+        assert!(counter_available("shared_load_replay", GpuArchitecture::Kepler));
+        assert!(!counter_available("shared_load_replay", GpuArchitecture::Fermi));
+        assert!(counter_available("shared_store_replay", GpuArchitecture::Kepler));
+        assert!(!counter_available("shared_store_replay", GpuArchitecture::Fermi));
+    }
+
+    #[test]
+    fn table1_counters_all_present() {
+        for name in [
+            "shared_replay_overhead",
+            "shared_load",
+            "shared_store",
+            "inst_replay_overhead",
+            "l1_global_load_hit",
+            "l1_global_load_miss",
+            "gld_request",
+            "gst_request",
+            "global_store_transaction",
+            "gld_requested_throughput",
+            "achieved_occupancy",
+            "l2_read_throughput",
+            "l2_write_transactions",
+            "ipc",
+            "issue_slot_utilization",
+            "warp_execution_efficiency",
+        ] {
+            assert!(counter_info(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn counterset_roundtrip() {
+        let mut cs = CounterSet::new();
+        cs.set("ipc", 1.5);
+        cs.set("branch", 42.0);
+        assert_eq!(cs.get("ipc"), Some(1.5));
+        assert_eq!(cs.get("nope"), None);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains("branch"));
+        let names = cs.names();
+        assert_eq!(names, vec!["branch", "ipc"]); // sorted
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = RawEvents {
+            inst_executed: 10.0,
+            time_seconds: 1.0,
+            ..RawEvents::default()
+        };
+        let b = RawEvents {
+            inst_executed: 5.0,
+            time_seconds: 0.5,
+            ..RawEvents::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.inst_executed, 15.0);
+        assert_eq!(a.time_seconds, 1.5);
+    }
+
+    #[test]
+    fn scaled_counts_leaves_time_alone() {
+        let a = RawEvents {
+            inst_executed: 10.0,
+            gld_request: 4.0,
+            time_seconds: 2.0,
+            elapsed_cycles: 100.0,
+            ..RawEvents::default()
+        };
+        let s = a.scaled_counts(3.0);
+        assert_eq!(s.inst_executed, 30.0);
+        assert_eq!(s.gld_request, 12.0);
+        // Time and elapsed cycles reflect the wave model, not per-block
+        // scaling, and must not be multiplied here.
+        assert_eq!(s.time_seconds, 2.0);
+        assert_eq!(s.elapsed_cycles, 100.0);
+    }
+
+    #[test]
+    fn counters_for_returns_arch_subsets() {
+        let fermi = counters_for(GpuArchitecture::Fermi);
+        let kepler = counters_for(GpuArchitecture::Kepler);
+        assert!(fermi.contains(&"l1_global_load_hit"));
+        assert!(!kepler.contains(&"l1_global_load_hit"));
+        assert!(kepler.contains(&"shared_load_replay"));
+        assert!(!fermi.contains(&"shared_load_replay"));
+        // Common counters exist in both.
+        for c in ["ipc", "gld_request", "achieved_occupancy"] {
+            assert!(fermi.contains(&c) && kepler.contains(&c));
+        }
+    }
+}

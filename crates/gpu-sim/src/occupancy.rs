@@ -1,0 +1,192 @@
+//! Occupancy calculation: how many thread blocks fit on one SM.
+//!
+//! Mirrors NVIDIA's occupancy calculator: the resident-block count is the
+//! minimum of four limits — the hardware block limit, the warp-slot limit,
+//! the register-file limit, and the shared-memory limit. Occupancy (the
+//! "classical metric" of §3.1) is resident warps over the SM's warp capacity.
+
+use crate::arch::GpuConfig;
+use crate::trace::LaunchConfig;
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Result of the occupancy calculation for one launch on one GPU.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Warps resident per SM (`blocks_per_sm x warps_per_block`).
+    pub warps_per_sm: usize,
+    /// Theoretical occupancy: resident warps / max warps.
+    pub theoretical: f64,
+    /// Which resource limits residency.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that caps resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// Hardware cap on blocks per SM.
+    BlockSlots,
+    /// Warp slots per SM.
+    WarpSlots,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// The grid itself is too small to fill the SM.
+    GridSize,
+}
+
+/// Computes occupancy for a launch on a GPU.
+///
+/// Errors if the block is impossible (too many threads, too much shared
+/// memory, or register demand exceeding the file even for a single block).
+pub fn occupancy(gpu: &GpuConfig, launch: &LaunchConfig) -> Result<Occupancy> {
+    if launch.threads_per_block == 0 || launch.grid_blocks == 0 {
+        return Err(SimError::BadLaunch("empty grid or block".into()));
+    }
+    if launch.threads_per_block > gpu.max_threads_per_block {
+        return Err(SimError::BadLaunch(format!(
+            "{} threads per block exceeds device limit {}",
+            launch.threads_per_block, gpu.max_threads_per_block
+        )));
+    }
+    if launch.shared_mem_per_block > gpu.shared_mem_per_sm {
+        return Err(SimError::BadLaunch(format!(
+            "{} bytes of shared memory per block exceeds SM capacity {}",
+            launch.shared_mem_per_block, gpu.shared_mem_per_sm
+        )));
+    }
+    if launch.regs_per_thread > gpu.max_registers_per_thread {
+        return Err(SimError::BadLaunch(format!(
+            "{} registers per thread exceeds device limit {}",
+            launch.regs_per_thread, gpu.max_registers_per_thread
+        )));
+    }
+    let warps_per_block = launch.warps_per_block(gpu.warp_size);
+
+    let by_blocks = gpu.max_blocks_per_sm;
+    let by_warps = gpu.max_warps_per_sm / warps_per_block;
+    let regs_per_block = launch.regs_per_thread.max(1) * warps_per_block * gpu.warp_size;
+    let by_regs = gpu.registers_per_sm / regs_per_block;
+    let by_smem = gpu
+        .shared_mem_per_sm
+        .checked_div(launch.shared_mem_per_block)
+        .unwrap_or(usize::MAX);
+
+    let (mut blocks, mut limiter) = (by_blocks, OccupancyLimiter::BlockSlots);
+    for (candidate, cause) in [
+        (by_warps, OccupancyLimiter::WarpSlots),
+        (by_regs, OccupancyLimiter::Registers),
+        (by_smem, OccupancyLimiter::SharedMemory),
+    ] {
+        if candidate < blocks {
+            blocks = candidate;
+            limiter = cause;
+        }
+    }
+    if blocks == 0 {
+        return Err(SimError::BadLaunch(
+            "block does not fit on the SM at all".into(),
+        ));
+    }
+    // A small grid may not supply enough blocks to reach the resource limit.
+    let per_sm_share = launch.grid_blocks.div_ceil(gpu.num_sms);
+    if per_sm_share < blocks {
+        blocks = per_sm_share.max(1);
+        limiter = OccupancyLimiter::GridSize;
+    }
+    let warps = blocks * warps_per_block;
+    Ok(Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        theoretical: warps as f64 / gpu.max_warps_per_sm as f64,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(threads: usize, regs: usize, smem: usize, grid: usize) -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: grid,
+            threads_per_block: threads,
+            regs_per_thread: regs,
+            shared_mem_per_block: smem,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_for_light_blocks() {
+        let gpu = GpuConfig::gtx580();
+        // 256 threads, 16 regs, 1KB smem: 6 blocks hit the warp limit (48/8).
+        let o = occupancy(&gpu, &launch(256, 16, 1024, 1000)).unwrap();
+        assert_eq!(o.warps_per_sm, 48);
+        assert!((o.theoretical - 1.0).abs() < 1e-12);
+        assert_eq!(o.limiter, OccupancyLimiter::WarpSlots);
+    }
+
+    #[test]
+    fn register_limited() {
+        let gpu = GpuConfig::gtx580();
+        // 256 threads x 63 regs = 16128 regs per block -> 2 blocks of 32768.
+        let o = occupancy(&gpu, &launch(256, 63, 0, 1000)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limited() {
+        let gpu = GpuConfig::gtx580();
+        // 24KB per block -> 2 blocks of 48KB.
+        let o = occupancy(&gpu, &launch(64, 16, 24 * 1024, 1000)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn block_slot_limited_for_tiny_blocks() {
+        let gpu = GpuConfig::gtx580();
+        // NW-style 16-thread blocks: only 8 blocks/SM on Fermi -> 8 warps of
+        // 48 -> very low occupancy, exactly the effect §6.1.2 describes.
+        let o = occupancy(&gpu, &launch(16, 20, 2048, 1000)).unwrap();
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, OccupancyLimiter::BlockSlots);
+        assert!(o.theoretical < 0.2);
+    }
+
+    #[test]
+    fn kepler_allows_more_small_blocks() {
+        let f = occupancy(&GpuConfig::gtx580(), &launch(16, 20, 2048, 1000)).unwrap();
+        let k = occupancy(&GpuConfig::k20m(), &launch(16, 20, 2048, 1000)).unwrap();
+        assert!(k.blocks_per_sm > f.blocks_per_sm);
+    }
+
+    #[test]
+    fn small_grid_limits_residency() {
+        let gpu = GpuConfig::gtx580();
+        let o = occupancy(&gpu, &launch(256, 16, 0, 4)).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::GridSize);
+    }
+
+    #[test]
+    fn rejects_oversized_block() {
+        let gpu = GpuConfig::gtx580();
+        assert!(occupancy(&gpu, &launch(2048, 16, 0, 1)).is_err());
+        assert!(occupancy(&gpu, &launch(0, 16, 0, 1)).is_err());
+        assert!(occupancy(&gpu, &launch(256, 16, 1 << 20, 1)).is_err());
+        assert!(occupancy(&gpu, &launch(256, 200, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn partial_warps_round_up() {
+        let gpu = GpuConfig::gtx580();
+        // 48-thread blocks occupy 2 warp slots each.
+        let o = occupancy(&gpu, &launch(48, 16, 0, 1000)).unwrap();
+        assert_eq!(o.warps_per_sm, o.blocks_per_sm * 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Energy/power model for simulated launches.
+//!
+//! The paper's §7: "our method is not limited to predicting execution time —
+//! one could use other metrics of interest, such as power, as response
+//! variable. For instance, on the Kepler architecture, power draw can be
+//! directly read using the system management interface." This module is the
+//! simulator-side enabler: a McPAT-style event-energy model that turns the
+//! raw event counts of a launch into energy and average power draw, playing
+//! the role of `nvidia-smi` power sampling.
+//!
+//! Per-event energies are in picojoules, calibrated to the ballpark of
+//! published GPU energy breakdowns (instruction control+execute tens of pJ,
+//! DRAM access ~2 orders of magnitude above an ALU op). Absolute watts are
+//! not the point — BlackForest only needs a response that varies credibly
+//! with the counter vector.
+
+use crate::arch::{GpuArchitecture, GpuConfig};
+use crate::counters::RawEvents;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy coefficients (picojoules) plus static power (watts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Energy per executed warp ALU instruction (per 32 lanes).
+    pub alu_pj: f64,
+    /// Energy per SFU warp instruction.
+    pub sfu_pj: f64,
+    /// Energy per issued instruction (fetch/decode/schedule overhead,
+    /// charged to replays too).
+    pub issue_pj: f64,
+    /// Energy per shared-memory access (including each replay pass).
+    pub smem_pj: f64,
+    /// Energy per L1 access.
+    pub l1_pj: f64,
+    /// Energy per L2 transaction.
+    pub l2_pj: f64,
+    /// Energy per 32-byte DRAM transaction.
+    pub dram_pj: f64,
+    /// Idle/static power of the whole card in watts.
+    pub static_w: f64,
+}
+
+impl PowerModel {
+    /// The default model for an architecture. Kepler's smaller per-op
+    /// energies reflect its lower clock and process shrink; its static
+    /// floor is higher (bigger die).
+    pub fn for_arch(arch: GpuArchitecture) -> PowerModel {
+        match arch {
+            GpuArchitecture::Fermi => PowerModel {
+                alu_pj: 70.0,
+                sfu_pj: 160.0,
+                issue_pj: 25.0,
+                smem_pj: 45.0,
+                l1_pj: 55.0,
+                l2_pj: 240.0,
+                dram_pj: 2100.0,
+                static_w: 62.0,
+            },
+            GpuArchitecture::Kepler => PowerModel {
+                alu_pj: 45.0,
+                sfu_pj: 110.0,
+                issue_pj: 18.0,
+                smem_pj: 35.0,
+                l1_pj: 45.0,
+                l2_pj: 200.0,
+                dram_pj: 1900.0,
+                static_w: 55.0,
+            },
+        }
+    }
+}
+
+/// Energy and power summary of one launch or application run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Total dynamic energy in joules.
+    pub dynamic_j: f64,
+    /// Static energy over the run in joules.
+    pub static_j: f64,
+    /// Average power draw in watts (total energy / elapsed time).
+    pub average_w: f64,
+    /// Energy efficiency proxy: executed warp instructions per joule.
+    pub inst_per_joule: f64,
+}
+
+/// Estimates energy and average power for accumulated raw events.
+pub fn estimate_power(gpu: &GpuConfig, ev: &RawEvents, model: &PowerModel) -> PowerEstimate {
+    let smem_accesses =
+        ev.shared_load + ev.shared_store + ev.shared_load_replay + ev.shared_store_replay;
+    let l1_accesses = ev.l1_global_load_hit + ev.l1_global_load_miss;
+    let dynamic_pj = ev.inst_executed * model.alu_pj
+        + ev.inst_issued * model.issue_pj
+        + smem_accesses * model.smem_pj
+        + l1_accesses * model.l1_pj
+        + (ev.l2_read_transactions + ev.l2_write_transactions) * model.l2_pj
+        + (ev.dram_read_transactions + ev.dram_write_transactions) * model.dram_pj;
+    let dynamic_j = dynamic_pj * 1e-12;
+    let time_s = ev.time_seconds.max(1e-12);
+    // Static power scales with the number of SMs kept powered.
+    let static_w = model.static_w * (gpu.num_sms as f64 / 16.0).max(0.5);
+    let static_j = static_w * time_s;
+    let total_j = dynamic_j + static_j;
+    PowerEstimate {
+        dynamic_j,
+        static_j,
+        average_w: total_j / time_s,
+        inst_per_joule: if total_j > 0.0 {
+            ev.inst_executed / total_j
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(scale: f64) -> RawEvents {
+        RawEvents {
+            inst_executed: 1e6 * scale,
+            inst_issued: 1.1e6 * scale,
+            shared_load: 2e5 * scale,
+            shared_store: 1e5 * scale,
+            l1_global_load_hit: 4e4 * scale,
+            l1_global_load_miss: 6e4 * scale,
+            l2_read_transactions: 2.4e5 * scale,
+            l2_write_transactions: 4e4 * scale,
+            dram_read_transactions: 1e5 * scale,
+            dram_write_transactions: 2e4 * scale,
+            time_seconds: 1e-3,
+            ..RawEvents::default()
+        }
+    }
+
+    #[test]
+    fn power_is_positive_and_above_static_floor() {
+        let gpu = GpuConfig::gtx580();
+        let m = PowerModel::for_arch(gpu.arch);
+        let p = estimate_power(&gpu, &events(1.0), &m);
+        assert!(p.average_w > m.static_w);
+        assert!(p.dynamic_j > 0.0);
+        assert!(p.inst_per_joule > 0.0);
+    }
+
+    #[test]
+    fn doubling_work_at_fixed_time_doubles_dynamic_energy() {
+        let gpu = GpuConfig::gtx580();
+        let m = PowerModel::for_arch(gpu.arch);
+        let p1 = estimate_power(&gpu, &events(1.0), &m);
+        let p2 = estimate_power(&gpu, &events(2.0), &m);
+        assert!((p2.dynamic_j / p1.dynamic_j - 2.0).abs() < 1e-9);
+        assert!(p2.average_w > p1.average_w);
+    }
+
+    #[test]
+    fn idle_run_draws_static_power_only() {
+        let gpu = GpuConfig::gtx580();
+        let m = PowerModel::for_arch(gpu.arch);
+        let ev = RawEvents {
+            time_seconds: 1.0,
+            ..RawEvents::default()
+        };
+        let p = estimate_power(&gpu, &ev, &m);
+        assert_eq!(p.dynamic_j, 0.0);
+        assert!((p.average_w - m.static_w * (gpu.num_sms as f64 / 16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_traffic_dominates_energy_for_memory_bound_events() {
+        let gpu = GpuConfig::gtx580();
+        let m = PowerModel::for_arch(gpu.arch);
+        let mut ev = events(1.0);
+        ev.dram_read_transactions *= 100.0;
+        let p = estimate_power(&gpu, &ev, &m);
+        let dram_j = ev.dram_read_transactions * m.dram_pj * 1e-12;
+        assert!(dram_j / p.dynamic_j > 0.8);
+    }
+
+    #[test]
+    fn kepler_per_op_energy_is_lower() {
+        let f = PowerModel::for_arch(GpuArchitecture::Fermi);
+        let k = PowerModel::for_arch(GpuArchitecture::Kepler);
+        assert!(k.alu_pj < f.alu_pj);
+        assert!(k.dram_pj < f.dram_pj);
+    }
+}

@@ -1,0 +1,299 @@
+//! The nvprof stand-in: derives named metrics from raw events.
+//!
+//! `nvprof` turns PM-unit event counts into the metrics of the paper's
+//! Table 1; this module does the same for simulated launches. Counter
+//! availability honours the architecture (see [`crate::counters`]), which is
+//! what breaks naive hardware scaling in the paper's §6.2 — e.g. Fermi's
+//! `l1_shared_bank_conflict` simply does not exist on Kepler.
+
+use crate::arch::{GpuArchitecture, GpuConfig};
+use crate::counters::{counters_for, CounterSet, RawEvents};
+use crate::engine::simulate_launch;
+use crate::trace::KernelTrace;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One profiled run: elapsed time plus a full counter set, the simulator's
+/// equivalent of one `nvprof` invocation (plus the power sample the paper's
+/// §7 suggests reading from the system management interface).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfiledRun {
+    /// Kernel or application name.
+    pub kernel: String,
+    /// GPU name.
+    pub gpu: String,
+    /// Elapsed time in milliseconds (the paper's response variable).
+    pub time_ms: f64,
+    /// Average power draw in watts (the §7 alternative response).
+    pub avg_power_w: f64,
+    /// All counters available on this GPU.
+    pub counters: CounterSet,
+}
+
+/// Derives the full per-architecture counter set from accumulated raw events.
+pub fn derive_counters(gpu: &GpuConfig, ev: &RawEvents) -> CounterSet {
+    let mut cs = CounterSet::new();
+    let time = ev.time_seconds.max(1e-12);
+    let elapsed_per_sm = ev.elapsed_cycles.max(1.0);
+    let sms = gpu.num_sms as f64;
+    let inst_exec = ev.inst_executed.max(1.0);
+    let shared_replays = ev.shared_load_replay + ev.shared_store_replay;
+    let line_bytes = if gpu.l1_caches_globals { 128.0 } else { 32.0 };
+    let gbps = |bytes: f64| bytes / time / 1e9;
+
+    for name in counters_for(gpu.arch) {
+        let value = match name {
+            "shared_replay_overhead" => shared_replays / inst_exec,
+            "shared_load" => ev.shared_load,
+            "shared_store" => ev.shared_store,
+            "inst_replay_overhead" => (ev.inst_issued - ev.inst_executed).max(0.0) / inst_exec,
+            "l1_global_load_hit" => ev.l1_global_load_hit,
+            "l1_global_load_miss" => ev.l1_global_load_miss,
+            "l1_shared_bank_conflict" => shared_replays,
+            "shared_load_replay" => ev.shared_load_replay,
+            "shared_store_replay" => ev.shared_store_replay,
+            "gld_request" => ev.gld_request,
+            "gst_request" => ev.gst_request,
+            "global_load_transaction" => ev.global_load_transactions,
+            "global_store_transaction" => ev.global_store_transactions,
+            "gld_requested_throughput" => gbps(ev.gld_requested_bytes),
+            "gst_requested_throughput" => gbps(ev.gst_requested_bytes),
+            "gld_throughput" => gbps(ev.global_load_transactions * line_bytes),
+            "gst_throughput" => gbps(ev.l2_write_transactions * 32.0),
+            "achieved_occupancy" => {
+                (ev.active_warp_cycles / (elapsed_per_sm * sms * gpu.max_warps_per_sm as f64))
+                    .min(1.0)
+            }
+            "l2_read_transactions" => ev.l2_read_transactions,
+            "l2_write_transactions" => ev.l2_write_transactions,
+            "l2_read_throughput" => gbps(ev.l2_read_transactions * 32.0),
+            "l2_write_throughput" => gbps(ev.l2_write_transactions * 32.0),
+            "dram_read_transactions" => ev.dram_read_transactions,
+            "dram_write_transactions" => ev.dram_write_transactions,
+            "ipc" => ev.inst_executed / (elapsed_per_sm * sms),
+            "issue_slot_utilization" => {
+                (ev.inst_issued / (elapsed_per_sm * sms * gpu.warp_schedulers as f64)).min(1.0)
+                    * 100.0
+            }
+            "warp_execution_efficiency" => {
+                (ev.thread_inst_executed / (inst_exec * gpu.warp_size as f64)).min(1.0) * 100.0
+            }
+            "inst_executed" => ev.inst_executed,
+            "inst_issued" => ev.inst_issued,
+            "branch" => ev.branch,
+            "divergent_branch" => ev.divergent_branch,
+            "ldst_fu_utilization" => (ev.ldst_busy_cycles / (elapsed_per_sm * sms)).min(1.0) * 10.0,
+            other => unreachable!("counter {other} missing a derivation"),
+        };
+        cs.set(name, value);
+    }
+    cs
+}
+
+/// Profiles a single kernel launch (one simulated `nvprof` run).
+pub fn profile_kernel(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<ProfiledRun> {
+    let r = simulate_launch(gpu, kernel)?;
+    let power = crate::power::estimate_power(
+        gpu,
+        &r.events,
+        &crate::power::PowerModel::for_arch(gpu.arch),
+    );
+    Ok(ProfiledRun {
+        kernel: kernel.name(),
+        gpu: gpu.name.clone(),
+        time_ms: r.time_seconds * 1e3,
+        avg_power_w: power.average_w,
+        counters: derive_counters(gpu, &r.events),
+    })
+}
+
+/// Profiles a multi-launch application: simulates every launch, accumulates
+/// raw events and time, then derives one counter set for the whole run —
+/// how the paper aggregates NW's two kernels and the reduction's passes.
+pub fn profile_application(
+    gpu: &GpuConfig,
+    name: &str,
+    launches: &[Box<dyn KernelTrace>],
+) -> Result<ProfiledRun> {
+    let mut total = RawEvents::default();
+    for k in launches {
+        let r = simulate_launch(gpu, k.as_ref())?;
+        total.accumulate(&r.events);
+    }
+    let power = crate::power::estimate_power(
+        gpu,
+        &total,
+        &crate::power::PowerModel::for_arch(gpu.arch),
+    );
+    Ok(ProfiledRun {
+        kernel: name.to_string(),
+        gpu: gpu.name.clone(),
+        time_ms: total.time_seconds * 1e3,
+        avg_power_w: power.average_w,
+        counters: derive_counters(gpu, &total),
+    })
+}
+
+/// Profiles a multi-launch application *per kernel*: launches sharing a
+/// kernel name are accumulated together and reported separately — how
+/// `nvprof` itself presents a multi-kernel application, and what the paper
+/// does for NW ("we measure the contribution of each kernel in the overall
+/// execution time"). Returns one run per distinct kernel, in first-seen
+/// order.
+pub fn profile_application_by_kernel(
+    gpu: &GpuConfig,
+    launches: &[Box<dyn KernelTrace>],
+) -> Result<Vec<ProfiledRun>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut acc: std::collections::HashMap<String, RawEvents> = std::collections::HashMap::new();
+    for k in launches {
+        let r = simulate_launch(gpu, k.as_ref())?;
+        let name = k.name();
+        if !acc.contains_key(&name) {
+            order.push(name.clone());
+        }
+        acc.entry(name).or_default().accumulate(&r.events);
+    }
+    Ok(order
+        .into_iter()
+        .map(|name| {
+            let ev = &acc[&name];
+            let power =
+                crate::power::estimate_power(gpu, ev, &crate::power::PowerModel::for_arch(gpu.arch));
+            ProfiledRun {
+                kernel: name,
+                gpu: gpu.name.clone(),
+                time_ms: ev.time_seconds * 1e3,
+                avg_power_w: power.average_w,
+                counters: derive_counters(gpu, ev),
+            }
+        })
+        .collect())
+}
+
+/// Convenience: is this counter name meaningful on the given architecture?
+pub fn counter_on(name: &str, arch: GpuArchitecture) -> bool {
+    crate::counters::counter_available(name, arch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BlockTrace, LaunchConfig, WarpInstruction, FULL_MASK};
+
+    struct Mini {
+        conflict: bool,
+    }
+
+    impl KernelTrace for Mini {
+        fn name(&self) -> String {
+            "mini".into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid_blocks: 64,
+                threads_per_block: 128,
+                regs_per_thread: 16,
+                shared_mem_per_block: 4096,
+            }
+        }
+
+        fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {
+            let warps = 128 / gpu.warp_size;
+            let mut t = BlockTrace::with_warps(warps);
+            for (w, stream) in t.warps.iter_mut().enumerate() {
+                let base = (block_id * warps + w) as u64 * 128;
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: (0..32).map(|i| base + i * 4).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                });
+                let stride = if self.conflict { 8 } else { 4 };
+                stream.push(WarpInstruction::LoadShared {
+                    offsets: (0..32).map(|i| i * stride).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                });
+                stream.push(WarpInstruction::Alu { count: 4, mask: FULL_MASK });
+                stream.push(WarpInstruction::Barrier);
+                stream.push(WarpInstruction::StoreGlobal {
+                    addrs: (0..32).map(|i| (1 << 22) + base + i * 4).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                });
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn profile_emits_all_arch_counters() {
+        let gpu = GpuConfig::gtx580();
+        let run = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        for name in counters_for(gpu.arch) {
+            assert!(run.counters.contains(name), "missing {name}");
+        }
+        assert!(run.time_ms > 0.0);
+    }
+
+    #[test]
+    fn kepler_profile_has_no_fermi_counters() {
+        let gpu = GpuConfig::k20m();
+        let run = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        assert!(!run.counters.contains("l1_global_load_hit"));
+        assert!(!run.counters.contains("l1_shared_bank_conflict"));
+        assert!(run.counters.contains("shared_load_replay"));
+    }
+
+    #[test]
+    fn conflicting_kernel_shows_shared_replay_overhead() {
+        let gpu = GpuConfig::gtx580();
+        let clean = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        let bad = profile_kernel(&gpu, &Mini { conflict: true }).unwrap();
+        assert_eq!(clean.counters.get("shared_replay_overhead"), Some(0.0));
+        assert!(bad.counters.get("shared_replay_overhead").unwrap() > 0.0);
+        assert!(
+            bad.counters.get("inst_replay_overhead").unwrap()
+                >= bad.counters.get("shared_replay_overhead").unwrap()
+        );
+    }
+
+    #[test]
+    fn occupancy_and_efficiency_are_fractions() {
+        let gpu = GpuConfig::gtx580();
+        let run = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        let occ = run.counters.get("achieved_occupancy").unwrap();
+        assert!((0.0..=1.0).contains(&occ));
+        let wee = run.counters.get("warp_execution_efficiency").unwrap();
+        assert!((0.0..=100.0).contains(&wee));
+        let isu = run.counters.get("issue_slot_utilization").unwrap();
+        assert!((0.0..=100.0).contains(&isu));
+    }
+
+    #[test]
+    fn throughputs_are_consistent() {
+        let gpu = GpuConfig::gtx580();
+        let run = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        // Requested <= achieved for perfectly coalesced 4-byte loads, the
+        // two should be equal (128 requested bytes per 128-byte line).
+        let req = run.counters.get("gld_requested_throughput").unwrap();
+        let ach = run.counters.get("gld_throughput").unwrap();
+        assert!((req - ach).abs() / ach.max(1e-12) < 1e-9);
+    }
+
+    #[test]
+    fn application_profile_accumulates_launches() {
+        let gpu = GpuConfig::gtx580();
+        let single = profile_kernel(&gpu, &Mini { conflict: false }).unwrap();
+        let launches: Vec<Box<dyn KernelTrace>> = vec![
+            Box::new(Mini { conflict: false }),
+            Box::new(Mini { conflict: false }),
+        ];
+        let app = profile_application(&gpu, "mini_x2", &launches).unwrap();
+        let s = single.counters.get("gld_request").unwrap();
+        let a = app.counters.get("gld_request").unwrap();
+        assert!((a - 2.0 * s).abs() < 1e-6);
+        assert!(app.time_ms > single.time_ms * 1.5);
+    }
+}

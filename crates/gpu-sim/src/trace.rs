@@ -1,0 +1,281 @@
+//! Kernel traces: the interface between workloads and the simulator.
+//!
+//! A kernel is described by its launch geometry plus, for any thread block,
+//! the per-warp instruction streams with concrete per-lane addresses. The
+//! simulator never sees source code — only these traces — which mirrors how
+//! hardware performance counters observe real kernels.
+
+use crate::arch::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Launch geometry and per-block resource usage.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Total thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Registers per thread (drives occupancy).
+    pub regs_per_thread: usize,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_mem_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// Warps per block on the given GPU (rounded up for partial warps).
+    pub fn warps_per_block(&self, warp_size: usize) -> usize {
+        self.threads_per_block.div_ceil(warp_size)
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_blocks * self.threads_per_block
+    }
+}
+
+/// The active-lane mask of a warp instruction (bit `i` = lane `i` active).
+pub type LaneMask = u32;
+
+/// A full 32-lane mask.
+pub const FULL_MASK: LaneMask = u32::MAX;
+
+/// Builds a mask with the first `n` lanes active.
+pub fn first_lanes(n: usize) -> LaneMask {
+    if n >= 32 {
+        FULL_MASK
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// One warp-level instruction of a kernel trace.
+///
+/// Memory instructions carry concrete addresses so the coalescing, cache,
+/// and bank-conflict models operate on real access patterns rather than
+/// statistical summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WarpInstruction {
+    /// Integer/float arithmetic executed on the CUDA cores. `count` folds
+    /// runs of dependent ALU instructions into one entry (issue cost and
+    /// latency scale with it).
+    Alu {
+        /// Number of back-to-back ALU instructions this entry represents.
+        count: u32,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Special-function-unit op (transcendentals, fast math).
+    Sfu {
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Global memory load. One address per active lane (`addrs[i]` is valid
+    /// iff bit `i` of `mask` is set; inactive lanes hold 0).
+    LoadGlobal {
+        /// Byte addresses, one slot per lane.
+        addrs: Vec<u64>,
+        /// Bytes accessed per lane (4 for `float`, 8 for `double`, ...).
+        width: u8,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Global memory store.
+    StoreGlobal {
+        /// Byte addresses, one slot per lane.
+        addrs: Vec<u64>,
+        /// Bytes accessed per lane.
+        width: u8,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Shared memory load; addresses are byte offsets into the block's
+    /// shared-memory allocation.
+    LoadShared {
+        /// Byte offsets, one slot per lane.
+        offsets: Vec<u32>,
+        /// Bytes per lane.
+        width: u8,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Shared memory store.
+    StoreShared {
+        /// Byte offsets, one slot per lane.
+        offsets: Vec<u32>,
+        /// Bytes per lane.
+        width: u8,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// A branch instruction; `divergent` marks intra-warp divergence, which
+    /// serialises the two paths (the simulator charges one extra issue).
+    Branch {
+        /// Whether lanes of this warp take different directions.
+        divergent: bool,
+        /// Active lanes.
+        mask: LaneMask,
+    },
+    /// Block-wide barrier (`__syncthreads()`).
+    Barrier,
+}
+
+impl WarpInstruction {
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> u32 {
+        match self {
+            WarpInstruction::Alu { mask, .. }
+            | WarpInstruction::Sfu { mask }
+            | WarpInstruction::LoadGlobal { mask, .. }
+            | WarpInstruction::StoreGlobal { mask, .. }
+            | WarpInstruction::LoadShared { mask, .. }
+            | WarpInstruction::StoreShared { mask, .. }
+            | WarpInstruction::Branch { mask, .. } => mask.count_ones(),
+            WarpInstruction::Barrier => 32,
+        }
+    }
+
+    /// Number of warp instructions this entry represents (ALU entries fold
+    /// `count` instructions; everything else is 1).
+    pub fn instruction_count(&self) -> u32 {
+        match self {
+            WarpInstruction::Alu { count, .. } => *count,
+            _ => 1,
+        }
+    }
+}
+
+/// The instruction streams of one thread block: one stream per warp.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    /// `warps[w]` is warp `w`'s instruction stream.
+    pub warps: Vec<Vec<WarpInstruction>>,
+}
+
+impl BlockTrace {
+    /// Creates a trace with `n` empty warp streams.
+    pub fn with_warps(n: usize) -> BlockTrace {
+        BlockTrace {
+            warps: vec![Vec::new(); n],
+        }
+    }
+
+    /// Total warp instructions in the block (counting folded ALU runs).
+    pub fn total_instructions(&self) -> u64 {
+        self.warps
+            .iter()
+            .flat_map(|w| w.iter())
+            .map(|i| i.instruction_count() as u64)
+            .sum()
+    }
+
+    /// Checks structural validity: every warp must contain the same number
+    /// of barriers (otherwise the block would deadlock on real hardware).
+    pub fn validate(&self) -> crate::Result<()> {
+        let barrier_count = |stream: &[WarpInstruction]| {
+            stream
+                .iter()
+                .filter(|i| matches!(i, WarpInstruction::Barrier))
+                .count()
+        };
+        if let Some(first) = self.warps.first() {
+            let expect = barrier_count(first);
+            for (w, stream) in self.warps.iter().enumerate() {
+                let got = barrier_count(stream);
+                if got != expect {
+                    return Err(crate::SimError::BadTrace(format!(
+                        "warp {w} has {got} barriers, warp 0 has {expect}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A traceable kernel: launch geometry plus per-block traces.
+///
+/// Implementations generate the *address patterns* of real CUDA kernels
+/// (the CUDA SDK reductions, tiled matrix multiply, Rodinia NW), so the
+/// microarchitectural counters the simulator derives match the mechanisms
+/// the real kernels trigger.
+pub trait KernelTrace: Send + Sync {
+    /// Kernel name (used in reports, mirrors the CUDA kernel symbol).
+    fn name(&self) -> String;
+
+    /// Launch geometry for this kernel instance.
+    fn launch_config(&self) -> LaunchConfig;
+
+    /// Produces the instruction streams of block `block_id` on `gpu`.
+    fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace;
+
+    /// Whether all blocks are statistically identical; homogeneous grids are
+    /// sampled with a handful of representative blocks. All kernels studied
+    /// in the paper are homogeneous (NW launches one homogeneous grid per
+    /// diagonal).
+    fn homogeneous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_lanes_masks() {
+        assert_eq!(first_lanes(0), 0);
+        assert_eq!(first_lanes(1), 1);
+        assert_eq!(first_lanes(16), 0xFFFF);
+        assert_eq!(first_lanes(32), u32::MAX);
+        assert_eq!(first_lanes(100), u32::MAX);
+    }
+
+    #[test]
+    fn active_lanes_counts_mask_bits() {
+        let i = WarpInstruction::Alu {
+            count: 3,
+            mask: 0b1011,
+        };
+        assert_eq!(i.active_lanes(), 3);
+        assert_eq!(i.instruction_count(), 3);
+        assert_eq!(WarpInstruction::Barrier.active_lanes(), 32);
+        assert_eq!(WarpInstruction::Barrier.instruction_count(), 1);
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        let lc = LaunchConfig {
+            grid_blocks: 4,
+            threads_per_block: 48,
+            regs_per_thread: 16,
+            shared_mem_per_block: 0,
+        };
+        assert_eq!(lc.warps_per_block(32), 2);
+        assert_eq!(lc.total_threads(), 192);
+    }
+
+    #[test]
+    fn validate_accepts_matching_barriers() {
+        let mut t = BlockTrace::with_warps(2);
+        for w in &mut t.warps {
+            w.push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+            w.push(WarpInstruction::Barrier);
+        }
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_barriers() {
+        let mut t = BlockTrace::with_warps(2);
+        t.warps[0].push(WarpInstruction::Barrier);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn total_instructions_counts_folded_alu() {
+        let mut t = BlockTrace::with_warps(1);
+        t.warps[0].push(WarpInstruction::Alu { count: 5, mask: FULL_MASK });
+        t.warps[0].push(WarpInstruction::Barrier);
+        assert_eq!(t.total_instructions(), 6);
+    }
+}

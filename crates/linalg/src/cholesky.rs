@@ -1,0 +1,227 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Used by the GLM/MARS solvers to solve normal equations `(X^T X) b = X^T y`
+//! quickly. The factorisation stores the lower-triangular factor `L` with
+//! `A = L L^T` and offers forward/back substitution solves.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is
+    /// encountered (within a small relative tolerance), and
+    /// [`LinalgError::NotSquare`] for non-square input. Only the lower
+    /// triangle of `a` is read, so the caller may pass a matrix whose upper
+    /// triangle is stale.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        // Scale-aware pivot tolerance: pivots below this relative floor mean
+        // the matrix is numerically semi-definite.
+        let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0f64, f64::max);
+        let tol = scale.max(1.0) * 1e-12;
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the stored factor.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (sum of `2 ln L_ii`); useful for model scoring.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| 2.0 * self.l[(i, i)].ln())
+            .sum()
+    }
+}
+
+/// Solves the ridge-regularised normal equations `(A + lambda I) x = b` where
+/// `A` is symmetric positive-semidefinite. A small ridge makes the GLM/MARS
+/// solvers robust to collinear performance counters (common: many counters
+/// are near-duplicates of each other).
+pub fn solve_spd_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut reg = a.clone();
+    for i in 0..n {
+        reg[(i, i)] += lambda;
+    }
+    // Escalate the ridge until the matrix factorises; counters can be exactly
+    // collinear (e.g. two identical columns) and then any fixed lambda that is
+    // too small fails.
+    let mut lam = lambda.max(1e-10);
+    for _ in 0..40 {
+        match Cholesky::decompose(&reg) {
+            Ok(c) => return c.solve(b),
+            Err(LinalgError::NotPositiveDefinite) => {
+                for i in 0..n {
+                    reg[(i, i)] += lam;
+                }
+                lam *= 10.0;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(LinalgError::Singular)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // 3x3 SPD matrix (diagonally dominant).
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(Cholesky::decompose(&a), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let c = Cholesky::decompose(&spd3()).unwrap();
+        assert!(c.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(diag(4, 9)) = 36.
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_solver_handles_exactly_singular_gram() {
+        // Two identical columns -> Gram matrix is singular; the escalating
+        // ridge must still return a finite solution.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        let g = x.gram();
+        let b = x.t_matvec(&[1.0, 2.0, 3.0]).unwrap();
+        let sol = solve_spd_ridge(&g, &b, 1e-8).unwrap();
+        assert!(sol.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ridge_solver_matches_plain_solve_when_well_conditioned() {
+        let a = spd3();
+        let b = vec![1.0, 2.0, 3.0];
+        let plain = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        let ridged = solve_spd_ridge(&a, &b, 1e-12).unwrap();
+        for (p, r) in plain.iter().zip(ridged.iter()) {
+            assert!((p - r).abs() < 1e-6);
+        }
+    }
+}

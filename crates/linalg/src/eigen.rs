@@ -1,0 +1,243 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA needs all eigenpairs of a (symmetric, positive-semidefinite)
+//! covariance or correlation matrix. For the matrix sizes BlackForest deals
+//! with (tens of performance counters), the classic cyclic Jacobi rotation
+//! scheme is simple, robust, and more than fast enough, with excellent
+//! orthogonality of the computed eigenvectors.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V diag(lambda) V^T` of a symmetric matrix,
+/// with eigenvalues sorted in descending order.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Matrix whose *columns* are the corresponding unit eigenvectors.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes all eigenpairs of a symmetric matrix.
+    ///
+    /// Only the symmetric part of the input participates: the routine reads
+    /// `(a + a^T)/2` implicitly by averaging mirrored entries, so tiny
+    /// asymmetries from floating-point accumulation are harmless.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        // Work on the symmetrised copy.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+            }
+        }
+        let mut v = Matrix::identity(n);
+        let scale = m.frobenius_norm().max(1.0);
+        let tol = scale * 1e-14;
+        const MAX_SWEEPS: usize = 100;
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            if m.max_off_diagonal() <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Jacobi rotation angle.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Apply the rotation to rows/cols p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the rotation into the eigenvector matrix.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged && m.max_off_diagonal() > tol {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "jacobi eigendecomposition",
+                iterations: MAX_SWEEPS,
+            });
+        }
+        // Extract and sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            // Fix the sign convention: the largest-magnitude component of each
+            // eigenvector is positive. This makes results deterministic and
+            // comparable between runs (important for factor loadings).
+            let column = v.col(old_col);
+            let lead = column
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap())
+                .unwrap_or(1.0);
+            let sign = if lead < 0.0 { -1.0 } else { 1.0 };
+            for (row, &val) in column.iter().enumerate() {
+                vectors[(row, new_col)] = sign * val;
+            }
+        }
+        Ok(SymmetricEigen { values, vectors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        e.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_diagonal_sorted() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -0.5],
+            vec![1.0, 3.0, 0.7],
+            vec![-0.5, 0.7, 2.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -0.5],
+            vec![1.0, 3.0, 0.7],
+            vec![-0.5, 0.7, 2.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds_per_pair() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        for k in 0..2 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..2 {
+                assert!((av[i] - e.values[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.1],
+            vec![0.3, 2.0, -0.2],
+            vec![0.1, -0.2, 3.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn handles_rank_deficient_psd() {
+        // Rank-1 outer product: one positive eigenvalue, rest zero.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!(e.values[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEigen::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            SymmetricEigen::decompose(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn tolerates_slightly_asymmetric_input() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0 + 1e-15], vec![1.0, 2.0]]).unwrap();
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,90 @@
+//! Dense linear-algebra substrate for the BlackForest toolchain.
+//!
+//! BlackForest's statistical layers (PCA, GLM, MARS) need a small amount of
+//! classical numerical linear algebra: dense matrices, least-squares solves,
+//! and eigendecomposition of symmetric matrices. Rather than pulling a large
+//! external stack, this crate implements exactly those pieces from scratch:
+//!
+//! * [`Matrix`] — a row-major dense matrix of `f64` with the usual algebra.
+//! * [`cholesky`] — Cholesky factorisation and SPD solves.
+//! * [`qr`] — Householder QR and least-squares solving.
+//! * [`eigen`] — the cyclic Jacobi eigendecomposition for symmetric matrices
+//!   (what PCA needs for covariance/correlation matrices).
+//! * [`stats`] — column-wise summary statistics shared by the model crates.
+//!
+//! Everything is deterministic and allocation-conscious: factorisations work
+//! in place where practical and the API favours borrowing slices over cloning.
+
+// Index-based loops are the clearer idiom throughout this numeric code
+// (parallel arrays, in-place matrix updates), so the pedantic lint is off.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod matrix;
+pub mod qr;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorised.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// The matrix is not square but the operation requires one.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where data is required.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is {}x{}, expected square", shape.0, shape.1)
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

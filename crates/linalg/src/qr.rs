@@ -1,0 +1,223 @@
+//! Householder QR decomposition and least-squares solving.
+//!
+//! QR is the numerically robust path for least squares. BlackForest's GLM
+//! fitter prefers QR over the normal equations when the design matrix is
+//! ill-conditioned, which happens routinely with highly correlated
+//! performance counters.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// QR decomposition of an `m x n` matrix with `m >= n`, computed with
+/// Householder reflections.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Packed factorisation: the upper triangle holds `R`, the lower part
+    /// holds the essential parts of the Householder vectors.
+    qr: Matrix,
+    /// Diagonal of `R` (stored separately for clarity and pivot checks).
+    r_diag: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Computes the decomposition. Requires `rows >= cols` and a non-empty
+    /// matrix.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (needs rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut r_diag = vec![0.0; n];
+        for k in 0..n {
+            // Norm of the k-th column below the diagonal.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                r_diag[k] = 0.0;
+                continue;
+            }
+            // Flip sign to avoid cancellation.
+            if qr[(k, k)] < 0.0 {
+                norm = -norm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= norm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] += s * vik;
+                }
+            }
+            r_diag[k] = -norm;
+        }
+        Ok(QrDecomposition { qr, r_diag })
+    }
+
+    /// Whether `R` has full rank (no numerically zero diagonal entries).
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self
+            .r_diag
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()))
+            .max(1.0);
+        self.r_diag.iter().all(|d| d.abs() > scale * 1e-12)
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||_2`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(LinalgError::Singular);
+        }
+        let mut y = b.to_vec();
+        // Apply Q^T to b.
+        for k in 0..n {
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.r_diag[i];
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares: `argmin_x ||A x - b||`, falling back to a
+/// ridge-regularised normal-equation solve if `A` is rank deficient.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    match QrDecomposition::decompose(a)?.solve(b) {
+        Ok(x) => Ok(x),
+        Err(LinalgError::Singular) => {
+            crate::cholesky::solve_spd_ridge(&a.gram(), &a.t_matvec(b)?, 1e-8)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x_true = vec![0.5, -1.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = QrDecomposition::decompose(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn overdetermined_recovers_generating_coefficients() {
+        // y = 3 + 2x sampled without noise at 5 points.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        // Inconsistent system: the LS solution must beat nearby candidates.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let b = vec![0.0, 2.0, 1.0];
+        let x = least_squares(&a, &b).unwrap();
+        let resid = |x: &[f64]| -> f64 {
+            a.matvec(x)
+                .unwrap()
+                .iter()
+                .zip(b.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum()
+        };
+        let base = resid(&x);
+        for dx in [[0.1, 0.0], [-0.1, 0.0], [0.0, 0.1], [0.0, -0.1]] {
+            let cand = [x[0] + dx[0], x[1] + dx[1]];
+            assert!(resid(&cand) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is twice the first.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn least_squares_survives_rank_deficiency_via_ridge() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let x = least_squares(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrDecomposition::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(
+            QrDecomposition::decompose(&a),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+}

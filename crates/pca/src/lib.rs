@@ -1,0 +1,57 @@
+//! Principal component analysis with varimax rotation for BlackForest.
+//!
+//! The paper (§4.1.2) refines random-forest variable selection with PCA when
+//! the forest alone cannot explain the response variation: correlated
+//! counters are folded into uncorrelated principal components, and the
+//! **factor loadings** (the coefficients of the original counters within each
+//! component) are interpreted against performance patterns — e.g. "PC1 is
+//! memory intensity, PC2 is MIMD/ILP parallelism" for `reduce1` (§5.2).
+//!
+//! This is a faithful reimplementation of the R workflow the authors used:
+//! `prcomp` (centred, optionally scaled PCA via the spectral decomposition of
+//! the covariance/correlation matrix) followed by `varimax` rotation of the
+//! retained loadings.
+
+// Index-based loops are the clearer idiom throughout this numeric code
+// (parallel arrays, in-place matrix updates), so the pedantic lint is off.
+#![allow(clippy::needless_range_loop)]
+
+pub mod model;
+pub mod varimax;
+
+pub use model::{Pca, PcaOptions};
+pub use varimax::varimax;
+
+/// Errors produced by PCA routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcaError {
+    /// Fewer than two observations, or zero features.
+    NotEnoughData,
+    /// The underlying eigendecomposition failed.
+    Eigen(String),
+    /// Requested more components than exist.
+    TooManyComponents {
+        /// Components requested.
+        requested: usize,
+        /// Components available (= number of features).
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PcaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcaError::NotEnoughData => write!(f, "need at least 2 observations and 1 feature"),
+            PcaError::Eigen(msg) => write!(f, "eigendecomposition failed: {msg}"),
+            PcaError::TooManyComponents {
+                requested,
+                available,
+            } => write!(f, "requested {requested} components, only {available} available"),
+        }
+    }
+}
+
+impl std::error::Error for PcaError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PcaError>;

@@ -1,0 +1,335 @@
+//! The PCA model: centring/scaling, spectral decomposition, scores,
+//! loadings, and variance accounting.
+
+use crate::{PcaError, Result};
+use bf_linalg::{stats, Matrix, SymmetricEigen};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the decomposition.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PcaOptions {
+    /// Standardise each column to unit variance (correlation PCA). This is
+    /// what BlackForest uses: counters live on wildly different scales.
+    pub scale: bool,
+}
+
+impl Default for PcaOptions {
+    fn default() -> Self {
+        PcaOptions { scale: true }
+    }
+}
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Column means used for centring.
+    pub means: Vec<f64>,
+    /// Column standard deviations used for scaling (1.0 where constant or
+    /// scaling disabled).
+    pub scales: Vec<f64>,
+    /// Loadings: `p x p` matrix whose columns are the principal axes
+    /// (eigenvectors of the covariance/correlation matrix), ordered by
+    /// decreasing eigenvalue.
+    pub rotation: Matrix,
+    /// Eigenvalues, i.e. component variances, descending.
+    pub variances: Vec<f64>,
+    options: PcaOptions,
+}
+
+impl Pca {
+    /// Fits a PCA on row-major observations.
+    pub fn fit(x: &Matrix, options: PcaOptions) -> Result<Pca> {
+        let (n, p) = x.shape();
+        if n < 2 || p == 0 {
+            return Err(PcaError::NotEnoughData);
+        }
+        let basis = if options.scale {
+            stats::correlation_matrix(x)
+        } else {
+            stats::covariance_matrix(x)
+        }
+        .map_err(|e| PcaError::Eigen(e.to_string()))?;
+        let eig = SymmetricEigen::decompose(&basis).map_err(|e| PcaError::Eigen(e.to_string()))?;
+        let means = stats::column_means(x);
+        let scales = if options.scale {
+            stats::column_std_devs(x)
+                .into_iter()
+                .map(|s| if s == 0.0 { 1.0 } else { s })
+                .collect()
+        } else {
+            vec![1.0; p]
+        };
+        // Clamp tiny negative eigenvalues (floating-point artefacts on PSD
+        // matrices) to zero so variance fractions stay sane.
+        let variances = eig.values.iter().map(|&v| v.max(0.0)).collect();
+        Ok(Pca {
+            means,
+            scales,
+            rotation: eig.vectors,
+            variances,
+            options,
+        })
+    }
+
+    /// Number of features the model was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.variances.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.variances.len()];
+        }
+        self.variances.iter().map(|&v| v / total).collect()
+    }
+
+    /// Cumulative explained-variance fractions.
+    pub fn cumulative_explained(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.explained_variance_ratio()
+            .into_iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Smallest number of components whose cumulative explained variance
+    /// reaches `threshold` (e.g. 0.95). The paper retains components
+    /// accounting for ≥96–97% of variance — typically four.
+    pub fn components_for(&self, threshold: f64) -> usize {
+        let cum = self.cumulative_explained();
+        for (k, &c) in cum.iter().enumerate() {
+            if c >= threshold {
+                return k + 1;
+            }
+        }
+        cum.len()
+    }
+
+    /// Projects observations onto the first `k` components (scores).
+    pub fn transform(&self, x: &Matrix, k: usize) -> Result<Matrix> {
+        let p = self.n_features();
+        if k > p {
+            return Err(PcaError::TooManyComponents {
+                requested: k,
+                available: p,
+            });
+        }
+        let (n, xp) = x.shape();
+        if xp != p {
+            return Err(PcaError::Eigen(format!(
+                "expected {p} features, got {xp}"
+            )));
+        }
+        let mut scores = Matrix::zeros(n, k);
+        for i in 0..n {
+            let row = x.row(i);
+            for c in 0..k {
+                let mut s = 0.0;
+                for j in 0..p {
+                    let z = (row[j] - self.means[j]) / self.scales[j];
+                    s += z * self.rotation[(j, c)];
+                }
+                scores[(i, c)] = s;
+            }
+        }
+        Ok(scores)
+    }
+
+    /// The loadings of the first `k` components as a `p x k` matrix.
+    pub fn loadings(&self, k: usize) -> Result<Matrix> {
+        let p = self.n_features();
+        if k > p {
+            return Err(PcaError::TooManyComponents {
+                requested: k,
+                available: p,
+            });
+        }
+        let mut l = Matrix::zeros(p, k);
+        for j in 0..p {
+            for c in 0..k {
+                l[(j, c)] = self.rotation[(j, c)];
+            }
+        }
+        Ok(l)
+    }
+
+    /// Loadings scaled by the square root of the component variances —
+    /// "factor loadings" in the factor-analysis sense; their squares sum (per
+    /// row) to each variable's communality. These are what the paper's PCA
+    /// tables report.
+    pub fn factor_loadings(&self, k: usize) -> Result<Matrix> {
+        let mut l = self.loadings(k)?;
+        for c in 0..k {
+            let s = self.variances[c].sqrt();
+            for j in 0..l.rows() {
+                l[(j, c)] *= s;
+            }
+        }
+        Ok(l)
+    }
+
+    /// For component `c`, the indices of the `top` variables by absolute
+    /// loading together with their (signed) loadings — how the paper reads a
+    /// component ("gld_request, shared_load and l2_read_transactions have
+    /// positive loadings on PC1").
+    pub fn dominant_variables(&self, c: usize, top: usize) -> Vec<(usize, f64)> {
+        let p = self.n_features();
+        let mut pairs: Vec<(usize, f64)> = (0..p).map(|j| (j, self.rotation[(j, c)])).collect();
+        pairs.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        pairs.truncate(top);
+        pairs
+    }
+
+    /// Whether scaling was enabled at fit time.
+    pub fn scaled(&self) -> bool {
+        self.options.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data with a dominant direction along (1, 1) and small noise along
+    /// (1, -1).
+    fn correlated_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 5.0;
+            let noise = ((i * 7) % 5) as f64 * 0.05;
+            rows.push(vec![t + noise, t - noise]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.95, "ratio {ratio:?}");
+        // Loadings on PC1 should be near (1/sqrt2, 1/sqrt2).
+        let l = pca.loadings(1).unwrap();
+        assert!((l[(0, 0)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((l[(1, 0)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn explained_ratios_sum_to_one() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let total: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_one() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let cum = pca.cumulative_explained();
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_for_threshold() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        assert_eq!(pca.components_for(0.9), 1);
+        assert_eq!(pca.components_for(1.0), 2);
+    }
+
+    #[test]
+    fn scores_are_uncorrelated() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let scores = pca.transform(&x, 2).unwrap();
+        let c0 = scores.col(0);
+        let c1 = scores.col(1);
+        assert!(bf_linalg::stats::pearson(&c0, &c1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn score_variances_match_eigenvalues() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let scores = pca.transform(&x, 2).unwrap();
+        for c in 0..2 {
+            let v = bf_linalg::stats::variance(&scores.col(c));
+            assert!(
+                (v - pca.variances[c]).abs() < 1e-8,
+                "component {c}: {v} vs {}",
+                pca.variances[c]
+            );
+        }
+    }
+
+    #[test]
+    fn unscaled_pca_respects_raw_variances() {
+        // Column 0 has hugely larger variance; without scaling it dominates.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![1000.0 * i as f64, (i % 3) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&x, PcaOptions { scale: false }).unwrap();
+        let l = pca.loadings(1).unwrap();
+        assert!(l[(0, 0)].abs() > 0.999);
+    }
+
+    #[test]
+    fn constant_column_is_tolerated() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 5.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        assert!(pca.variances.iter().all(|v| v.is_finite()));
+        let scores = pca.transform(&x, 2).unwrap();
+        assert!(scores.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_single_observation() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            Pca::fit(&x, PcaOptions::default()),
+            Err(PcaError::NotEnoughData)
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_components() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        assert!(pca.transform(&x, 3).is_err());
+        assert!(pca.loadings(3).is_err());
+    }
+
+    #[test]
+    fn dominant_variables_sorted_by_absolute_loading() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let dom = pca.dominant_variables(0, 2);
+        assert_eq!(dom.len(), 2);
+        assert!(dom[0].1.abs() >= dom[1].1.abs());
+    }
+
+    #[test]
+    fn factor_loadings_scale_with_sqrt_variance() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, PcaOptions::default()).unwrap();
+        let raw = pca.loadings(2).unwrap();
+        let fl = pca.factor_loadings(2).unwrap();
+        for c in 0..2 {
+            let s = pca.variances[c].sqrt();
+            for j in 0..2 {
+                assert!((fl[(j, c)] - raw[(j, c)] * s).abs() < 1e-12);
+            }
+        }
+    }
+}

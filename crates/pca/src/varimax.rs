@@ -1,0 +1,249 @@
+//! Varimax rotation of factor loadings.
+//!
+//! Varimax finds an orthogonal rotation of the loading matrix that maximises
+//! the variance of the squared loadings within each component, driving each
+//! variable's loading toward 0 or ±1 and making components interpretable as
+//! distinct "performance patterns". The paper's toolchain calls R's
+//! `varimax` right after `prcomp` for exactly this reason.
+//!
+//! Implementation: the classical pairwise (Kaiser) rotation algorithm with
+//! Kaiser row normalisation, iterated until the rotation angle updates fall
+//! below tolerance.
+
+use bf_linalg::Matrix;
+
+/// Result of a varimax rotation.
+#[derive(Debug, Clone)]
+pub struct VarimaxResult {
+    /// The rotated loading matrix (`p x k`).
+    pub loadings: Matrix,
+    /// The orthogonal rotation matrix (`k x k`) with
+    /// `loadings = original * rotation`.
+    pub rotation: Matrix,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+}
+
+/// Rotates a `p x k` loading matrix with the varimax criterion.
+///
+/// `normalize` applies Kaiser normalisation (rows scaled to unit communality
+/// during rotation, then scaled back), matching R's default.
+pub fn varimax(loadings: &Matrix, normalize: bool) -> VarimaxResult {
+    let (p, k) = loadings.shape();
+    let mut l = loadings.clone();
+    let mut rotation = Matrix::identity(k);
+    if k < 2 || p == 0 {
+        return VarimaxResult {
+            loadings: l,
+            rotation,
+            iterations: 0,
+        };
+    }
+
+    // Kaiser normalisation: scale each row to unit length.
+    let mut row_norms = vec![1.0; p];
+    if normalize {
+        for i in 0..p {
+            let norm: f64 = l.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                row_norms[i] = norm;
+                for j in 0..k {
+                    l[(i, j)] /= norm;
+                }
+            }
+        }
+    }
+
+    const MAX_SWEEPS: usize = 100;
+    const TOL: f64 = 1e-10;
+    let mut iterations = 0;
+    for sweep in 0..MAX_SWEEPS {
+        iterations = sweep + 1;
+        let mut max_angle = 0.0f64;
+        for a in 0..(k - 1) {
+            for b in (a + 1)..k {
+                // Accumulate the quantities of the classic rotation formula.
+                let (mut u_sum, mut v_sum, mut u2v2_sum, mut uv_sum) = (0.0, 0.0, 0.0, 0.0);
+                for i in 0..p {
+                    let x = l[(i, a)];
+                    let y = l[(i, b)];
+                    let u = x * x - y * y;
+                    let v = 2.0 * x * y;
+                    u_sum += u;
+                    v_sum += v;
+                    u2v2_sum += u * u - v * v;
+                    uv_sum += u * v;
+                }
+                let num = 2.0 * (uv_sum - u_sum * v_sum / p as f64);
+                let den = u2v2_sum - (u_sum * u_sum - v_sum * v_sum) / p as f64;
+                if num == 0.0 && den == 0.0 {
+                    continue;
+                }
+                let phi = 0.25 * num.atan2(den);
+                max_angle = max_angle.max(phi.abs());
+                if phi.abs() < TOL {
+                    continue;
+                }
+                let (s, c) = phi.sin_cos();
+                for i in 0..p {
+                    let x = l[(i, a)];
+                    let y = l[(i, b)];
+                    l[(i, a)] = c * x + s * y;
+                    l[(i, b)] = -s * x + c * y;
+                }
+                for i in 0..k {
+                    let x = rotation[(i, a)];
+                    let y = rotation[(i, b)];
+                    rotation[(i, a)] = c * x + s * y;
+                    rotation[(i, b)] = -s * x + c * y;
+                }
+            }
+        }
+        if max_angle < TOL {
+            break;
+        }
+    }
+
+    if normalize {
+        for i in 0..p {
+            for j in 0..k {
+                l[(i, j)] *= row_norms[i];
+            }
+        }
+    }
+
+    VarimaxResult {
+        loadings: l,
+        rotation,
+        iterations,
+    }
+}
+
+/// The varimax criterion value: sum over components of the variance of the
+/// squared loadings. Rotation should never decrease this.
+pub fn varimax_criterion(loadings: &Matrix) -> f64 {
+    let (p, k) = loadings.shape();
+    if p == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for c in 0..k {
+        let sq: Vec<f64> = (0..p).map(|i| loadings[(i, c)] * loadings[(i, c)]).collect();
+        let mean = sq.iter().sum::<f64>() / p as f64;
+        total += sq.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / p as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately "muddled" loading matrix: two clean factors mixed by a
+    /// 45° rotation so every variable loads on both components.
+    fn muddled_loadings() -> Matrix {
+        let clean = Matrix::from_rows(&[
+            vec![0.9, 0.0],
+            vec![0.8, 0.1],
+            vec![0.85, -0.05],
+            vec![0.0, 0.9],
+            vec![0.1, 0.8],
+            vec![-0.05, 0.85],
+        ])
+        .unwrap();
+        let theta = std::f64::consts::FRAC_PI_4;
+        let rot = Matrix::from_rows(&[
+            vec![theta.cos(), -theta.sin()],
+            vec![theta.sin(), theta.cos()],
+        ])
+        .unwrap();
+        clean.matmul(&rot).unwrap()
+    }
+
+    #[test]
+    fn rotation_improves_criterion() {
+        let l = muddled_loadings();
+        let before = varimax_criterion(&l);
+        let r = varimax(&l, true);
+        let after = varimax_criterion(&r.loadings);
+        assert!(after > before, "criterion {before} -> {after}");
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthogonal() {
+        let l = muddled_loadings();
+        let r = varimax(&l, true);
+        let rtr = r.rotation.transpose().matmul(&r.rotation).unwrap();
+        assert!(rtr.approx_eq(&Matrix::identity(2), 1e-8));
+    }
+
+    #[test]
+    fn loadings_equal_original_times_rotation() {
+        let l = muddled_loadings();
+        let r = varimax(&l, false);
+        let reconstructed = l.matmul(&r.rotation).unwrap();
+        assert!(reconstructed.approx_eq(&r.loadings, 1e-8));
+    }
+
+    #[test]
+    fn communalities_preserved() {
+        // Row sums of squared loadings are rotation invariants.
+        let l = muddled_loadings();
+        let r = varimax(&l, true);
+        for i in 0..l.rows() {
+            let before: f64 = l.row(i).iter().map(|v| v * v).sum();
+            let after: f64 = r.loadings.row(i).iter().map(|v| v * v).sum();
+            assert!((before - after).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn recovers_simple_structure() {
+        let l = muddled_loadings();
+        let r = varimax(&l, true);
+        // After rotation, each of the first three variables should load
+        // dominantly on one component and the last three on the other.
+        let dominant = |i: usize| -> usize {
+            if r.loadings[(i, 0)].abs() >= r.loadings[(i, 1)].abs() {
+                0
+            } else {
+                1
+            }
+        };
+        let first = dominant(0);
+        assert_eq!(dominant(1), first);
+        assert_eq!(dominant(2), first);
+        let second = dominant(3);
+        assert_ne!(first, second);
+        assert_eq!(dominant(4), second);
+        assert_eq!(dominant(5), second);
+    }
+
+    #[test]
+    fn single_component_is_noop() {
+        let l = Matrix::from_rows(&[vec![0.5], vec![0.7]]).unwrap();
+        let r = varimax(&l, true);
+        assert!(r.loadings.approx_eq(&l, 1e-12));
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn already_simple_structure_is_stable() {
+        let l = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 0.95],
+        ])
+        .unwrap();
+        let r = varimax(&l, false);
+        // Criterion can't get better than the (already maximal) structure by
+        // more than numerical noise.
+        assert!(varimax_criterion(&r.loadings) >= varimax_criterion(&l) - 1e-12);
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((r.loadings[(i, j)].abs() - l[(i, j)].abs()).abs() < 0.05);
+            }
+        }
+    }
+}

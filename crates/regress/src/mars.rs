@@ -1,0 +1,485 @@
+//! MARS — Multivariate Adaptive Regression Splines (Friedman 1991).
+//!
+//! The model (paper Eq. 4) is `f(x) = Σ c_i B_i(x)` where each basis
+//! function `B_i` is the intercept, a hinge `max(0, x_j - c)` /
+//! `max(0, c - x_j)`, or a product of hinges (interactions). The fit has two
+//! phases:
+//!
+//! 1. **Forward pass** — greedily add the reflected hinge *pair* (parent
+//!    basis × new hinge on a candidate knot) that most reduces the residual
+//!    sum of squares, until the term budget is exhausted or the improvement
+//!    stalls.
+//! 2. **Backward pass** — prune terms one at a time, keeping the subset with
+//!    the best generalized cross-validation (GCV) score.
+//!
+//! This mirrors R's `earth`, which the paper uses for the Needleman-Wunsch
+//! counter models ("with average R-squared of 0.99").
+
+use crate::{RegressError, Result};
+use bf_linalg::{cholesky::solve_spd_ridge, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// One hinge factor `max(0, ±(x_j - knot))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hinge {
+    /// Input feature index.
+    pub feature: usize,
+    /// Knot location `c`.
+    pub knot: f64,
+    /// `true` for `max(0, x - c)`, `false` for `max(0, c - x)`.
+    pub positive: bool,
+}
+
+impl Hinge {
+    fn eval(&self, row: &[f64]) -> f64 {
+        let d = row[self.feature] - self.knot;
+        if self.positive {
+            d.max(0.0)
+        } else {
+            (-d).max(0.0)
+        }
+    }
+}
+
+/// A MARS basis function: a product of hinges (empty product = intercept).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasisFunction {
+    /// The hinge factors; empty means the constant term.
+    pub hinges: Vec<Hinge>,
+}
+
+impl BasisFunction {
+    fn intercept() -> Self {
+        BasisFunction { hinges: Vec::new() }
+    }
+
+    fn eval(&self, row: &[f64]) -> f64 {
+        self.hinges.iter().map(|h| h.eval(row)).product()
+    }
+
+    fn degree(&self) -> usize {
+        self.hinges.len()
+    }
+
+    fn uses_feature(&self, f: usize) -> bool {
+        self.hinges.iter().any(|h| h.feature == f)
+    }
+}
+
+/// MARS hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MarsParams {
+    /// Maximum number of basis functions grown in the forward pass
+    /// (including the intercept). `earth` default is 21 for small problems.
+    pub max_terms: usize,
+    /// Maximum interaction degree (1 = additive model, 2 = pairwise).
+    pub max_degree: usize,
+    /// GCV penalty per knot; Friedman recommends 3 for interactive models,
+    /// 2 for additive.
+    pub penalty: f64,
+    /// Maximum number of candidate knots per feature (evenly spaced
+    /// quantiles of the observed values). Caps the forward-pass cost.
+    pub max_knots: usize,
+    /// Forward pass stops early when RSS improvement falls below this
+    /// fraction of the current RSS.
+    pub min_improvement: f64,
+}
+
+impl Default for MarsParams {
+    fn default() -> Self {
+        MarsParams {
+            max_terms: 21,
+            max_degree: 2,
+            penalty: 3.0,
+            max_knots: 32,
+            min_improvement: 1e-4,
+        }
+    }
+}
+
+/// A fitted MARS model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mars {
+    /// Retained basis functions (first is always the intercept).
+    pub basis: Vec<BasisFunction>,
+    /// Coefficients aligned with `basis`.
+    pub coefficients: Vec<f64>,
+    /// GCV score of the final model.
+    pub gcv: f64,
+    /// Training R².
+    pub train_r_squared: f64,
+}
+
+impl Mars {
+    /// Fits a MARS model to row-major observations.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &MarsParams) -> Result<Mars> {
+        if x.is_empty() || y.is_empty() {
+            return Err(RegressError::BadTrainingData("empty training set".into()));
+        }
+        if x.len() != y.len() {
+            return Err(RegressError::BadTrainingData(format!(
+                "{} rows but {} responses",
+                x.len(),
+                y.len()
+            )));
+        }
+        let n = x.len();
+        let p = x[0].len();
+        if x.iter().any(|r| r.len() != p) {
+            return Err(RegressError::BadTrainingData("ragged rows".into()));
+        }
+
+        // Candidate knots per feature: unique observed values, thinned to
+        // max_knots evenly spaced quantiles.
+        let knots: Vec<Vec<f64>> = (0..p)
+            .map(|f| {
+                let mut vals: Vec<f64> = x.iter().map(|r| r[f]).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vals.dedup();
+                if vals.len() > params.max_knots {
+                    let m = vals.len();
+                    (0..params.max_knots)
+                        .map(|k| vals[k * (m - 1) / (params.max_knots - 1)])
+                        .collect()
+                } else {
+                    vals
+                }
+            })
+            .collect();
+
+        // Forward pass.
+        let mut basis = vec![BasisFunction::intercept()];
+        // Column cache: evaluated basis columns over the training set.
+        let mut columns: Vec<Vec<f64>> = vec![vec![1.0; n]];
+        let mut current_rss = fit_rss(&columns, y)?.1;
+        let total_ss = current_rss; // intercept-only RSS == TSS
+
+        while basis.len() + 2 <= params.max_terms {
+            let mut best: Option<(f64, usize, Hinge, Hinge)> = None;
+            for (parent_idx, parent) in basis.iter().enumerate() {
+                if parent.degree() >= params.max_degree {
+                    continue;
+                }
+                for f in 0..p {
+                    // Standard MARS restriction: a feature appears at most
+                    // once per product.
+                    if parent.uses_feature(f) {
+                        continue;
+                    }
+                    for &knot in &knots[f] {
+                        let pos = Hinge {
+                            feature: f,
+                            knot,
+                            positive: true,
+                        };
+                        let neg = Hinge {
+                            feature: f,
+                            knot,
+                            positive: false,
+                        };
+                        // Evaluate the two new columns.
+                        let parent_col = &columns[parent_idx];
+                        let mut col_pos = Vec::with_capacity(n);
+                        let mut col_neg = Vec::with_capacity(n);
+                        for (i, row) in x.iter().enumerate() {
+                            col_pos.push(parent_col[i] * pos.eval(row));
+                            col_neg.push(parent_col[i] * neg.eval(row));
+                        }
+                        // Skip degenerate (all-zero) additions.
+                        let live_pos = col_pos.iter().any(|&v| v != 0.0);
+                        let live_neg = col_neg.iter().any(|&v| v != 0.0);
+                        if !live_pos && !live_neg {
+                            continue;
+                        }
+                        let mut trial = columns.clone();
+                        trial.push(col_pos);
+                        trial.push(col_neg);
+                        let Ok((_, rss)) = fit_rss(&trial, y) else {
+                            continue;
+                        };
+                        if best.as_ref().is_none_or(|(b_rss, ..)| rss < *b_rss) {
+                            best = Some((rss, parent_idx, pos, neg));
+                        }
+                    }
+                }
+            }
+            let Some((rss, parent_idx, pos, neg)) = best else {
+                break;
+            };
+            let improvement = current_rss - rss;
+            if improvement < params.min_improvement * current_rss.max(1e-300) {
+                break;
+            }
+            // Accept the pair.
+            let parent = basis[parent_idx].clone();
+            for hinge in [pos, neg] {
+                let mut b = parent.clone();
+                b.hinges.push(hinge);
+                let col: Vec<f64> = x.iter().map(|r| b.eval(r)).collect();
+                basis.push(b);
+                columns.push(col);
+            }
+            current_rss = rss;
+            if current_rss <= 1e-12 * total_ss.max(1e-300) {
+                break;
+            }
+        }
+
+        // Backward pass: prune by GCV.
+        let mut active: Vec<usize> = (0..basis.len()).collect();
+        let mut best_active = active.clone();
+        let mut best_gcv = gcv_score(&subset(&columns, &active), y, params.penalty)?;
+        while active.len() > 1 {
+            // Drop the term (never the intercept) whose removal yields the
+            // best GCV.
+            let mut round_best: Option<(f64, usize)> = None;
+            for (pos, &term) in active.iter().enumerate() {
+                if term == 0 {
+                    continue; // keep the intercept
+                }
+                let mut trial = active.clone();
+                trial.remove(pos);
+                let g = gcv_score(&subset(&columns, &trial), y, params.penalty)?;
+                if round_best.as_ref().is_none_or(|(bg, _)| g < *bg) {
+                    round_best = Some((g, pos));
+                }
+            }
+            let Some((g, pos)) = round_best else { break };
+            active.remove(pos);
+            if g < best_gcv {
+                best_gcv = g;
+                best_active = active.clone();
+            }
+        }
+
+        // Final fit on the surviving subset.
+        let final_cols = subset(&columns, &best_active);
+        let (coefficients, rss) = fit_rss(&final_cols, y)?;
+        let final_basis: Vec<BasisFunction> =
+            best_active.iter().map(|&i| basis[i].clone()).collect();
+        let train_r_squared = if total_ss == 0.0 {
+            1.0
+        } else {
+            1.0 - rss / total_ss
+        };
+        Ok(Mars {
+            basis: final_basis,
+            coefficients,
+            gcv: best_gcv,
+            train_r_squared,
+        })
+    }
+
+    /// Predicts the response for one input row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(self.coefficients.iter())
+            .map(|(b, &c)| c * b.eval(row))
+            .sum()
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Number of basis functions (including the intercept).
+    pub fn n_terms(&self) -> usize {
+        self.basis.len()
+    }
+}
+
+/// Least-squares fit of `y` on the given columns; returns (coefficients, RSS).
+fn fit_rss(columns: &[Vec<f64>], y: &[f64]) -> Result<(Vec<f64>, f64)> {
+    let k = columns.len();
+    let n = y.len();
+    // Build the Gram matrix directly from columns (cheaper than materialising
+    // the design matrix row-major).
+    let mut gram = Matrix::zeros(k, k);
+    for a in 0..k {
+        for b in a..k {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += columns[a][i] * columns[b][i];
+            }
+            gram[(a, b)] = s;
+            gram[(b, a)] = s;
+        }
+    }
+    let mut rhs = vec![0.0; k];
+    for a in 0..k {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += columns[a][i] * y[i];
+        }
+        rhs[a] = s;
+    }
+    let coef =
+        solve_spd_ridge(&gram, &rhs, 1e-9).map_err(|e| RegressError::Solve(e.to_string()))?;
+    let mut rss = 0.0;
+    for i in 0..n {
+        let mut pred = 0.0;
+        for a in 0..k {
+            pred += coef[a] * columns[a][i];
+        }
+        rss += (pred - y[i]) * (pred - y[i]);
+    }
+    Ok((coef, rss))
+}
+
+/// GCV = (RSS / n) / (1 - C(M)/n)² with effective parameters
+/// `C(M) = M + penalty * (M - 1) / 2` where `M` is the number of terms.
+fn gcv_score(columns: &[Vec<f64>], y: &[f64], penalty: f64) -> Result<f64> {
+    let n = y.len() as f64;
+    let m = columns.len() as f64;
+    let c = m + penalty * (m - 1.0) / 2.0;
+    let (_, rss) = fit_rss(columns, y)?;
+    let denom = (1.0 - c / n).max(1e-3);
+    Ok((rss / n) / (denom * denom))
+}
+
+fn subset(columns: &[Vec<f64>], active: &[usize]) -> Vec<Vec<f64>> {
+    active.iter().map(|&i| columns[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_small() -> MarsParams {
+        MarsParams {
+            max_terms: 11,
+            ..MarsParams::default()
+        }
+    }
+
+    #[test]
+    fn fits_piecewise_linear_exactly() {
+        // A single hinge at x = 5: y = 2x for x < 5, y = 10 for x >= 5.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0].min(5.0)).collect();
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        assert!(m.train_r_squared > 0.999, "r2 = {}", m.train_r_squared);
+        assert!((m.predict_row(&[1.0]) - 2.0).abs() < 0.1);
+        assert!((m.predict_row(&[8.0]) - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 2.0).collect();
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        assert!(m.train_r_squared > 0.999);
+        assert!((m.predict_row(&[15.5]) - (3.0 * 15.5 + 2.0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn captures_interaction_when_allowed() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(a as f64 * b as f64);
+            }
+        }
+        let m = Mars::fit(&x, &y, &MarsParams { max_degree: 2, max_terms: 15, ..MarsParams::default() }).unwrap();
+        assert!(m.train_r_squared > 0.95, "r2 = {}", m.train_r_squared);
+        // At least one basis function of degree 2 should survive pruning.
+        assert!(m.basis.iter().any(|b| b.degree() == 2));
+    }
+
+    #[test]
+    fn additive_restriction_blocks_interactions() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(a as f64 * b as f64);
+            }
+        }
+        let m = Mars::fit(
+            &x,
+            &y,
+            &MarsParams {
+                max_degree: 1,
+                ..default_small()
+            },
+        )
+        .unwrap();
+        assert!(m.basis.iter().all(|b| b.degree() <= 1));
+    }
+
+    #[test]
+    fn intercept_always_first_and_retained() {
+        let x: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].powi(2)).collect();
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        assert!(m.basis[0].hinges.is_empty());
+    }
+
+    #[test]
+    fn constant_response_yields_intercept_only() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 20];
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        assert_eq!(m.n_terms(), 1);
+        assert!((m.predict_row(&[3.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_terms_budget() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] / 10.0).sin() * 10.0).collect();
+        let m = Mars::fit(
+            &x,
+            &y,
+            &MarsParams {
+                max_terms: 7,
+                min_improvement: 0.0,
+                ..MarsParams::default()
+            },
+        )
+        .unwrap();
+        assert!(m.n_terms() <= 7);
+    }
+
+    #[test]
+    fn smooth_nonlinearity_well_approximated() {
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 8.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let m = Mars::fit(&x, &y, &MarsParams { max_terms: 21, ..MarsParams::default() }).unwrap();
+        assert!(m.train_r_squared > 0.99);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Mars::fit(&[], &[], &MarsParams::default()).is_err());
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(Mars::fit(&x, &[1.0], &MarsParams::default()).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Mars::fit(&ragged, &[1.0, 2.0], &MarsParams::default()).is_err());
+    }
+
+    #[test]
+    fn prediction_is_finite_outside_training_range() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0]).collect();
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        for q in [-100.0, 1000.0] {
+            assert!(m.predict_row(&[q]).is_finite());
+        }
+    }
+
+    #[test]
+    fn gcv_positive_for_noisy_data() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| i as f64 + ((i * 2654435761usize) % 7) as f64)
+            .collect();
+        let m = Mars::fit(&x, &y, &default_small()).unwrap();
+        assert!(m.gcv > 0.0);
+    }
+}

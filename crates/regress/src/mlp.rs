@@ -1,0 +1,276 @@
+//! A small multilayer-perceptron regressor — the neural-network baseline.
+//!
+//! The paper justifies choosing random forests because they "usually
+//! outperform the more traditional classification and regression
+//! algorithms, such as support vector machine and neural networks,
+//! especially for scarce training data" (citing Liaw & Wiener). This module
+//! provides the neural side of that comparison: a single-hidden-layer MLP
+//! with tanh activations trained by full-batch gradient descent with
+//! momentum on standardized inputs/targets. Deliberately plain — the point
+//! is a fair, classic baseline, not a deep-learning framework.
+
+use crate::{RegressError, Result};
+use serde::{Deserialize, Serialize};
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Gradient-descent steps.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: 16,
+            epochs: 4000,
+            learning_rate: 0.02,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted MLP regressor (one tanh hidden layer, linear output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    w1: Vec<Vec<f64>>, // hidden x input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    /// Training R² after the final epoch.
+    pub train_r_squared: f64,
+}
+
+/// Tiny deterministic RNG (splitmix64) for weight init, avoiding any
+/// dependency surface in this crate.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [-a, a].
+    fn sym(&mut self, a: f64) -> f64 {
+        (self.next_f64() * 2.0 - 1.0) * a
+    }
+}
+
+impl MlpRegressor {
+    /// Trains the network on row-major observations.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &MlpParams) -> Result<MlpRegressor> {
+        if x.is_empty() || y.is_empty() || x.len() != y.len() {
+            return Err(RegressError::BadTrainingData(
+                "empty or mismatched input".into(),
+            ));
+        }
+        let n = x.len();
+        let p = x[0].len();
+        if x.iter().any(|r| r.len() != p) {
+            return Err(RegressError::BadTrainingData("ragged rows".into()));
+        }
+        // Standardize inputs and target (essential for tanh units).
+        let mut x_mean = vec![0.0; p];
+        let mut x_std = vec![0.0; p];
+        for j in 0..p {
+            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            let m = col.iter().sum::<f64>() / n as f64;
+            let v = col.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / n as f64;
+            x_mean[j] = m;
+            x_std[j] = v.sqrt().max(1e-12);
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|&v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-12);
+        let xs: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| (0..p).map(|j| (r[j] - x_mean[j]) / x_std[j]).collect())
+            .collect();
+        let ys: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
+
+        let h = params.hidden;
+        let mut rng = SplitMix(params.seed ^ 0xD1B5_4A32_D192_ED03);
+        let scale1 = (1.0 / p as f64).sqrt();
+        let scale2 = (1.0 / h as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..p).map(|_| rng.sym(scale1)).collect())
+            .collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.sym(scale2)).collect();
+        let mut b2 = 0.0;
+        // Momentum buffers.
+        let mut vw1 = vec![vec![0.0; p]; h];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; h];
+        let mut vb2 = 0.0;
+
+        let mut hidden = vec![0.0; h];
+        for _ in 0..params.epochs {
+            // Accumulate full-batch gradients.
+            let mut gw1 = vec![vec![0.0; p]; h];
+            let mut gb1 = vec![0.0; h];
+            let mut gw2 = vec![0.0; h];
+            let mut gb2 = 0.0;
+            for (row, &t) in xs.iter().zip(ys.iter()) {
+                for k in 0..h {
+                    let mut a = b1[k];
+                    for j in 0..p {
+                        a += w1[k][j] * row[j];
+                    }
+                    hidden[k] = a.tanh();
+                }
+                let out = b2 + w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>();
+                let err = out - t;
+                gb2 += err;
+                for k in 0..h {
+                    gw2[k] += err * hidden[k];
+                    let dh = err * w2[k] * (1.0 - hidden[k] * hidden[k]);
+                    gb1[k] += dh;
+                    for j in 0..p {
+                        gw1[k][j] += dh * row[j];
+                    }
+                }
+            }
+            let lr = params.learning_rate / n as f64;
+            let mu = params.momentum;
+            let wd = params.weight_decay;
+            for k in 0..h {
+                for j in 0..p {
+                    vw1[k][j] = mu * vw1[k][j] - lr * (gw1[k][j] + wd * w1[k][j]);
+                    w1[k][j] += vw1[k][j];
+                }
+                vb1[k] = mu * vb1[k] - lr * gb1[k];
+                b1[k] += vb1[k];
+                vw2[k] = mu * vw2[k] - lr * (gw2[k] + wd * w2[k]);
+                w2[k] += vw2[k];
+            }
+            vb2 = mu * vb2 - lr * gb2;
+            b2 += vb2;
+        }
+
+        let mut model = MlpRegressor {
+            w1,
+            b1,
+            w2,
+            b2,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+            train_r_squared: 0.0,
+        };
+        let pred: Vec<f64> = x.iter().map(|r| model.predict_row(r)).collect();
+        let rss: f64 = pred
+            .iter()
+            .zip(y.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let tss = y_var * n as f64;
+        model.train_r_squared = if tss == 0.0 { 1.0 } else { 1.0 - rss / tss };
+        Ok(model)
+    }
+
+    /// Predicts the response for one input row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let p = self.x_mean.len();
+        let mut out = self.b2;
+        for k in 0..self.w1.len() {
+            let mut a = self.b1[k];
+            for j in 0..p {
+                a += self.w1[k][j] * (row[j] - self.x_mean[j]) / self.x_std[j];
+            }
+            out += self.w2[k] * a.tanh();
+        }
+        out * self.y_std + self.y_mean
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let m = MlpRegressor::fit(&x, &y, &MlpParams::default()).unwrap();
+        assert!(m.train_r_squared > 0.99, "r2 {}", m.train_r_squared);
+        let p = m.predict_row(&[20.5]);
+        assert!((p - 62.5).abs() < 3.0, "pred {p}");
+    }
+
+    #[test]
+    fn learns_smooth_nonlinearity() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 6.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0]).sin() * 5.0).collect();
+        let m = MlpRegressor::fit(
+            &x,
+            &y,
+            &MlpParams {
+                hidden: 24,
+                epochs: 8000,
+                ..MlpParams::default()
+            },
+        )
+        .unwrap();
+        assert!(m.train_r_squared > 0.95, "r2 {}", m.train_r_squared);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let m1 = MlpRegressor::fit(&x, &y, &MlpParams::default()).unwrap();
+        let m2 = MlpRegressor::fit(&x, &y, &MlpParams::default()).unwrap();
+        assert_eq!(m1.predict_row(&[7.0]), m2.predict_row(&[7.0]));
+    }
+
+    #[test]
+    fn constant_target_is_learned() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 20];
+        let m = MlpRegressor::fit(&x, &y, &MlpParams::default()).unwrap();
+        assert!((m.predict_row(&[3.0]) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(MlpRegressor::fit(&[], &[], &MlpParams::default()).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(MlpRegressor::fit(&ragged, &[1.0, 2.0], &MlpParams::default()).is_err());
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 4.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let m = MlpRegressor::fit(&x, &y, &MlpParams::default()).unwrap();
+        assert!(m.predict_row(&[5.0, 4.0]).is_finite());
+    }
+}

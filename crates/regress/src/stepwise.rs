@@ -1,0 +1,221 @@
+//! Stepwise linear regression — the Stargazer-style baseline.
+//!
+//! The paper's §2 discusses Stargazer (Jia, Shaw, Martonosi 2012), "an
+//! automated GPU performance exploration framework based on stepwise
+//! regression modeling", and argues that such "less powerful statistical
+//! models ... fundamentally lack the ability to determine performance
+//! bottleneck analysis". To make that comparison concrete, this module
+//! implements classical forward-backward stepwise selection of linear terms
+//! under the AIC criterion; the `ablation_baselines` bench pits it against
+//! the random forest on the paper's datasets.
+
+use crate::glm::{Basis, LinearModel};
+use crate::{RegressError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Options for the stepwise search.
+#[derive(Debug, Clone, Copy)]
+pub struct StepwiseParams {
+    /// Maximum number of selected predictors (besides the intercept).
+    pub max_terms: usize,
+    /// Minimum AIC improvement to accept a forward step.
+    pub min_improvement: f64,
+}
+
+impl Default for StepwiseParams {
+    fn default() -> Self {
+        StepwiseParams {
+            max_terms: 12,
+            min_improvement: 1e-6,
+        }
+    }
+}
+
+/// A fitted stepwise linear model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepwiseModel {
+    /// Indices of the selected features, in selection order.
+    pub selected: Vec<usize>,
+    /// The final linear model (intercept + selected features).
+    pub model: LinearModel,
+    /// AIC of the final model.
+    pub aic: f64,
+}
+
+/// Akaike information criterion for a Gaussian linear model:
+/// `n ln(RSS/n) + 2k`.
+fn aic(rss: f64, n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    n * (rss.max(1e-300) / n).ln() + 2.0 * (k as f64 + 1.0)
+}
+
+fn fit_subset(x: &[Vec<f64>], y: &[f64], subset: &[usize]) -> Result<(LinearModel, f64)> {
+    let mut basis = vec![Basis::Intercept];
+    for &f in subset {
+        basis.push(Basis::Power { feature: f, power: 1 });
+    }
+    let m = LinearModel::fit(&basis, x, y)?;
+    let a = aic(m.residual_deviance, y.len(), subset.len());
+    Ok((m, a))
+}
+
+impl StepwiseModel {
+    /// Fits by forward selection with backward pruning after each
+    /// acceptance, both driven by AIC.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &StepwiseParams) -> Result<StepwiseModel> {
+        if x.is_empty() || y.is_empty() || x.len() != y.len() {
+            return Err(RegressError::BadTrainingData(
+                "empty or mismatched input".into(),
+            ));
+        }
+        let p = x[0].len();
+        let mut selected: Vec<usize> = Vec::new();
+        let (mut best_model, mut best_aic) = fit_subset(x, y, &selected)?;
+
+        loop {
+            // Forward step: try adding each unused feature.
+            let mut forward: Option<(f64, usize)> = None;
+            for f in 0..p {
+                if selected.contains(&f) || selected.len() >= params.max_terms {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial.push(f);
+                if let Ok((_, a)) = fit_subset(x, y, &trial) {
+                    if forward.is_none_or(|(fa, _)| a < fa) {
+                        forward = Some((a, f));
+                    }
+                }
+            }
+            let Some((a, f)) = forward else { break };
+            if a >= best_aic - params.min_improvement {
+                break;
+            }
+            selected.push(f);
+            // Backward step: drop any feature whose removal improves AIC.
+            loop {
+                let mut drop: Option<(f64, usize)> = None;
+                for (pos, _) in selected.iter().enumerate() {
+                    let mut trial = selected.clone();
+                    trial.remove(pos);
+                    if let Ok((_, a)) = fit_subset(x, y, &trial) {
+                        if drop.is_none_or(|(da, _)| a < da) {
+                            drop = Some((a, pos));
+                        }
+                    }
+                }
+                match drop {
+                    Some((a, pos)) if a < best_aic - params.min_improvement => {
+                        selected.remove(pos);
+                        best_aic = a;
+                    }
+                    _ => break,
+                }
+            }
+            let (m, a) = fit_subset(x, y, &selected)?;
+            best_model = m;
+            best_aic = a;
+        }
+        Ok(StepwiseModel {
+            selected,
+            model: best_model,
+            aic: best_aic,
+        })
+    }
+
+    /// Predicts the response for one input row (full feature width).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.model.predict_row(row)
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Training R².
+    pub fn r_squared(&self) -> f64 {
+        self.model.r_squared()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y depends on features 0 and 2 only; 1 and 3 are noise.
+    fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    i as f64,
+                    ((i * 37) % 11) as f64,
+                    (i * i % 97) as f64,
+                    ((i * 13) % 7) as f64,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 0.5 * r[2] + 3.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn selects_informative_features_only() {
+        let (x, y) = data(60);
+        let m = StepwiseModel::fit(&x, &y, &StepwiseParams::default()).unwrap();
+        assert!(m.selected.contains(&0), "selected {:?}", m.selected);
+        assert!(m.selected.contains(&2), "selected {:?}", m.selected);
+        assert!(m.r_squared() > 0.999999);
+    }
+
+    #[test]
+    fn recovers_coefficients() {
+        let (x, y) = data(60);
+        let m = StepwiseModel::fit(&x, &y, &StepwiseParams::default()).unwrap();
+        let pred = m.predict_row(&[10.0, 0.0, 20.0, 0.0]);
+        assert!((pred - (2.0 * 10.0 - 0.5 * 20.0 + 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_response_selects_nothing() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y = vec![7.0; 30];
+        let m = StepwiseModel::fit(&x, &y, &StepwiseParams::default()).unwrap();
+        assert!(m.selected.is_empty());
+        assert!((m.predict_row(&[100.0, 3.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_terms() {
+        let (x, y) = data(60);
+        let m = StepwiseModel::fit(
+            &x,
+            &y,
+            &StepwiseParams {
+                max_terms: 1,
+                ..StepwiseParams::default()
+            },
+        )
+        .unwrap();
+        assert!(m.selected.len() <= 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(StepwiseModel::fit(&[], &[], &StepwiseParams::default()).is_err());
+        let x = vec![vec![1.0]];
+        assert!(StepwiseModel::fit(&x, &[1.0, 2.0], &StepwiseParams::default()).is_err());
+    }
+
+    #[test]
+    fn fails_to_capture_nonlinearity_unlike_forest_would() {
+        // A step function: linear stepwise tops out well below RF accuracy —
+        // the §2 "less powerful models" point in miniature.
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..60)
+            .map(|i| if i % 20 < 10 { 0.0 } else { 100.0 })
+            .collect();
+        let m = StepwiseModel::fit(&x, &y, &StepwiseParams::default()).unwrap();
+        assert!(m.r_squared() < 0.5, "r2 {}", m.r_squared());
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's §6.1.1 case study: problem-scaling prediction for tiled
+//! matrix multiply. Collect a sweep of matrix sizes, model the important
+//! counters as GLMs of the size, and chain them through the forest to
+//! predict execution times for sizes the model never saw.
+//!
+//! ```sh
+//! cargo run --release --example matmul_prediction
+//! ```
+
+use blackforest_suite::blackforest::collect::{collect_matmul, CollectOptions};
+use blackforest_suite::blackforest::countermodel::ModelStrategy;
+use blackforest_suite::blackforest::model::ModelConfig;
+use blackforest_suite::blackforest::predict::{summarize, ProblemScalingPredictor};
+use blackforest_suite::blackforest::report;
+use blackforest_suite::gpu_sim::GpuConfig;
+use blackforest_suite::kernels::matmul::matmul_application;
+
+fn main() {
+    let gpu = GpuConfig::gtx580();
+    let sizes: Vec<usize> = (2..=24).step_by(2).map(|k| k * 16).collect();
+    println!("collecting {} matrix sizes on {}...", sizes.len(), gpu.name);
+    let opts = CollectOptions::default().with_repetitions(2, 0.02);
+    let data = collect_matmul(&gpu, &sizes, &opts).expect("collection");
+
+    let predictor = ProblemScalingPredictor::fit(
+        &data,
+        &ModelConfig::quick(61),
+        &["size"],
+        ModelStrategy::Glm,
+    )
+    .expect("fit");
+    println!(
+        "retained variables: {:?}\ncounter-model mean R^2: {:.4}",
+        predictor.model.selected,
+        predictor.counters.mean_r_squared()
+    );
+
+    // Held-out evaluation (the paper's Figure 5b).
+    let points = predictor.evaluate_holdout().expect("holdout");
+    println!("\nheld-out sizes:\n{}", report::prediction_table(&points, "size"));
+
+    // True out-of-sweep check: sizes never collected at all.
+    println!("fresh sizes never profiled during training:");
+    for &n in &[176usize, 272, 368] {
+        let predicted = predictor.predict(&[n as f64]).expect("predict");
+        let measured = matmul_application(n).profile(&gpu).expect("profile").time_ms;
+        println!(
+            "  n={n:4}  measured {measured:8.4} ms  predicted {predicted:8.4} ms  ({:+.1}%)",
+            100.0 * (predicted - measured) / measured
+        );
+    }
+    let s = summarize(&points);
+    println!("\nholdout summary: MSE {:.4}, R^2 {:.4}, MAPE {:.1}%", s.mse, s.r_squared, s.mape);
+}

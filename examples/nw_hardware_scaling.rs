@@ -1,0 +1,50 @@
+//! The paper's §6.2 hardware-scaling study on Needleman-Wunsch: train on
+//! the (simulated) GTX580, predict on the K20m. The importance rankings
+//! diverge across the architectures (Kepler's caches change which counters
+//! matter), so the straightforward transfer degrades and the
+//! mixed-importance workaround is needed — exactly Figure 8's story.
+//!
+//! ```sh
+//! cargo run --release --example nw_hardware_scaling
+//! ```
+
+use blackforest_suite::blackforest::collect::{collect_nw, CollectOptions};
+use blackforest_suite::blackforest::model::ModelConfig;
+use blackforest_suite::blackforest::predict::{
+    summarize, HardwareScalingPredictor, HwFeatureStrategy,
+};
+use blackforest_suite::gpu_sim::GpuConfig;
+
+fn main() {
+    let src_gpu = GpuConfig::gtx580();
+    let tgt_gpu = GpuConfig::k20m();
+    let lengths: Vec<usize> = (1..=32).map(|k| k * 64).collect();
+    let opts = CollectOptions {
+        include_machine_metrics: true,
+        drop_constant: false,
+        ..CollectOptions::default().with_repetitions(2, 0.02)
+    };
+    println!("collecting NW sweeps on {} and {}...", src_gpu.name, tgt_gpu.name);
+    let src = collect_nw(&src_gpu, &lengths, &opts).expect("source");
+    let tgt = collect_nw(&tgt_gpu, &lengths, &opts).expect("target");
+    let (tgt_train, tgt_test) = tgt.split(0.8, 2016);
+
+    let cfg = ModelConfig::quick(62);
+    for strategy in [HwFeatureStrategy::SourceImportance, HwFeatureStrategy::MixedImportance] {
+        let hw = HardwareScalingPredictor::fit(&src, &tgt_train, &cfg, strategy).expect("fit");
+        let s = summarize(&hw.evaluate(&tgt_test, "size").expect("evaluate"));
+        println!(
+            "\n{strategy:?}: features {:?}\n  top-5 ranking similarity {:.0}%  ->  MSE {:.4}, R^2 {:.3}, MAPE {:.1}%",
+            hw.features,
+            hw.similarity * 100.0,
+            s.mse,
+            s.r_squared,
+            s.mape
+        );
+    }
+
+    println!(
+        "\nnote: Fermi-only counters like l1_global_load_miss never reach the\n\
+         transfer model — they do not exist on Kepler, the §7 portability issue."
+    );
+}

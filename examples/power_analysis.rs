@@ -1,0 +1,69 @@
+//! The paper's §7 idea in action: use *power draw* rather than execution
+//! time as the response variable. The simulator's event-energy model stands
+//! in for the Kepler system-management-interface power readout the paper
+//! mentions, and BlackForest then answers two questions:
+//!
+//! 1. which functional-unit activities drive the card's power draw, and
+//! 2. what will the power be for an unseen problem size?
+//!
+//! ```sh
+//! cargo run --release --example power_analysis
+//! ```
+
+use blackforest_suite::blackforest::collect::{collect_matmul, CollectOptions, ResponseMetric};
+use blackforest_suite::blackforest::countermodel::ModelStrategy;
+use blackforest_suite::blackforest::model::ModelConfig;
+use blackforest_suite::blackforest::predict::ProblemScalingPredictor;
+use blackforest_suite::blackforest::report;
+use blackforest_suite::gpu_sim::{estimate_power, GpuConfig, PowerModel};
+use blackforest_suite::kernels::matmul::matmul_application;
+
+fn main() {
+    let gpu = GpuConfig::k20m();
+
+    // A single profiled run also carries its power sample.
+    let run = matmul_application(512).profile(&gpu).expect("profile");
+    println!(
+        "{} on {}: {:.3} ms at {:.1} W average draw",
+        run.kernel, run.gpu, run.time_ms, run.avg_power_w
+    );
+
+    // Collect a sweep with power as the response and model it.
+    let sizes: Vec<usize> = (2..=24).step_by(2).map(|k| k * 16).collect();
+    let opts = CollectOptions {
+        response: ResponseMetric::AvgPowerW,
+        ..CollectOptions::default().with_repetitions(2, 0.02)
+    };
+    let data = collect_matmul(&gpu, &sizes, &opts).expect("collect");
+    let p = ProblemScalingPredictor::fit(
+        &data,
+        &ModelConfig::quick(73),
+        &["size"],
+        ModelStrategy::Auto,
+    )
+    .expect("fit");
+    println!(
+        "\npower model over {} runs (range {:.1}..{:.1} W):",
+        data.len(),
+        data.response.iter().cloned().fold(f64::INFINITY, f64::min),
+        data.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!("{}", report::importance_chart(&p.model, 8));
+
+    for &n in &[208usize, 304, 432] {
+        let w = p.predict(&[n as f64]).expect("predict");
+        println!("predicted average power at n={n}: {w:.1} W");
+    }
+
+    // The energy breakdown behind one run, from the raw event model.
+    let launch = blackforest_suite::gpu_sim::simulate_launch(
+        &gpu,
+        &blackforest_suite::kernels::matmul::MatmulTiled::new(512),
+    )
+    .expect("simulate");
+    let est = estimate_power(&gpu, &launch.events, &PowerModel::for_arch(gpu.arch));
+    println!(
+        "\nenergy breakdown of one n=512 launch: {:.3} J dynamic + {:.3} J static; {:.0} warp-instructions/J",
+        est.dynamic_j, est.static_j, est.inst_per_joule
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: profile one kernel on the simulated GTX580 like `nvprof`
+//! would, then run a miniature BlackForest analysis on a small sweep.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blackforest_suite::blackforest::model::ModelConfig;
+use blackforest_suite::blackforest::{BlackForest, Workload};
+use blackforest_suite::kernels::reduce::{reduce_application, ReduceVariant};
+use blackforest_suite::gpu_sim::GpuConfig;
+
+fn main() {
+    // --- Step 1: one profiled run (what `nvprof ./reduce` would print) ---
+    let gpu = GpuConfig::gtx580();
+    let app = reduce_application(ReduceVariant::Reduce1, 1 << 20, 256);
+    let run = app.profile(&gpu).expect("simulation");
+    println!("profile of {} on {} ({} launches):", run.kernel, run.gpu, app.launches.len());
+    println!("  elapsed: {:.4} ms", run.time_ms);
+    for name in [
+        "achieved_occupancy",
+        "ipc",
+        "gld_request",
+        "shared_replay_overhead",
+        "l1_shared_bank_conflict",
+        "l2_read_throughput",
+    ] {
+        if let Some(v) = run.counters.get(name) {
+            println!("  {name:<26} {v:.4}");
+        }
+    }
+
+    // --- Step 2: a miniature end-to-end analysis ---
+    let bf = BlackForest::new(gpu).with_config(ModelConfig::quick(7));
+    let sizes: Vec<usize> = (14..=18).map(|e| 1usize << e).collect();
+    let report = bf
+        .analyze(Workload::Reduce(ReduceVariant::Reduce1), &sizes)
+        .expect("analysis");
+    println!("\n{}", report.render());
+
+    // --- Step 3: predict an unseen problem size ---
+    let unseen = (1usize << 17) + (1 << 16); // between training points
+    let t = report
+        .predictor
+        .predict(&[unseen as f64, 256.0])
+        .expect("prediction");
+    println!("predicted time for {unseen} elements at 256 threads/block: {t:.4} ms");
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the BlackForest suite.
+//!
+//! Re-exports every crate in the workspace under one roof so the runnable
+//! examples and cross-crate integration tests in this package can exercise
+//! the whole stack with a single dependency:
+//!
+//! * [`blackforest`] — the toolchain itself (data collection, random-forest
+//!   modeling, bottleneck analysis, problem/hardware-scaling prediction).
+//! * [`gpu_sim`] — the GPU microarchitecture simulator substrate.
+//! * [`kernels`] — CUDA-SDK/Rodinia workloads (reduce0..6, matmul, NW).
+//! * [`forest`], [`pca`], [`regress`], [`linalg`] — the statistical substrates.
+
+pub use bf_forest as forest;
+pub use bf_kernels as kernels;
+pub use bf_linalg as linalg;
+pub use bf_pca as pca;
+pub use bf_regress as regress;
+pub use blackforest;
+pub use gpu_sim;

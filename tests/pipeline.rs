@@ -1,0 +1,172 @@
+//! End-to-end integration tests spanning every crate: simulator → kernels →
+//! collection → forest/PCA/regression → bottleneck analysis → prediction.
+
+use blackforest_suite::blackforest::collect::{
+    collect_matmul, collect_nw, collect_reduce, CollectOptions,
+};
+use blackforest_suite::blackforest::countermodel::ModelStrategy;
+use blackforest_suite::blackforest::model::{BlackForestModel, ModelConfig};
+use blackforest_suite::blackforest::predict::{
+    summarize, HardwareScalingPredictor, HwFeatureStrategy, ProblemScalingPredictor,
+};
+use blackforest_suite::blackforest::{BlackForest, Dataset, Workload};
+use blackforest_suite::gpu_sim::GpuConfig;
+use blackforest_suite::kernels::reduce::ReduceVariant;
+
+fn mm_data(gpu: &GpuConfig) -> Dataset {
+    let sizes: Vec<usize> = (2..=20).step_by(2).map(|k| k * 16).collect();
+    let opts = CollectOptions::default().with_repetitions(2, 0.02);
+    collect_matmul(gpu, &sizes, &opts).unwrap()
+}
+
+#[test]
+fn full_pipeline_matmul_problem_scaling() {
+    let data = mm_data(&GpuConfig::gtx580());
+    let p = ProblemScalingPredictor::fit(
+        &data,
+        &ModelConfig::quick(101),
+        &["size"],
+        ModelStrategy::Glm,
+    )
+    .unwrap();
+    // The forest itself validates well...
+    assert!(p.model.validation.oob_r_squared > 0.6);
+    // ...and the characteristic->counters->forest chain predicts the
+    // held-out runs.
+    let points = p.evaluate_holdout().unwrap();
+    let s = summarize(&points);
+    assert!(s.r_squared > 0.5, "chain r2 {}", s.r_squared);
+    // Counter models for MM are near-exact polynomials of size.
+    assert!(p.counters.mean_r_squared() > 0.9);
+}
+
+#[test]
+fn full_pipeline_reduce_bottlenecks_differ_by_variant() {
+    let gpu = GpuConfig::gtx580();
+    let bf = BlackForest::new(gpu).with_config(ModelConfig::quick(102));
+    let sizes: Vec<usize> = (14..=18).map(|e| 1usize << e).collect();
+    let r1 = bf
+        .analyze(Workload::Reduce(ReduceVariant::Reduce1), &sizes)
+        .unwrap();
+    let r2 = bf
+        .analyze(Workload::Reduce(ReduceVariant::Reduce2), &sizes)
+        .unwrap();
+    // reduce1 has bank conflicts in its dataset; reduce2's conflict counter
+    // vanished (constant zero).
+    assert!(r1.dataset.feature_index("l1_shared_bank_conflict").is_some());
+    assert!(r2.dataset.feature_index("l1_shared_bank_conflict").is_none());
+    // Both produce renderable reports with a primary bottleneck.
+    assert!(r1.render().contains("bottleneck analysis"));
+    assert!(r2.bottlenecks.primary().is_some());
+}
+
+#[test]
+fn full_pipeline_nw_with_mars() {
+    let gpu = GpuConfig::gtx580();
+    let lengths: Vec<usize> = (1..=20).map(|k| k * 64).collect();
+    let ds = collect_nw(&gpu, &lengths, &CollectOptions::default().with_repetitions(2, 0.02))
+        .unwrap();
+    let p = ProblemScalingPredictor::fit(
+        &ds,
+        &ModelConfig::quick(103),
+        &["size"],
+        ModelStrategy::Mars,
+    )
+    .unwrap();
+    assert!(p.model.validation.oob_r_squared > 0.6);
+    assert!(p.counters.mean_r_squared() > 0.8);
+    let t_small = p.predict(&[128.0]).unwrap();
+    let t_large = p.predict(&[1216.0]).unwrap();
+    assert!(t_large > t_small);
+}
+
+#[test]
+fn hardware_scaling_mm_fermi_to_kepler_has_high_similarity() {
+    let opts = CollectOptions {
+        include_machine_metrics: true,
+        drop_constant: false,
+        ..CollectOptions::default()
+    };
+    let sizes: Vec<usize> = (2..=20).step_by(2).map(|k| k * 16).collect();
+    let src = collect_matmul(&GpuConfig::gtx580(), &sizes, &opts).unwrap();
+    let tgt = collect_matmul(&GpuConfig::k20m(), &sizes, &opts).unwrap();
+    let (tgt_train, tgt_test) = tgt.split(0.8, 104);
+    let hw = HardwareScalingPredictor::fit(
+        &src,
+        &tgt_train,
+        &ModelConfig::quick(104),
+        HwFeatureStrategy::SourceImportance,
+    )
+    .unwrap();
+    let points = hw.evaluate(&tgt_test, "size").unwrap();
+    assert_eq!(points.len(), tgt_test.len());
+    assert!(points.iter().all(|p| p.predicted_ms > 0.0));
+    // MM predictions preserve the ordering of sizes.
+    for w in points.windows(2) {
+        assert!(w[1].predicted_ms >= w[0].predicted_ms * 0.5);
+    }
+}
+
+#[test]
+fn reduce_collection_differs_between_gpus() {
+    let sizes = [1usize << 14, 1 << 16];
+    let threads = [128usize, 256];
+    let fermi = collect_reduce(
+        &GpuConfig::gtx580(),
+        ReduceVariant::Reduce1,
+        &sizes,
+        &threads,
+        &CollectOptions::default(),
+    )
+    .unwrap();
+    let kepler = collect_reduce(
+        &GpuConfig::k20m(),
+        ReduceVariant::Reduce1,
+        &sizes,
+        &threads,
+        &CollectOptions::default(),
+    )
+    .unwrap();
+    // Architecture-specific counters diverge.
+    assert!(fermi.feature_index("l1_global_load_hit").is_some() || fermi.feature_index("l1_global_load_miss").is_some());
+    assert!(kepler.feature_index("l1_global_load_hit").is_none());
+    assert!(kepler.feature_index("shared_load_replay").is_some());
+    // Same problem, different silicon: times differ.
+    assert_ne!(fermi.response, kepler.response);
+}
+
+#[test]
+fn dataset_csv_round_trip_through_model() {
+    let data = mm_data(&GpuConfig::gtx580());
+    let dir = std::env::temp_dir().join("bf_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mm.csv");
+    data.write_csv(&path).unwrap();
+    let back = Dataset::read_csv(&path).unwrap();
+    let m1 = BlackForestModel::fit(&data, &ModelConfig::quick(105)).unwrap();
+    let m2 = BlackForestModel::fit(&back, &ModelConfig::quick(105)).unwrap();
+    // Same data, same seed => identical model statistics.
+    assert_eq!(m1.validation.oob_mse, m2.validation.oob_mse);
+    assert_eq!(m1.ranking, m2.ranking);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn repetitions_and_noise_expand_dataset() {
+    let gpu = GpuConfig::gtx580();
+    let sizes = [64usize, 128];
+    let base = collect_matmul(&gpu, &sizes, &CollectOptions::default()).unwrap();
+    let noisy = collect_matmul(
+        &gpu,
+        &sizes,
+        &CollectOptions::default().with_repetitions(5, 0.05),
+    )
+    .unwrap();
+    assert_eq!(base.len(), 2);
+    assert_eq!(noisy.len(), 10);
+    // Repetitions of the same configuration differ by the noise.
+    assert_ne!(noisy.response[0], noisy.response[1]);
+    // ...but only within the noise amplitude.
+    let rel = (noisy.response[0] - noisy.response[1]).abs() / noisy.response[0];
+    assert!(rel < 0.2);
+}

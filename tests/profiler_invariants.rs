@@ -1,0 +1,116 @@
+//! Property tests of the nvprof-style metric derivation: for arbitrary
+//! (physically plausible) raw event counts, the derived counters must obey
+//! their defining identities on both architectures.
+
+use blackforest_suite::gpu_sim::counters::RawEvents;
+use blackforest_suite::gpu_sim::profiler::derive_counters;
+use blackforest_suite::gpu_sim::{estimate_power, GpuConfig, PowerModel};
+use proptest::prelude::*;
+
+/// A plausible RawEvents: issued >= executed, hits+misses = transactions,
+/// l2 >= dram, positive time.
+fn events_strategy() -> impl Strategy<Value = RawEvents> {
+    (
+        1.0e3f64..1.0e8,  // inst_executed
+        0.0f64..0.5,      // replay fraction
+        0.0f64..1.0e6,    // gld_request
+        0.0f64..1.0e6,    // gst_request
+        0.0f64..1.0,      // l1 hit ratio
+        1.0f64..8.0,      // transactions per request
+        0.0f64..1.0,      // l2 hit ratio
+        1.0e-6f64..1.0,   // time seconds
+        1.0e3f64..1.0e9,  // elapsed cycles
+    )
+        .prop_map(
+            |(exec, replay, gld, gst, l1hit, tpr, l2hit, time, cycles)| {
+                let load_trans = gld * tpr;
+                let l1_hits = load_trans * l1hit;
+                let l1_misses = load_trans - l1_hits;
+                let l2_reads = l1_misses * 4.0;
+                RawEvents {
+                    inst_executed: exec,
+                    inst_issued: exec * (1.0 + replay),
+                    thread_inst_executed: exec * 24.0,
+                    gld_request: gld,
+                    gst_request: gst,
+                    gld_requested_bytes: gld * 128.0,
+                    gst_requested_bytes: gst * 128.0,
+                    global_load_transactions: load_trans,
+                    global_store_transactions: gst,
+                    l1_global_load_hit: l1_hits,
+                    l1_global_load_miss: l1_misses,
+                    l2_read_transactions: l2_reads,
+                    l2_write_transactions: gst * 4.0,
+                    l2_read_hits: l2_reads * l2hit,
+                    dram_read_transactions: l2_reads * (1.0 - l2hit),
+                    dram_write_transactions: gst * 4.0,
+                    shared_load: exec * 0.1,
+                    shared_store: exec * 0.05,
+                    shared_load_replay: exec * 0.01,
+                    shared_store_replay: exec * 0.005,
+                    branch: exec * 0.05,
+                    divergent_branch: exec * 0.01,
+                    active_warp_cycles: cycles * 10.0,
+                    active_cycles: cycles,
+                    ldst_busy_cycles: cycles * 0.3,
+                    issue_slots: cycles * 2.0,
+                    warps_launched: 1000.0,
+                    blocks_launched: 100.0,
+                    elapsed_cycles: cycles,
+                    time_seconds: time,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn derived_counters_obey_identities(ev in events_strategy()) {
+        for gpu in [GpuConfig::gtx580(), GpuConfig::k20m()] {
+            let cs = derive_counters(&gpu, &ev);
+            // Bounded percentages and ratios.
+            for name in ["issue_slot_utilization", "warp_execution_efficiency"] {
+                let v = cs.get(name).unwrap();
+                prop_assert!((0.0..=100.0).contains(&v), "{name} = {v}");
+            }
+            let occ = cs.get("achieved_occupancy").unwrap();
+            prop_assert!((0.0..=1.0).contains(&occ));
+            // Replay overheads are consistent with issue/exec counts.
+            let iro = cs.get("inst_replay_overhead").unwrap();
+            prop_assert!((0.0..=0.5 + 1e-9).contains(&iro));
+            let sro = cs.get("shared_replay_overhead").unwrap();
+            prop_assert!(sro >= 0.0);
+            prop_assert!(sro <= iro + 0.2); // shared replays are a subset-ish
+            // Requested throughput never exceeds achieved for these inputs
+            // (128 requested bytes vs >= 1 transaction of >= 32B each).
+            let req = cs.get("gld_requested_throughput").unwrap();
+            let ach = cs.get("gld_throughput").unwrap();
+            if gpu.l1_caches_globals {
+                prop_assert!(ach >= req * 0.99 - 1e-9);
+            }
+            // Fermi-only counters appear on Fermi only.
+            prop_assert_eq!(
+                cs.contains("l1_global_load_hit"),
+                gpu.l1_caches_globals
+            );
+        }
+    }
+
+    #[test]
+    fn power_scales_monotonically_with_events(
+        ev in events_strategy(),
+        factor in 1.1f64..4.0,
+    ) {
+        let gpu = GpuConfig::gtx580();
+        let model = PowerModel::for_arch(gpu.arch);
+        let p1 = estimate_power(&gpu, &ev, &model);
+        let scaled = ev.scaled_counts(factor);
+        let p2 = estimate_power(&gpu, &scaled, &model);
+        // Same elapsed time, more events => more power.
+        prop_assert!(p2.average_w > p1.average_w);
+        prop_assert!((p2.dynamic_j / p1.dynamic_j - factor).abs() < 1e-6);
+        prop_assert!(p1.average_w.is_finite() && p1.average_w > 0.0);
+    }
+}

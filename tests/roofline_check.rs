@@ -1,0 +1,116 @@
+//! Cross-validation of the simulator against first-principles roofline
+//! bounds: simulated times must respect the device's peak-compute and
+//! peak-bandwidth ceilings, and bandwidth-bound kernels must sit near the
+//! bandwidth roof. This guards the wave-time model against regressions that
+//! unit tests on individual components would miss.
+
+use blackforest_suite::gpu_sim::GpuConfig;
+use blackforest_suite::kernels::matmul::matmul_application;
+use blackforest_suite::kernels::reduce::{reduce_application, ReduceVariant};
+use blackforest_suite::kernels::stencil::stencil_application;
+
+/// Device peak warp-instruction throughput per second for the ALU pipeline.
+fn peak_warp_instr_per_s(gpu: &GpuConfig) -> f64 {
+    gpu.alu_throughput * gpu.num_sms as f64 * gpu.clock_ghz * 1e9
+}
+
+#[test]
+fn mm_time_respects_compute_roof() {
+    // The simulated time can never beat the ALU pipeline's ability to issue
+    // the kernel's arithmetic instructions.
+    let gpu = GpuConfig::gtx580();
+    for n in [256usize, 512, 1024] {
+        let run = matmul_application(n).profile(&gpu).unwrap();
+        // FMA count: one warp instruction per (warp, k); 8 warps per block.
+        let warp_fmas = (n * n / 32) as f64 * n as f64 / 16.0; // k-steps x warps
+        let compute_floor_s = warp_fmas / peak_warp_instr_per_s(&gpu);
+        let t = run.time_ms / 1e3;
+        assert!(
+            t >= compute_floor_s * 0.9,
+            "n={n}: simulated {t:.6}s below compute floor {compute_floor_s:.6}s"
+        );
+    }
+}
+
+#[test]
+fn reduce_time_respects_bandwidth_roof_and_approaches_it() {
+    let gpu = GpuConfig::gtx580();
+    let n = 1 << 23; // 8M floats = 32 MiB, far beyond L2
+    let run = reduce_application(ReduceVariant::Reduce6, n, 256)
+        .profile(&gpu)
+        .unwrap();
+    let bytes = (n * 4) as f64;
+    let bw_floor_s = bytes / (gpu.mem_bandwidth_gbps * 1e9);
+    let t = run.time_ms / 1e3;
+    // Never faster than moving the input once at peak bandwidth...
+    assert!(t >= bw_floor_s, "time {t} below bandwidth floor {bw_floor_s}");
+    // ...and for the fully optimised kernel, within 5x of that roof (the
+    // real reduce6 reaches ~80% of peak; our model should be in the same
+    // regime, not orders of magnitude off).
+    assert!(
+        t <= 5.0 * bw_floor_s,
+        "reduce6 time {t} too far above the bandwidth roof {bw_floor_s}"
+    );
+}
+
+#[test]
+fn stencil_time_respects_bandwidth_roof() {
+    let gpu = GpuConfig::gtx580();
+    let n = 2048usize; // 16 MiB in + 16 MiB out
+    let run = stencil_application(n, 1).profile(&gpu).unwrap();
+    let bytes = (n * n * 8) as f64; // one read + one write per cell minimum
+    let bw_floor_s = bytes / (gpu.mem_bandwidth_gbps * 1e9);
+    let t = run.time_ms / 1e3;
+    assert!(t >= bw_floor_s * 0.9, "time {t} below floor {bw_floor_s}");
+    assert!(t <= 6.0 * bw_floor_s, "time {t} far above floor {bw_floor_s}");
+}
+
+#[test]
+fn throughput_counters_never_exceed_device_bandwidth() {
+    let gpu = GpuConfig::gtx580();
+    for run in [
+        reduce_application(ReduceVariant::Reduce6, 1 << 22, 256)
+            .profile(&gpu)
+            .unwrap(),
+        matmul_application(1024).profile(&gpu).unwrap(),
+        stencil_application(1024, 1).profile(&gpu).unwrap(),
+    ] {
+        for name in ["gld_throughput", "gst_throughput", "l2_read_throughput"] {
+            let v = run.counters.get(name).unwrap();
+            // L2-level throughput can exceed DRAM bandwidth via cache hits,
+            // but not by more than the L2's plausible advantage (~4x here).
+            assert!(
+                v <= 4.0 * gpu.mem_bandwidth_gbps,
+                "{}: {name} = {v} GB/s vs device {} GB/s",
+                run.kernel,
+                gpu.mem_bandwidth_gbps
+            );
+        }
+        // DRAM-level traffic per unit time is a hard cap.
+        let dram_gbps = (run.counters.get("dram_read_transactions").unwrap()
+            + run.counters.get("dram_write_transactions").unwrap())
+            * 32.0
+            / (run.time_ms / 1e3)
+            / 1e9;
+        assert!(
+            dram_gbps <= gpu.mem_bandwidth_gbps * 1.01,
+            "{}: DRAM throughput {dram_gbps} exceeds peak",
+            run.kernel
+        );
+    }
+}
+
+#[test]
+fn kepler_mm_is_not_slower_than_fermi_at_scale() {
+    // K20m has ~3x the FLOP rate and similar bandwidth: big MM should not
+    // run slower than on the GTX580.
+    let n = 1024;
+    let f = matmul_application(n).profile(&GpuConfig::gtx580()).unwrap();
+    let k = matmul_application(n).profile(&GpuConfig::k20m()).unwrap();
+    assert!(
+        k.time_ms <= f.time_ms * 1.6,
+        "K20m {} ms vs GTX580 {} ms",
+        k.time_ms,
+        f.time_ms
+    );
+}

@@ -1,0 +1,144 @@
+//! Integration tests of simulator behaviour at the application level:
+//! counter consistency, scaling laws, and cross-architecture contrasts the
+//! paper's analyses depend on.
+
+use blackforest_suite::gpu_sim::GpuConfig;
+use blackforest_suite::kernels::matmul::{matmul_application, matmul_naive_application};
+use blackforest_suite::kernels::nw::nw_application;
+use blackforest_suite::kernels::reduce::{reduce_application, reduce_full, ReduceVariant};
+use proptest::prelude::*;
+
+#[test]
+fn counter_identities_hold_for_all_workloads() {
+    let gpu = GpuConfig::gtx580();
+    let runs = [
+        reduce_application(ReduceVariant::Reduce1, 1 << 16, 256)
+            .profile(&gpu)
+            .unwrap(),
+        matmul_application(128).profile(&gpu).unwrap(),
+        nw_application(128, 10).profile(&gpu).unwrap(),
+    ];
+    for run in &runs {
+        let c = &run.counters;
+        // Issued >= executed (replays only add).
+        assert!(
+            c.get("inst_issued").unwrap() >= c.get("inst_executed").unwrap(),
+            "{}", run.kernel
+        );
+        // L1 hits + misses account for all load transactions on Fermi.
+        let hits = c.get("l1_global_load_hit").unwrap();
+        let misses = c.get("l1_global_load_miss").unwrap();
+        let trans = c.get("global_load_transaction").unwrap();
+        assert!((hits + misses - trans).abs() < 1e-6, "{}", run.kernel);
+        // Fractions are fractions.
+        let occ = c.get("achieved_occupancy").unwrap();
+        assert!((0.0..=1.0).contains(&occ), "{}: occ {occ}", run.kernel);
+        let wee = c.get("warp_execution_efficiency").unwrap();
+        assert!((0.0..=100.0).contains(&wee), "{}", run.kernel);
+        // Replay overheads are nonnegative.
+        assert!(c.get("inst_replay_overhead").unwrap() >= 0.0);
+        // Divergent branches never exceed branches.
+        assert!(c.get("divergent_branch").unwrap() <= c.get("branch").unwrap());
+    }
+}
+
+#[test]
+fn execution_time_scales_superlinearly_for_mm_and_roughly_linearly_for_reduce() {
+    let gpu = GpuConfig::gtx580();
+    let t_mm_1 = matmul_application(128).profile(&gpu).unwrap().time_ms;
+    let t_mm_4 = matmul_application(512).profile(&gpu).unwrap().time_ms;
+    // 4x size => 64x flops; allow generous slack for overheads.
+    assert!(t_mm_4 / t_mm_1 > 16.0, "MM scaling ratio {}", t_mm_4 / t_mm_1);
+
+    let t_r_1 = reduce_application(ReduceVariant::Reduce2, 1 << 18, 256)
+        .profile(&gpu)
+        .unwrap()
+        .time_ms;
+    let t_r_4 = reduce_application(ReduceVariant::Reduce2, 1 << 20, 256)
+        .profile(&gpu)
+        .unwrap()
+        .time_ms;
+    let ratio = t_r_4 / t_r_1;
+    assert!(ratio > 1.5 && ratio < 8.0, "reduce scaling ratio {ratio}");
+}
+
+#[test]
+fn optimization_ladder_monotone_for_large_reductions() {
+    // Each tutorial step should not make things (much) slower; the big
+    // jumps (divergence fix, conflict fix, cascading) must show clearly.
+    let gpu = GpuConfig::gtx580();
+    let n = 1 << 21;
+    let times: Vec<f64> = ReduceVariant::ALL
+        .iter()
+        .map(|&v| reduce_application(v, n, 256).profile(&gpu).unwrap().time_ms)
+        .collect();
+    // reduce0 (divergent) slower than reduce2 (sequential).
+    assert!(times[0] > times[2], "{times:?}");
+    // reduce1 (conflicts) slower than reduce2.
+    assert!(times[1] > times[2], "{times:?}");
+    // reduce6 fastest overall.
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!((times[6] - min).abs() < 1e-9, "{times:?}");
+}
+
+#[test]
+fn fermi_kepler_contrast_matches_the_papers_mechanism() {
+    let fermi = GpuConfig::gtx580();
+    let kepler = GpuConfig::k20m();
+    let f = nw_application(256, 10).profile(&fermi).unwrap();
+    let k = nw_application(256, 10).profile(&kepler).unwrap();
+    // Kepler: no L1 global-load counters at all (bypassed).
+    assert!(f.counters.contains("l1_global_load_miss"));
+    assert!(!k.counters.contains("l1_global_load_miss"));
+    // Kepler exposes split shared replay counters instead of the Fermi
+    // aggregate.
+    assert!(!f.counters.contains("shared_load_replay"));
+    assert!(k.counters.contains("shared_load_replay"));
+    assert!(f.counters.contains("l1_shared_bank_conflict"));
+    // Both see NW's bank conflicts.
+    assert!(f.counters.get("l1_shared_bank_conflict").unwrap() > 0.0);
+    assert!(k.counters.get("shared_load_replay").unwrap() > 0.0);
+}
+
+#[test]
+fn naive_mm_moves_more_data_than_tiled() {
+    let gpu = GpuConfig::gtx580();
+    let tiled = matmul_application(256).profile(&gpu).unwrap();
+    let naive = matmul_naive_application(256).profile(&gpu).unwrap();
+    assert!(
+        naive.counters.get("gld_request").unwrap()
+            > 4.0 * tiled.counters.get("gld_request").unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All seven functional reduction variants compute the sum of random
+    /// inputs (within f32 accumulation tolerance).
+    #[test]
+    fn reductions_compute_sums_of_random_data(
+        data in prop::collection::vec(0.0f32..10.0, 64..2048),
+        threads_pow in 6u32..9,
+    ) {
+        let threads = 1usize << threads_pow;
+        let expect: f64 = data.iter().map(|&v| v as f64).sum();
+        for v in ReduceVariant::ALL {
+            let got = reduce_full(v, &data, threads) as f64;
+            let rel = (got - expect).abs() / expect.max(1.0);
+            prop_assert!(rel < 1e-3, "{}: {got} vs {expect}", v.name());
+        }
+    }
+
+    /// Simulated time is monotone (within tolerance) in the array length
+    /// for the same kernel and block size.
+    #[test]
+    fn reduce_time_monotone_in_size(e1 in 13u32..17) {
+        let gpu = GpuConfig::gtx580();
+        let t_small = reduce_application(ReduceVariant::Reduce2, 1 << e1, 256)
+            .profile(&gpu).unwrap().time_ms;
+        let t_big = reduce_application(ReduceVariant::Reduce2, 1 << (e1 + 2), 256)
+            .profile(&gpu).unwrap().time_ms;
+        prop_assert!(t_big > t_small);
+    }
+}
