@@ -10,13 +10,11 @@
 //! (MM and NW), at both full and scarce training sizes, printing held-out
 //! R² per model before timing the fits.
 
-use blackforest::collect::{collect_matmul, collect_nw, CollectOptions};
-use blackforest::Dataset;
 use bf_forest::{ForestParams, RandomForest};
 use bf_linalg::stats::r_squared;
-use bf_regress::{
-    Mars, MarsParams, MlpParams, MlpRegressor, StepwiseModel, StepwiseParams,
-};
+use bf_regress::{Mars, MarsParams, MlpParams, MlpRegressor, StepwiseModel, StepwiseParams};
+use blackforest::collect::{collect_matmul, collect_nw, CollectOptions};
+use blackforest::Dataset;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::GpuConfig;
 use std::hint::black_box;
@@ -45,23 +43,42 @@ fn holdout_r2(ds: &Dataset, train_n: Option<usize>, seed: u64) -> Vec<(String, f
         &ForestParams::default().with_trees(300).with_seed(seed),
     )
     .unwrap();
-    out.push(("random forest".into(), r_squared(&rf.predict(&test.rows).unwrap(), &test.response)));
+    out.push((
+        "random forest".into(),
+        r_squared(&rf.predict(&test.rows).unwrap(), &test.response),
+    ));
     let sw = StepwiseModel::fit(&train.rows, &train.response, &StepwiseParams::default()).unwrap();
-    out.push(("stepwise linear".into(), r_squared(&sw.predict(&test.rows), &test.response)));
+    out.push((
+        "stepwise linear".into(),
+        r_squared(&sw.predict(&test.rows), &test.response),
+    ));
     let mlp = MlpRegressor::fit(
         &train.rows,
         &train.response,
-        &MlpParams { epochs: 3000, ..MlpParams::default() },
+        &MlpParams {
+            epochs: 3000,
+            ..MlpParams::default()
+        },
     )
     .unwrap();
-    out.push(("mlp (1 hidden)".into(), r_squared(&mlp.predict(&test.rows), &test.response)));
+    out.push((
+        "mlp (1 hidden)".into(),
+        r_squared(&mlp.predict(&test.rows), &test.response),
+    ));
     let mars = Mars::fit(
         &train.rows,
         &train.response,
-        &MarsParams { max_terms: 15, max_knots: 12, ..MarsParams::default() },
+        &MarsParams {
+            max_terms: 15,
+            max_knots: 12,
+            ..MarsParams::default()
+        },
     )
     .unwrap();
-    out.push(("mars".into(), r_squared(&mars.predict(&test.rows), &test.response)));
+    out.push((
+        "mars".into(),
+        r_squared(&mars.predict(&test.rows), &test.response),
+    ));
     out
 }
 
@@ -105,7 +122,10 @@ fn bench(c: &mut Criterion) {
             MlpRegressor::fit(
                 black_box(&mm.rows),
                 black_box(&mm.response),
-                &MlpParams { epochs: 500, ..MlpParams::default() },
+                &MlpParams {
+                    epochs: 500,
+                    ..MlpParams::default()
+                },
             )
             .unwrap()
         })

@@ -5,9 +5,9 @@
 //! Accuracy per setting is printed once (OOB explained variance); criterion
 //! tracks the fit cost so the accuracy/cost trade-off is visible in one run.
 
+use bf_forest::{ForestParams, RandomForest};
 use blackforest::collect::{collect_matmul, CollectOptions};
 use blackforest::Dataset;
-use bf_forest::{ForestParams, RandomForest};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::GpuConfig;
 use std::hint::black_box;
@@ -37,7 +37,10 @@ fn report_sensitivity(ds: &Dataset) {
         let f = RandomForest::fit(
             &ds.rows,
             &ds.response,
-            &ForestParams::default().with_trees(200).with_mtry(mtry).with_seed(5),
+            &ForestParams::default()
+                .with_trees(200)
+                .with_mtry(mtry)
+                .with_seed(5),
         )
         .unwrap();
         eprintln!("  mtry {mtry:4}   : {:.4}", f.oob_r_squared());

@@ -7,10 +7,10 @@
 //! dataset; the accuracy side of the ablation (OOB/test R² per family) is
 //! printed once at startup so a bench run documents both.
 
-use blackforest::collect::{collect_matmul, CollectOptions};
-use blackforest::Dataset;
 use bf_forest::{ForestParams, RandomForest};
 use bf_regress::glm::{Basis, LinearModel};
+use blackforest::collect::{collect_matmul, CollectOptions};
+use blackforest::Dataset;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::GpuConfig;
 use std::hint::black_box;
@@ -28,7 +28,10 @@ fn dataset() -> Dataset {
 fn glm_basis(p: usize) -> Vec<Basis> {
     let mut b = vec![Basis::Intercept];
     for f in 0..p {
-        b.push(Basis::Power { feature: f, power: 1 });
+        b.push(Basis::Power {
+            feature: f,
+            power: 1,
+        });
     }
     b
 }
@@ -50,8 +53,14 @@ fn report_accuracy(ds: &Dataset) {
     let glm = LinearModel::fit(&glm_basis(ds.n_features()), &train.rows, &train.response).unwrap();
     let r2 = |pred: &[f64]| bf_linalg::stats::r_squared(pred, &test.response);
     eprintln!("== ablation_models accuracy (test R^2) ==");
-    eprintln!("  random forest (500): {:.4}", r2(&rf.predict(&test.rows).unwrap()));
-    eprintln!("  single tree        : {:.4}", r2(&tree.predict(&test.rows).unwrap()));
+    eprintln!(
+        "  random forest (500): {:.4}",
+        r2(&rf.predict(&test.rows).unwrap())
+    );
+    eprintln!(
+        "  single tree        : {:.4}",
+        r2(&tree.predict(&test.rows).unwrap())
+    );
     eprintln!("  linear GLM         : {:.4}", r2(&glm.predict(&test.rows)));
 }
 

@@ -26,7 +26,9 @@ fn report_stability() {
     let gpu = GpuConfig::gtx580();
     let k = MatmulTiled::new(512);
     let grid = k.launch_config().grid_blocks;
-    let samples: Vec<f64> = (0..8).map(|i| block_cycles(&gpu, &k, i * grid / 8)).collect();
+    let samples: Vec<f64> = (0..8)
+        .map(|i| block_cycles(&gpu, &k, i * grid / 8))
+        .collect();
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let max_dev = samples
         .iter()

@@ -6,10 +6,10 @@
 //! shifts at each optimisation step — the §5 narrative, end to end.
 
 use bf_bench::{banner, figure_collect_options, figure_model_config, reduce_sweep};
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
 use blackforest::bottleneck::BottleneckReport;
 use blackforest::collect::collect_reduce;
 use blackforest::model::BlackForestModel;
-use bf_kernels::reduce::{reduce_application, ReduceVariant};
 use gpu_sim::GpuConfig;
 
 fn main() {
@@ -26,7 +26,9 @@ fn main() {
     );
     let mut t0 = None;
     for v in ReduceVariant::ALL {
-        let run = reduce_application(v, n, 256).profile(&gpu).expect("profile");
+        let run = reduce_application(v, n, 256)
+            .profile(&gpu)
+            .expect("profile");
         let t = run.time_ms;
         let base = *t0.get_or_insert(t);
         let gbps = (n * 4) as f64 / (t / 1e3) / 1e9;
@@ -44,11 +46,14 @@ fn main() {
     println!("\nprimary bottleneck per variant (BlackForest analysis):\n");
     let (sizes, threads) = reduce_sweep();
     for v in ReduceVariant::ALL {
-        let ds = collect_reduce(&gpu, v, &sizes, &threads, &figure_collect_options())
-            .expect("collect");
+        let ds =
+            collect_reduce(&gpu, v, &sizes, &threads, &figure_collect_options()).expect("collect");
         let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
         let report = BottleneckReport::analyze(&model, 8);
-        let conflicts = ds.feature_names.iter().any(|f| f == "l1_shared_bank_conflict");
+        let conflicts = ds
+            .feature_names
+            .iter()
+            .any(|f| f == "l1_shared_bank_conflict");
         let divergence = ds
             .column("divergent_branch")
             .map(|c| c.iter().sum::<f64>() > 0.0)

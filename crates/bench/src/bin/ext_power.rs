@@ -18,7 +18,10 @@ use blackforest::report;
 use gpu_sim::GpuConfig;
 
 fn main() {
-    banner("Extension", "Power draw as the response variable (paper §7)");
+    banner(
+        "Extension",
+        "Power draw as the response variable (paper §7)",
+    );
     let gpu = GpuConfig::k20m(); // §7 names Kepler's SMI power readout
     let opts = CollectOptions {
         response: ResponseMetric::AvgPowerW,
@@ -27,40 +30,48 @@ fn main() {
 
     println!("--- matrixMul, power response ---");
     let mm = collect_matmul(&gpu, &matmul_sweep(), &opts).expect("collect mm");
-    let p = ProblemScalingPredictor::fit(
-        &mm,
-        &figure_model_config(),
-        &["size"],
-        ModelStrategy::Auto,
-    )
-    .expect("fit mm");
+    let p =
+        ProblemScalingPredictor::fit(&mm, &figure_model_config(), &["size"], ModelStrategy::Auto)
+            .expect("fit mm");
     println!(
         "power range: {:.1}..{:.1} W; forest OOB explained variance {:.1}%",
         mm.response.iter().cloned().fold(f64::INFINITY, f64::min),
-        mm.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        mm.response
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
         p.model.validation.oob_r_squared * 100.0
     );
     println!("{}", report::importance_chart(&p.model, 8));
     let s = summarize(&p.evaluate_holdout().expect("holdout"));
-    println!("power prediction on unseen sizes: R^2 {:.3}, MAPE {:.1}%\n", s.r_squared, s.mape);
+    println!(
+        "power prediction on unseen sizes: R^2 {:.3}, MAPE {:.1}%\n",
+        s.r_squared, s.mape
+    );
 
     println!("--- needle (NW), power response ---");
-    let lengths = if quick_mode() { nw_sweep() } else { (1..=64).map(|k| k * 64).collect() };
+    let lengths = if quick_mode() {
+        nw_sweep()
+    } else {
+        (1..=64).map(|k| k * 64).collect()
+    };
     let nw = collect_nw(&gpu, &lengths, &opts).expect("collect nw");
-    let p = ProblemScalingPredictor::fit(
-        &nw,
-        &figure_model_config(),
-        &["size"],
-        ModelStrategy::Mars,
-    )
-    .expect("fit nw");
+    let p =
+        ProblemScalingPredictor::fit(&nw, &figure_model_config(), &["size"], ModelStrategy::Mars)
+            .expect("fit nw");
     println!(
         "power range: {:.1}..{:.1} W; forest OOB explained variance {:.1}%",
         nw.response.iter().cloned().fold(f64::INFINITY, f64::min),
-        nw.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        nw.response
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
         p.model.validation.oob_r_squared * 100.0
     );
     println!("{}", report::importance_chart(&p.model, 8));
     let s = summarize(&p.evaluate_holdout().expect("holdout"));
-    println!("power prediction on unseen lengths: R^2 {:.3}, MAPE {:.1}%", s.r_squared, s.mape);
+    println!(
+        "power prediction on unseen lengths: R^2 {:.3}, MAPE {:.1}%",
+        s.r_squared, s.mape
+    );
 }

@@ -16,10 +16,7 @@ use blackforest::predict::{HardwareScalingPredictor, HwFeatureStrategy};
 use blackforest::Dataset;
 use gpu_sim::GpuConfig;
 
-fn collect_all(
-    gpus: &[GpuConfig],
-    workload: &str,
-) -> Vec<Dataset> {
+fn collect_all(gpus: &[GpuConfig], workload: &str) -> Vec<Dataset> {
     let opts = CollectOptions {
         include_machine_metrics: true,
         drop_constant: false,
@@ -86,7 +83,10 @@ fn main() {
     );
     let gpus = GpuConfig::presets();
     for workload in ["matmul", "nw"] {
-        println!("\n--- {workload}: top-{} importance-ranking overlap ---", figure_model_config().top_k);
+        println!(
+            "\n--- {workload}: top-{} importance-ranking overlap ---",
+            figure_model_config().top_k
+        );
         let datasets = collect_all(&gpus, workload);
         let m = similarity_matrix(&gpus, &datasets);
         print_matrix(&gpus, &m);

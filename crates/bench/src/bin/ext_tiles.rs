@@ -6,14 +6,17 @@
 //! at large sizes, and which counters explain the difference?
 
 use bf_bench::{banner, figure_collect_options, figure_model_config, quick_mode};
+use bf_kernels::matmul::matmul_application_tiled;
 use blackforest::collect::collect_matmul_tiles;
 use blackforest::model::BlackForestModel;
 use blackforest::report;
-use bf_kernels::matmul::matmul_application_tiled;
 use gpu_sim::GpuConfig;
 
 fn main() {
-    banner("Extension", "matrixMul block-size tuning (tile as characteristic)");
+    banner(
+        "Extension",
+        "matrixMul block-size tuning (tile as characteristic)",
+    );
     let gpu = GpuConfig::gtx580();
     let tiles = [8usize, 16, 32];
 
@@ -24,11 +27,18 @@ fn main() {
         print!(" {:>10}", format!("tile {t}"));
     }
     println!();
-    let table_sizes = if quick_mode() { vec![128, 512] } else { vec![128, 512, 1024, 2048] };
+    let table_sizes = if quick_mode() {
+        vec![128, 512]
+    } else {
+        vec![128, 512, 1024, 2048]
+    };
     for &n in &table_sizes {
         print!("  {n:>6}");
         for &t in &tiles {
-            let ms = matmul_application_tiled(n, t).profile(&gpu).unwrap().time_ms;
+            let ms = matmul_application_tiled(n, t)
+                .profile(&gpu)
+                .unwrap()
+                .time_ms;
             print!(" {ms:>10.4}");
         }
         println!();
@@ -50,7 +60,11 @@ fn main() {
     );
     println!("{}", report::importance_chart(&model, 10));
     if let Some(pos) = model.ranking.iter().position(|n| n == "tile") {
-        println!("`tile` ranks {}/{} among predictors", pos + 1, model.ranking.len());
+        println!(
+            "`tile` ranks {}/{} among predictors",
+            pos + 1,
+            model.ranking.len()
+        );
     }
     if let Some(pd) = model.partial_dependence("tile", 3) {
         println!(

@@ -10,9 +10,9 @@
 //! needs.
 
 use bf_bench::{banner, figure_collect_options, matmul_sweep, nw_sweep, quick_mode};
+use bf_forest::ForestParams;
 use blackforest::collect::{collect_matmul, collect_nw};
 use blackforest::cv::learning_curve;
-use bf_forest::ForestParams;
 use gpu_sim::GpuConfig;
 
 fn main() {
@@ -24,14 +24,23 @@ fn main() {
     let fractions = [0.15, 0.3, 0.5, 0.7, 1.0];
 
     for (name, data) in [
-        ("matmul", collect_matmul(&gpu, &matmul_sweep(), &figure_collect_options()).unwrap()),
-        ("nw", collect_nw(&gpu, &nw_sweep(), &figure_collect_options()).unwrap()),
+        (
+            "matmul",
+            collect_matmul(&gpu, &matmul_sweep(), &figure_collect_options()).unwrap(),
+        ),
+        (
+            "nw",
+            collect_nw(&gpu, &nw_sweep(), &figure_collect_options()).unwrap(),
+        ),
     ] {
         println!("\n--- {name}: {} profiled runs total ---", data.len());
         println!("  {:>10} {:>12} {:>12}", "train runs", "CV R^2", "CV MSE");
         let curve = learning_curve(&data, &fractions, 5, &params, 2016).expect("curve");
         for p in &curve {
-            println!("  {:>10} {:>12.4} {:>12.4}", p.train_size, p.r_squared, p.mse);
+            println!(
+                "  {:>10} {:>12.4} {:>12.4}",
+                p.train_size, p.r_squared, p.mse
+            );
         }
         // The paper's empirical rule of thumb: "100 samples are more than
         // sufficient for 1-D problems". Check where the curve saturates.

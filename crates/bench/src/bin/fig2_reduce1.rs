@@ -10,9 +10,9 @@
 use bf_bench::{
     banner, figure_collect_options, figure_model_config, print_kernel_analysis, reduce_sweep,
 };
+use bf_kernels::reduce::ReduceVariant;
 use blackforest::collect::collect_reduce;
 use blackforest::model::BlackForestModel;
-use bf_kernels::reduce::ReduceVariant;
 use gpu_sim::GpuConfig;
 
 fn main() {
@@ -32,7 +32,11 @@ fn main() {
 
     // The paper's headline: the bank-conflict replay counters exist and
     // carry signal for reduce1 (they vanish entirely for reduce2).
-    for name in ["l1_shared_bank_conflict", "shared_replay_overhead", "inst_replay_overhead"] {
+    for name in [
+        "l1_shared_bank_conflict",
+        "shared_replay_overhead",
+        "inst_replay_overhead",
+    ] {
         if let Some(pos) = model.ranking.iter().position(|n| n == name) {
             println!(
                 "replay counter {:<26} rank {:>2}/{} (importance {:.3e})",

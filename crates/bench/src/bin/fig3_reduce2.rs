@@ -10,10 +10,10 @@
 use bf_bench::{
     banner, figure_collect_options, figure_model_config, print_kernel_analysis, reduce_sweep,
 };
+use bf_kernels::reduce::ReduceVariant;
 use blackforest::bottleneck::{categorize, BottleneckCategory};
 use blackforest::collect::collect_reduce;
 use blackforest::model::BlackForestModel;
-use bf_kernels::reduce::ReduceVariant;
 use gpu_sim::GpuConfig;
 
 fn main() {
@@ -31,10 +31,17 @@ fn main() {
     let model = BlackForestModel::fit(&ds, &figure_model_config()).expect("fit");
     print_kernel_analysis(&ds, &model);
 
-    let missing = !ds.feature_names.iter().any(|n| n == "l1_shared_bank_conflict");
+    let missing = !ds
+        .feature_names
+        .iter()
+        .any(|n| n == "l1_shared_bank_conflict");
     println!(
         "bank-conflict metric vanished from the analysis: {}",
-        if missing { "yes (constant zero over the sweep)" } else { "NO" }
+        if missing {
+            "yes (constant zero over the sweep)"
+        } else {
+            "NO"
+        }
     );
     let mem_top = model
         .ranking

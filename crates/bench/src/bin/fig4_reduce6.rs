@@ -9,9 +9,9 @@
 use bf_bench::{
     banner, figure_collect_options, figure_model_config, print_kernel_analysis, reduce_sweep,
 };
+use bf_kernels::reduce::ReduceVariant;
 use blackforest::collect::collect_reduce;
 use blackforest::model::BlackForestModel;
-use bf_kernels::reduce::ReduceVariant;
 use gpu_sim::GpuConfig;
 
 fn main() {

@@ -17,18 +17,19 @@ fn main() {
     banner("Figure 5", "Characterization and prediction of MM");
     let gpu = GpuConfig::gtx580();
     let sizes = matmul_sweep();
-    println!("sweep: {} sizes from {} to {}", sizes.len(), sizes[0], sizes[sizes.len() - 1]);
+    println!(
+        "sweep: {} sizes from {} to {}",
+        sizes.len(),
+        sizes[0],
+        sizes[sizes.len() - 1]
+    );
     let ds = collect_matmul(&gpu, &sizes, &figure_collect_options()).expect("collection");
     // The paper prefers GLMs for trivial relations and MARS otherwise
     // (§4.2 "Results interpretation"); Auto applies exactly that rule per
     // counter.
-    let predictor = ProblemScalingPredictor::fit(
-        &ds,
-        &figure_model_config(),
-        &["size"],
-        ModelStrategy::Auto,
-    )
-    .expect("fit");
+    let predictor =
+        ProblemScalingPredictor::fit(&ds, &figure_model_config(), &["size"], ModelStrategy::Auto)
+            .expect("fit");
     let model = &predictor.model;
 
     println!("\n(a) {}", report::importance_chart(model, 10));

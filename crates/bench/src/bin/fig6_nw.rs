@@ -44,7 +44,11 @@ fn main() {
     println!("\n(b) prediction of unseen sequence lengths (held-out 20%):");
     let points = predictor.evaluate_holdout().expect("holdout");
     // Print every 4th row to keep the table readable at 129 lengths.
-    let thinned: Vec<_> = points.iter().step_by(4.max(points.len() / 16)).cloned().collect();
+    let thinned: Vec<_> = points
+        .iter()
+        .step_by(4.max(points.len() / 16))
+        .cloned()
+        .collect();
     println!("{}", report::prediction_table(&thinned, "size"));
     let s = summarize(&points);
     println!(
@@ -57,7 +61,12 @@ fn main() {
     println!("\n(c) MARS counter models (size -> counter):");
     println!("  {:<28} {:<8} {:>10}", "counter", "family", "R^2");
     for m in &predictor.counters.models {
-        println!("  {:<28} {:<8} {:>10.4}", m.counter, m.family(), m.r_squared);
+        println!(
+            "  {:<28} {:<8} {:>10.4}",
+            m.counter,
+            m.family(),
+            m.r_squared
+        );
     }
     println!(
         "average counter-model R^2: {:.4} (paper: 0.99 with earth)",

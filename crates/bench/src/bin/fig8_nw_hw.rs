@@ -43,8 +43,14 @@ fn main() {
         HwFeatureStrategy::SourceImportance,
     )
     .expect("fit naive");
-    println!("\n(a) top-8 importance on GTX580 : {:?}", &naive.source_ranking[..8]);
-    println!("(b) top-8 importance on K20m   : {:?}", &naive.target_ranking[..8]);
+    println!(
+        "\n(a) top-8 importance on GTX580 : {:?}",
+        &naive.source_ranking[..8]
+    );
+    println!(
+        "(b) top-8 importance on K20m   : {:?}",
+        &naive.target_ranking[..8]
+    );
     println!(
         "ranking similarity (top-{} overlap): {:.0}%",
         naive.features.len(),
@@ -67,7 +73,11 @@ fn main() {
     .expect("fit mixed");
     println!("\n(c) mixed-importance variable set: {:?}", mixed.features);
     let points = mixed.evaluate(&tgt_test, "size").expect("evaluate mixed");
-    let thinned: Vec<_> = points.iter().step_by(1.max(points.len() / 16)).cloned().collect();
+    let thinned: Vec<_> = points
+        .iter()
+        .step_by(1.max(points.len() / 16))
+        .cloned()
+        .collect();
     println!("{}", report::prediction_table(&thinned, "size"));
     let ms = summarize(&points);
     println!(

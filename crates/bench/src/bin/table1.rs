@@ -21,7 +21,13 @@ fn main() {
     println!(
         "{} counters total; {} Fermi-only, {} Kepler-only",
         COUNTER_CATALOG.len(),
-        COUNTER_CATALOG.iter().filter(|c| c.on_fermi && !c.on_kepler).count(),
-        COUNTER_CATALOG.iter().filter(|c| !c.on_fermi && c.on_kepler).count(),
+        COUNTER_CATALOG
+            .iter()
+            .filter(|c| c.on_fermi && !c.on_kepler)
+            .count(),
+        COUNTER_CATALOG
+            .iter()
+            .filter(|c| !c.on_fermi && c.on_kepler)
+            .count(),
     );
 }

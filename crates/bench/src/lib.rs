@@ -25,10 +25,17 @@ pub fn figure_collect_options() -> CollectOptions {
 
 /// The standard model configuration for figures: the paper's 500-tree
 /// forest and 80:20 split.
+///
+/// The seed is chosen so the random 80:20 split keeps every repetition of
+/// the smallest and largest sweep size in the training set for both the MM
+/// (63-row) and NW (384-row) figure datasets. The paper's prediction
+/// protocol is interpolation — unseen sizes *within* the profiled sweep —
+/// and a split that drops a boundary size from training would silently turn
+/// Figures 5b/7 into an extrapolation test the method never claims to pass.
 pub fn figure_model_config() -> ModelConfig {
     ModelConfig {
         n_trees: if quick_mode() { 120 } else { 500 },
-        seed: 2016,
+        seed: 2121,
         ..ModelConfig::default()
     }
 }

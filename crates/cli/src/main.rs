@@ -11,10 +11,10 @@
 //! * `predict --workload W --size N [--gpu NAME]` — problem-scaling
 //!   prediction for an unseen size.
 
+use bf_kernels::reduce::ReduceVariant;
 use blackforest::collect::CollectOptions;
 use blackforest::model::ModelConfig;
-use blackforest::{BlackForest, Workload};
-use bf_kernels::reduce::ReduceVariant;
+use blackforest::{BlackForest, SplitStrategy, Workload};
 use gpu_sim::GpuConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,6 +44,8 @@ OPTIONS:
     --size N        problem size to predict (predict)
     --model FILE    reuse a trained model instead of re-collecting (predict)
     --quick         smaller sweep and forest (faster)
+    --split-strategy S   forest split search: histogram (default) or exact
+    --max-bins N    histogram bin ceiling per feature, 2..=65536 (default 256)
 ";
 
 struct Args {
@@ -55,6 +57,28 @@ struct Args {
     size: Option<f64>,
     target: Option<String>,
     quick: bool,
+    split_strategy: Option<String>,
+    max_bins: Option<usize>,
+}
+
+impl Args {
+    /// Resolves `--split-strategy`/`--max-bins` into a forest strategy.
+    fn split_strategy(&self) -> Result<SplitStrategy, String> {
+        match self.split_strategy.as_deref() {
+            None | Some("histogram") => Ok(SplitStrategy::Histogram {
+                max_bins: self.max_bins.unwrap_or(256),
+            }),
+            Some("exact") => {
+                if self.max_bins.is_some() {
+                    return Err("--max-bins only applies to --split-strategy histogram".into());
+                }
+                Ok(SplitStrategy::Exact)
+            }
+            Some(other) => Err(format!(
+                "unknown split strategy {other}; use histogram or exact"
+            )),
+        }
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -67,11 +91,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         size: None,
         target: None,
         quick: false,
+        split_strategy: None,
+        max_bins: None,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--workload" => args.workload = Some(it.next().ok_or("--workload needs a value")?.clone()),
+            "--workload" => {
+                args.workload = Some(it.next().ok_or("--workload needs a value")?.clone())
+            }
             "--gpu" => args.gpu = it.next().ok_or("--gpu needs a value")?.clone(),
             "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
             "--model" => {
@@ -87,6 +115,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--quick" => args.quick = true,
+            "--split-strategy" => {
+                args.split_strategy =
+                    Some(it.next().ok_or("--split-strategy needs a value")?.clone())
+            }
+            "--max-bins" => {
+                args.max_bins = Some(
+                    it.next()
+                        .ok_or("--max-bins needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-bins: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -137,14 +177,19 @@ fn default_sizes(workload: Workload, quick: bool) -> Vec<usize> {
 
 fn toolchain(args: &Args) -> Result<BlackForest, String> {
     let gpu = gpu_by_name(&args.gpu)?;
+    let split_strategy = args.split_strategy()?;
     let mut bf = BlackForest::new(gpu);
     bf.collect = CollectOptions::default().with_repetitions(3, 0.02);
     if args.quick {
-        bf = bf.with_config(ModelConfig::quick(2016));
+        bf = bf.with_config(ModelConfig {
+            split_strategy,
+            ..ModelConfig::quick(2016)
+        });
         bf.collect = CollectOptions::default();
     } else {
         bf = bf.with_config(ModelConfig {
             seed: 2016,
+            split_strategy,
             ..ModelConfig::default()
         });
     }
@@ -182,9 +227,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "collect" => {
-            let workload = workload_by_name(
-                args.workload.as_deref().ok_or("collect needs --workload")?,
-            )?;
+            let workload =
+                workload_by_name(args.workload.as_deref().ok_or("collect needs --workload")?)?;
             let bf = toolchain(&args)?;
             let sizes = default_sizes(workload, args.quick);
             let ds = bf.collect(workload, &sizes).map_err(|e| e.to_string())?;
@@ -201,9 +245,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "analyze" => {
-            let workload = workload_by_name(
-                args.workload.as_deref().ok_or("analyze needs --workload")?,
-            )?;
+            let workload =
+                workload_by_name(args.workload.as_deref().ok_or("analyze needs --workload")?)?;
             let bf = toolchain(&args)?;
             let sizes = default_sizes(workload, args.quick);
             let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
@@ -216,9 +259,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "train" => {
-            let workload = workload_by_name(
-                args.workload.as_deref().ok_or("train needs --workload")?,
-            )?;
+            let workload =
+                workload_by_name(args.workload.as_deref().ok_or("train needs --workload")?)?;
             let out = args.out.clone().ok_or("train needs --out MODEL.json")?;
             let bf = toolchain(&args)?;
             let sizes = default_sizes(workload, args.quick);
@@ -234,9 +276,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "predict" => {
-            let workload = workload_by_name(
-                args.workload.as_deref().ok_or("predict needs --workload")?,
-            )?;
+            let workload =
+                workload_by_name(args.workload.as_deref().ok_or("predict needs --workload")?)?;
             let size = args.size.ok_or("predict needs --size")?;
             let predictor = match &args.model {
                 Some(path) => blackforest::predict::ProblemScalingPredictor::load(path)
@@ -244,7 +285,9 @@ fn run() -> Result<(), String> {
                 None => {
                     let bf = toolchain(&args)?;
                     let sizes = default_sizes(workload, args.quick);
-                    bf.analyze(workload, &sizes).map_err(|e| e.to_string())?.predictor
+                    bf.analyze(workload, &sizes)
+                        .map_err(|e| e.to_string())?
+                        .predictor
                 }
             };
             // Reduce kernels have a second characteristic (block size);
@@ -265,9 +308,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "hwscale" => {
-            let workload = workload_by_name(
-                args.workload.as_deref().ok_or("hwscale needs --workload")?,
-            )?;
+            let workload =
+                workload_by_name(args.workload.as_deref().ok_or("hwscale needs --workload")?)?;
             let target_name = args.target.clone().ok_or("hwscale needs --target")?;
             let src_gpu = gpu_by_name(&args.gpu)?;
             let tgt_gpu = gpu_by_name(&target_name)?;
@@ -280,16 +322,27 @@ fn run() -> Result<(), String> {
             let mut bf_src = toolchain(&args)?;
             bf_src.gpu = src_gpu;
             bf_src.collect = opts.clone();
-            let src = bf_src.collect(workload, &sizes).map_err(|e| e.to_string())?;
+            let src = bf_src
+                .collect(workload, &sizes)
+                .map_err(|e| e.to_string())?;
             let mut bf_tgt = toolchain(&args)?;
             bf_tgt.gpu = tgt_gpu;
             bf_tgt.collect = opts;
-            let tgt = bf_tgt.collect(workload, &sizes).map_err(|e| e.to_string())?;
+            let tgt = bf_tgt
+                .collect(workload, &sizes)
+                .map_err(|e| e.to_string())?;
             let (tgt_train, tgt_test) = tgt.split(0.8, 2016);
             let cfg = if args.quick {
-                ModelConfig::quick(2016)
+                ModelConfig {
+                    split_strategy: args.split_strategy()?,
+                    ..ModelConfig::quick(2016)
+                }
             } else {
-                ModelConfig { seed: 2016, ..ModelConfig::default() }
+                ModelConfig {
+                    seed: 2016,
+                    split_strategy: args.split_strategy()?,
+                    ..ModelConfig::default()
+                }
             };
             let hw = blackforest::predict::HardwareScalingPredictor::fit(
                 &src,
@@ -306,8 +359,14 @@ fn run() -> Result<(), String> {
                 hw.similarity * 100.0,
                 hw.rank_correlation
             );
-            println!("source top: {:?}", &hw.source_ranking[..6.min(hw.source_ranking.len())]);
-            println!("target top: {:?}", &hw.target_ranking[..6.min(hw.target_ranking.len())]);
+            println!(
+                "source top: {:?}",
+                &hw.source_ranking[..6.min(hw.source_ranking.len())]
+            );
+            println!(
+                "target top: {:?}",
+                &hw.target_ranking[..6.min(hw.target_ranking.len())]
+            );
             let points = hw.evaluate(&tgt_test, "size").map_err(|e| e.to_string())?;
             println!("{}", blackforest::report::prediction_table(&points, "size"));
             Ok(())

@@ -84,22 +84,37 @@ impl BottleneckCategory {
 /// Maps a counter name to its performance-pattern category.
 pub fn categorize(counter: &str) -> BottleneckCategory {
     match counter {
-        "shared_replay_overhead" | "l1_shared_bank_conflict" | "shared_load_replay"
+        "shared_replay_overhead"
+        | "l1_shared_bank_conflict"
+        | "shared_load_replay"
         | "shared_store_replay" => BottleneckCategory::SharedMemoryConflicts,
-        "l1_global_load_hit" | "l1_global_load_miss" | "global_load_transaction"
-        | "global_store_transaction" | "l2_read_transactions" | "l2_write_transactions"
-        | "l2_read_throughput" | "l2_write_throughput" | "shared_load" | "shared_store" => {
-            BottleneckCategory::MemoryAccessPattern
-        }
-        "gld_requested_throughput" | "gst_requested_throughput" | "gld_throughput"
-        | "gst_throughput" | "dram_read_transactions" | "dram_write_transactions"
-        | "gld_request" | "gst_request" => BottleneckCategory::MemoryBandwidth,
+        "l1_global_load_hit"
+        | "l1_global_load_miss"
+        | "global_load_transaction"
+        | "global_store_transaction"
+        | "l2_read_transactions"
+        | "l2_write_transactions"
+        | "l2_read_throughput"
+        | "l2_write_throughput"
+        | "shared_load"
+        | "shared_store" => BottleneckCategory::MemoryAccessPattern,
+        "gld_requested_throughput"
+        | "gst_requested_throughput"
+        | "gld_throughput"
+        | "gst_throughput"
+        | "dram_read_transactions"
+        | "dram_write_transactions"
+        | "gld_request"
+        | "gst_request" => BottleneckCategory::MemoryBandwidth,
         "achieved_occupancy" => BottleneckCategory::Occupancy,
         "branch" | "divergent_branch" | "warp_execution_efficiency" => {
             BottleneckCategory::Divergence
         }
         "inst_replay_overhead" => BottleneckCategory::InstructionSerialization,
-        "ipc" | "issue_slot_utilization" | "inst_executed" | "inst_issued"
+        "ipc"
+        | "issue_slot_utilization"
+        | "inst_executed"
+        | "inst_issued"
         | "ldst_fu_utilization" => BottleneckCategory::ComputeThroughput,
         _ => BottleneckCategory::Characteristic,
     }
@@ -123,8 +138,12 @@ pub fn component_label(pca: &crate::model::PcaSummary, component: usize) -> Stri
         let w = loading * loading;
         match name.as_str() {
             "warp_execution_efficiency" | "divergent_branch" => simd += w,
-            "ipc" | "issue_slot_utilization" | "achieved_occupancy" | "inst_issued"
-            | "inst_replay_overhead" | "shared_replay_overhead" => mimd += w,
+            "ipc"
+            | "issue_slot_utilization"
+            | "achieved_occupancy"
+            | "inst_issued"
+            | "inst_replay_overhead"
+            | "shared_replay_overhead" => mimd += w,
             _ => {}
         }
         let cat = categorize(&name);
@@ -186,9 +205,7 @@ impl BottleneckReport {
                 .iter()
                 .position(|n| n == name)
                 .expect("ranking names come from the schema");
-            let pd = model
-                .partial_dependence(name, 16)
-                .expect("feature exists");
+            let pd = model.partial_dependence(name, 16).expect("feature exists");
             findings.push(BottleneckFinding {
                 counter: name.clone(),
                 importance: model.importance.mean_increase_mse[j],

@@ -190,7 +190,8 @@ fn profile_batch(
             let names: Vec<String> = run.counters.names().iter().map(|s| s.to_string()).collect();
             for name in names {
                 let v = run.counters.get(&name).unwrap_or(0.0);
-                run.counters.set(&name, v * jitter(&mut rng, opts.noise_frac * 0.5));
+                run.counters
+                    .set(&name, v * jitter(&mut rng, opts.noise_frac * 0.5));
             }
             out.push(Observation {
                 run,
@@ -215,7 +216,10 @@ pub fn collect_reduce(
         for &t in threads {
             jobs.push((
                 reduce_application(variant, n, t),
-                vec![("size".to_string(), n as f64), ("threads".to_string(), t as f64)],
+                vec![
+                    ("size".to_string(), n as f64),
+                    ("threads".to_string(), t as f64),
+                ],
             ));
         }
     }
@@ -227,12 +231,7 @@ pub fn collect_reduce(
 pub fn collect_matmul(gpu: &GpuConfig, sizes: &[usize], opts: &CollectOptions) -> Result<Dataset> {
     let jobs = sizes
         .iter()
-        .map(|&n| {
-            (
-                matmul_application(n),
-                vec![("size".to_string(), n as f64)],
-            )
-        })
+        .map(|&n| (matmul_application(n), vec![("size".to_string(), n as f64)]))
         .collect();
     let obs = profile_batch(gpu, jobs, opts)?;
     dataset_from_observations(gpu, obs, opts)
@@ -270,12 +269,7 @@ pub fn collect_matmul_tiles(
 pub fn collect_nw(gpu: &GpuConfig, lengths: &[usize], opts: &CollectOptions) -> Result<Dataset> {
     let jobs = lengths
         .iter()
-        .map(|&n| {
-            (
-                nw_application(n, 10),
-                vec![("size".to_string(), n as f64)],
-            )
-        })
+        .map(|&n| (nw_application(n, 10), vec![("size".to_string(), n as f64)]))
         .collect();
     let obs = profile_batch(gpu, jobs, opts)?;
     dataset_from_observations(gpu, obs, opts)
@@ -424,8 +418,8 @@ mod tests {
     #[test]
     fn tile_sweep_skips_indivisible_combinations_and_varies_occupancy() {
         let gpu = GpuConfig::gtx580();
-        let ds = collect_matmul_tiles(&gpu, &[80, 128], &[16, 32], &CollectOptions::default())
-            .unwrap();
+        let ds =
+            collect_matmul_tiles(&gpu, &[80, 128], &[16, 32], &CollectOptions::default()).unwrap();
         // 80 is not a multiple of 32 -> 3 rows, not 4.
         assert_eq!(ds.len(), 3);
         assert!(ds.feature_index("tile").is_some());

@@ -250,9 +250,14 @@ mod tests {
         for i in 1..=40 {
             let s = i as f64 * 16.0;
             let quadratic = 0.01 * s * s + 2.0;
-            let kinked = if s < 300.0 { s } else { 300.0 + 0.1 * (s - 300.0) };
+            let kinked = if s < 300.0 {
+                s
+            } else {
+                300.0 + 0.1 * (s - 300.0)
+            };
             let noisy = ((i * 2654435761usize) % 100) as f64;
-            ds.push(vec![s, quadratic, kinked, noisy], s * 0.01).unwrap();
+            ds.push(vec![s, quadratic, kinked, noisy], s * 0.01)
+                .unwrap();
         }
         ds
     }
@@ -282,7 +287,11 @@ mod tests {
             ModelStrategy::Auto,
         )
         .unwrap();
-        assert!(set.models[0].r_squared > 0.99, "r2 {}", set.models[0].r_squared);
+        assert!(
+            set.models[0].r_squared > 0.99,
+            "r2 {}",
+            set.models[0].r_squared
+        );
     }
 
     #[test]
@@ -340,13 +349,10 @@ mod tests {
             ModelStrategy::Glm
         )
         .is_err());
-        assert!(CounterModelSet::fit(
-            &ds,
-            &["nope".into()],
-            &["size".into()],
-            ModelStrategy::Glm
-        )
-        .is_err());
+        assert!(
+            CounterModelSet::fit(&ds, &["nope".into()], &["size".into()], ModelStrategy::Glm)
+                .is_err()
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl Dataset {
 
     /// Vertically concatenates another dataset with an identical schema.
     pub fn append(&mut self, other: &Dataset) -> Result<()> {
-        if other.feature_names != self.feature_names || other.response_name != self.response_name
-        {
+        if other.feature_names != self.feature_names || other.response_name != self.response_name {
             return Err(BfError::Data("schema mismatch in append".into()));
         }
         self.rows.extend(other.rows.iter().cloned());
@@ -197,12 +196,7 @@ impl Dataset {
     pub fn write_csv(&self, path: &Path) -> Result<()> {
         let file = std::fs::File::create(path)?;
         let mut w = BufWriter::new(file);
-        writeln!(
-            w,
-            "{},{}",
-            self.feature_names.join(","),
-            self.response_name
-        )?;
+        writeln!(w, "{},{}", self.feature_names.join(","), self.response_name)?;
         for (row, y) in self.rows.iter().zip(self.response.iter()) {
             let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
             writeln!(w, "{},{y}", cells.join(","))?;
@@ -264,10 +258,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Dataset {
-        let mut ds = Dataset::new(
-            vec!["a".into(), "b".into(), "c".into()],
-            "time_ms",
-        );
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "c".into()], "time_ms");
         for i in 0..20 {
             ds.push(vec![i as f64, (i * 2) as f64, 5.0], i as f64 * 1.5)
                 .unwrap();

@@ -57,6 +57,7 @@ pub mod predict;
 pub mod report;
 pub mod toolchain;
 
+pub use bf_forest::SplitStrategy;
 pub use bottleneck::{BottleneckCategory, BottleneckReport};
 pub use collect::CollectOptions;
 pub use dataset::Dataset;

@@ -60,7 +60,10 @@ pub fn analysis_markdown(report: &AnalysisReport) -> String {
             pca.n_components,
             pca.cumulative * 100.0
         );
-        let _ = writeln!(md, "| component | variance | dimension | dominant loadings |");
+        let _ = writeln!(
+            md,
+            "| component | variance | dimension | dominant loadings |"
+        );
         let _ = writeln!(md, "|---|---:|---|---|");
         for c in 0..pca.n_components {
             let dom: Vec<String> = pca
@@ -132,7 +135,10 @@ pub fn analysis_markdown(report: &AnalysisReport) -> String {
 /// line.
 pub fn prediction_markdown(points: &[PredictionPoint], char_name: &str) -> String {
     let mut md = String::new();
-    let _ = writeln!(md, "| {char_name} | measured (ms) | predicted (ms) | error |");
+    let _ = writeln!(
+        md,
+        "| {char_name} | measured (ms) | predicted (ms) | error |"
+    );
     let _ = writeln!(md, "|---:|---:|---:|---:|");
     for p in points {
         let err = if p.measured_ms != 0.0 {
@@ -197,8 +203,16 @@ mod tests {
     #[test]
     fn prediction_markdown_summarises() {
         let points = vec![
-            PredictionPoint { characteristics: vec![64.0], predicted_ms: 1.0, measured_ms: 1.1 },
-            PredictionPoint { characteristics: vec![128.0], predicted_ms: 4.4, measured_ms: 4.0 },
+            PredictionPoint {
+                characteristics: vec![64.0],
+                predicted_ms: 1.0,
+                measured_ms: 1.1,
+            },
+            PredictionPoint {
+                characteristics: vec![128.0],
+                predicted_ms: 4.4,
+                measured_ms: 4.0,
+            },
         ];
         let md = prediction_markdown(&points, "size");
         assert!(md.contains("| 64 |"));

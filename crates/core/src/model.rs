@@ -3,7 +3,7 @@
 
 use crate::dataset::Dataset;
 use crate::{BfError, Result};
-use bf_forest::{ForestParams, PartialDependence, RandomForest, VariableImportance};
+use bf_forest::{ForestParams, PartialDependence, RandomForest, SplitStrategy, VariableImportance};
 use bf_linalg::{stats, Matrix};
 use bf_pca::{varimax, Pca, PcaOptions};
 use serde::{Deserialize, Serialize};
@@ -25,6 +25,9 @@ pub struct ModelConfig {
     pub pca_variance_threshold: f64,
     /// Minimum samples per tree leaf.
     pub min_node_size: usize,
+    /// Split-search backend for every forest the pipeline fits (default:
+    /// histogram with 256 bins; see [`bf_forest::SplitStrategy`]).
+    pub split_strategy: SplitStrategy,
 }
 
 impl Default for ModelConfig {
@@ -36,6 +39,7 @@ impl Default for ModelConfig {
             top_k: 6,
             pca_variance_threshold: 0.95,
             min_node_size: 5,
+            split_strategy: SplitStrategy::default(),
         }
     }
 }
@@ -127,10 +131,7 @@ pub struct BlackForestModel {
     pub test: Dataset,
 }
 
-fn validate(
-    forest: &RandomForest,
-    test: &Dataset,
-) -> Result<ValidationMetrics> {
+fn validate(forest: &RandomForest, test: &Dataset) -> Result<ValidationMetrics> {
     let preds = forest
         .predict(&test.rows)
         .map_err(|e| BfError::Fit(e.to_string()))?;
@@ -157,6 +158,7 @@ impl BlackForestModel {
         let params = ForestParams {
             n_trees: config.n_trees,
             min_node_size: config.min_node_size.min(train.len() / 4).max(1),
+            split_strategy: config.split_strategy,
             ..ForestParams::default().with_seed(config.seed)
         };
         let forest = RandomForest::fit(&train.rows, &train.response, &params)
@@ -202,7 +204,11 @@ impl BlackForestModel {
             .components_for(config.pca_variance_threshold)
             .clamp(1, train.n_features());
         let raw = pca.factor_loadings(k).map_err(|e| e.to_string())?;
-        let rotated = if k >= 2 { varimax(&raw, true).loadings } else { raw };
+        let rotated = if k >= 2 {
+            varimax(&raw, true).loadings
+        } else {
+            raw
+        };
         let ratios = pca.explained_variance_ratio();
         Ok(PcaSummary {
             n_components: k,

@@ -242,6 +242,7 @@ impl HardwareScalingPredictor {
         let params = ForestParams {
             n_trees: config.n_trees,
             min_node_size: config.min_node_size.min(src.len() / 4).max(1),
+            split_strategy: config.split_strategy,
             ..ForestParams::default().with_seed(config.seed)
         };
         let src_forest = RandomForest::fit(&src.rows, &src.response, &params)
@@ -299,7 +300,11 @@ impl HardwareScalingPredictor {
 
     /// Predicts times for the target GPU's test split and pairs them with
     /// the measured values (the paper's Figures 7 and 8c).
-    pub fn evaluate(&self, target_test: &Dataset, characteristic: &str) -> Result<Vec<PredictionPoint>> {
+    pub fn evaluate(
+        &self,
+        target_test: &Dataset,
+        characteristic: &str,
+    ) -> Result<Vec<PredictionPoint>> {
         let sel = target_test.select(&self.features)?;
         let char_col = target_test
             .column(characteristic)
@@ -410,7 +415,9 @@ mod tests {
         let points = hw.evaluate(&tgt_test, "size").unwrap();
         assert_eq!(points.len(), tgt_test.len());
         // Predictions should at least be positive and finite.
-        assert!(points.iter().all(|p| p.predicted_ms.is_finite() && p.predicted_ms > 0.0));
+        assert!(points
+            .iter()
+            .all(|p| p.predicted_ms.is_finite() && p.predicted_ms > 0.0));
     }
 
     #[test]
@@ -508,8 +515,16 @@ mod tests {
     #[test]
     fn summarize_computes_consistent_metrics() {
         let points = vec![
-            PredictionPoint { characteristics: vec![1.0], predicted_ms: 1.0, measured_ms: 1.0 },
-            PredictionPoint { characteristics: vec![2.0], predicted_ms: 2.0, measured_ms: 2.2 },
+            PredictionPoint {
+                characteristics: vec![1.0],
+                predicted_ms: 1.0,
+                measured_ms: 1.0,
+            },
+            PredictionPoint {
+                characteristics: vec![2.0],
+                predicted_ms: 2.0,
+                measured_ms: 2.2,
+            },
         ];
         let s = summarize(&points);
         assert!(s.mse > 0.0 && s.mse < 0.1);

@@ -40,7 +40,11 @@ pub fn partial_dependence_chart(model: &BlackForestModel, feature: &str, points:
         return format!("(no such feature: {feature})\n");
     };
     let lo = pd.response.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = pd.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let hi = pd
+        .response
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -64,7 +68,9 @@ pub fn partial_dependence_chart(model: &BlackForestModel, feature: &str, points:
     let _ = writeln!(
         out,
         "  {:>10}  {:<12.4}...{:>12.4}",
-        "", pd.grid[0], pd.grid[pd.grid.len() - 1]
+        "",
+        pd.grid[0],
+        pd.grid[pd.grid.len() - 1]
     );
     out
 }
@@ -196,8 +202,16 @@ mod tests {
     #[test]
     fn prediction_table_includes_summary() {
         let points = vec![
-            PredictionPoint { characteristics: vec![64.0], predicted_ms: 1.1, measured_ms: 1.0 },
-            PredictionPoint { characteristics: vec![128.0], predicted_ms: 4.0, measured_ms: 4.2 },
+            PredictionPoint {
+                characteristics: vec![64.0],
+                predicted_ms: 1.1,
+                measured_ms: 1.0,
+            },
+            PredictionPoint {
+                characteristics: vec![128.0],
+                predicted_ms: 4.0,
+                measured_ms: 4.2,
+            },
         ];
         let t = prediction_table(&points, "size");
         assert!(t.contains("MSE"));

@@ -153,12 +153,8 @@ impl BlackForest {
     /// Runs modeling and analysis on an already-collected dataset.
     pub fn analyze_dataset(&self, workload: Workload, dataset: Dataset) -> Result<AnalysisReport> {
         let chars = workload.characteristics();
-        let predictor = ProblemScalingPredictor::fit(
-            &dataset,
-            &self.config,
-            &chars,
-            ModelStrategy::Auto,
-        )?;
+        let predictor =
+            ProblemScalingPredictor::fit(&dataset, &self.config, &chars, ModelStrategy::Auto)?;
         let bottlenecks = BottleneckReport::analyze(&predictor.model, 10.min(dataset.n_features()));
         Ok(AnalysisReport {
             workload,

@@ -1,0 +1,65 @@
+//! End-to-end parity of the split strategies on real profiling sweeps: the
+//! histogram default must tell the same performance story as the exact
+//! search on the datasets the toolchain actually produces.
+
+use bf_forest::{ForestParams, RandomForest, SplitStrategy};
+use bf_kernels::reduce::ReduceVariant;
+use blackforest::collect::{collect_matmul, collect_reduce, CollectOptions};
+use blackforest::Dataset;
+use gpu_sim::GpuConfig;
+
+fn fit_pair(ds: &Dataset, seed: u64) -> (RandomForest, RandomForest) {
+    let base = ForestParams::default().with_trees(120).with_seed(seed);
+    let exact = RandomForest::fit(
+        &ds.rows,
+        &ds.response,
+        &base.with_split_strategy(SplitStrategy::Exact),
+    )
+    .unwrap();
+    let hist = RandomForest::fit(
+        &ds.rows,
+        &ds.response,
+        &base.with_split_strategy(SplitStrategy::Histogram { max_bins: 256 }),
+    )
+    .unwrap();
+    (exact, hist)
+}
+
+fn assert_same_story(ds: &Dataset, exact: &RandomForest, hist: &RandomForest) {
+    let (r2e, r2h) = (exact.oob_r_squared(), hist.oob_r_squared());
+    assert!(
+        (r2e - r2h).abs() < 0.05,
+        "OOB R² diverged: exact {r2e} vs histogram {r2h}"
+    );
+    let top_exact = &ds.feature_names[exact.permutation_importance().ranking()[0]];
+    let top_hist = &ds.feature_names[hist.permutation_importance().ranking()[0]];
+    assert_eq!(
+        top_exact, top_hist,
+        "top-1 important counter diverged between strategies"
+    );
+}
+
+#[test]
+fn reduce_sweep_same_r2_and_top_counter() {
+    let gpu = GpuConfig::gtx580();
+    let sizes: Vec<usize> = (14..=18).map(|e| 1usize << e).collect();
+    let ds = collect_reduce(
+        &gpu,
+        ReduceVariant::Reduce0,
+        &sizes,
+        &[128, 256],
+        &CollectOptions::default(),
+    )
+    .unwrap();
+    let (exact, hist) = fit_pair(&ds, 21);
+    assert_same_story(&ds, &exact, &hist);
+}
+
+#[test]
+fn matmul_sweep_same_r2_and_top_counter() {
+    let gpu = GpuConfig::gtx580();
+    let sizes: Vec<usize> = (2..=14).step_by(2).map(|k| k * 16).collect();
+    let ds = collect_matmul(&gpu, &sizes, &CollectOptions::default()).unwrap();
+    let (exact, hist) = fit_pair(&ds, 22);
+    assert_same_story(&ds, &exact, &hist);
+}

@@ -56,8 +56,9 @@ impl VariableImportance {
                 let base_mse = bf_mse(&base_preds, &obs);
                 // Deterministic permutation stream per (tree, feature).
                 for f in 0..p {
-                    let mut rng =
-                        StdRng::seed_from_u64(forest.tree_seeds[t] ^ (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut rng = StdRng::seed_from_u64(
+                        forest.tree_seeds[t] ^ (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
                     let mut perm: Vec<u32> = oob.to_vec();
                     perm.shuffle(&mut rng);
                     let preds: Vec<f64> = oob
@@ -170,8 +171,12 @@ mod tests {
     #[test]
     fn ranks_signal_above_weak_above_noise() {
         let (x, y) = graded_data(120);
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(150).with_seed(11))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(150).with_seed(11),
+        )
+        .unwrap();
         let imp = f.permutation_importance();
         let rank = imp.ranking();
         assert_eq!(rank[0], 0, "importances: {:?}", imp.mean_increase_mse);
@@ -185,8 +190,12 @@ mod tests {
     #[test]
     fn noise_feature_importance_is_near_zero() {
         let (x, y) = graded_data(120);
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(150).with_seed(12))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(150).with_seed(12),
+        )
+        .unwrap();
         let imp = f.permutation_importance();
         // Relative to the dominant feature, noise is negligible.
         let rel = imp.relative();
@@ -208,8 +217,12 @@ mod tests {
     #[test]
     fn top_k_truncates_ranking() {
         let (x, y) = graded_data(60);
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(40).with_seed(14))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(40).with_seed(14),
+        )
+        .unwrap();
         let imp = f.permutation_importance();
         assert_eq!(imp.top_k(2).len(), 2);
         assert_eq!(imp.top_k(2)[0], imp.ranking()[0]);
@@ -219,8 +232,12 @@ mod tests {
     #[test]
     fn relative_scales_max_to_100() {
         let (x, y) = graded_data(60);
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(40).with_seed(15))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(40).with_seed(15),
+        )
+        .unwrap();
         let rel = f.permutation_importance().relative();
         let max = rel.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((max - 100.0).abs() < 1e-9);
@@ -230,11 +247,17 @@ mod tests {
     #[test]
     fn agrees_with_impurity_importance_on_dominant_feature() {
         let (x, y) = graded_data(100);
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(80).with_seed(16))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(80).with_seed(16),
+        )
+        .unwrap();
         let perm_rank = f.permutation_importance().ranking()[0];
         let imp = f.impurity_importance();
-        let impurity_rank = (0..3).max_by(|&a, &b| imp[a].partial_cmp(&imp[b]).unwrap()).unwrap();
+        let impurity_rank = (0..3)
+            .max_by(|&a, &b| imp[a].partial_cmp(&imp[b]).unwrap())
+            .unwrap();
         assert_eq!(perm_rank, impurity_rank);
     }
 }

@@ -31,13 +31,15 @@
 // (parallel arrays, in-place matrix updates), so the pedantic lint is off.
 #![allow(clippy::needless_range_loop)]
 
+pub mod binned;
 pub mod forest;
 pub mod importance;
 pub mod partial;
 pub mod split;
 pub mod tree;
 
-pub use forest::{ForestParams, RandomForest};
+pub use binned::BinnedDataset;
+pub use forest::{ForestParams, RandomForest, SplitStrategy};
 pub use importance::VariableImportance;
 pub use partial::PartialDependence;
 pub use tree::RegressionTree;

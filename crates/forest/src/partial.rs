@@ -98,7 +98,11 @@ impl PartialDependence {
         if self.response.len() < 2 {
             return Trend::Flat;
         }
-        let max = self.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .response
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.response.iter().cloned().fold(f64::INFINITY, f64::min);
         let scale = self.response.iter().map(|v| v.abs()).sum::<f64>() / self.response.len() as f64;
         if max - min <= 0.01 * scale.max(1e-300) {
@@ -170,7 +174,12 @@ mod tests {
                 }
             })
             .collect();
-        RandomForest::fit(&x, &y, &ForestParams::default().with_trees(60).with_seed(21)).unwrap()
+        RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(60).with_seed(21),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -195,7 +204,11 @@ mod tests {
         let pd = PartialDependence::compute(&f, 1, 10);
         // Feature 1 carries no signal; the curve's span should be tiny
         // compared to the response range (0..237).
-        let span = pd.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        let span = pd
+            .response
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
             - pd.response.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(span < 30.0, "span {span}");
     }
@@ -211,13 +224,28 @@ mod tests {
 
     #[test]
     fn observed_grid_dedups_and_sorts() {
-        let x = vec![vec![3.0], vec![1.0], vec![3.0], vec![2.0], vec![1.0], vec![2.0],
-                     vec![3.0], vec![1.0], vec![2.0], vec![1.0], vec![3.0], vec![2.0]];
+        let x = vec![
+            vec![3.0],
+            vec![1.0],
+            vec![3.0],
+            vec![2.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![1.0],
+            vec![2.0],
+            vec![1.0],
+            vec![3.0],
+            vec![2.0],
+        ];
         let y = vec![3.0, 1.0, 3.0, 2.0, 1.0, 2.0, 3.0, 1.0, 2.0, 1.0, 3.0, 2.0];
         let f = RandomForest::fit(
             &x,
             &y,
-            &ForestParams::default().with_trees(30).with_seed(22).with_mtry(1),
+            &ForestParams::default()
+                .with_trees(30)
+                .with_seed(22)
+                .with_mtry(1),
         )
         .unwrap();
         let pd = PartialDependence::compute_at_observed(&f, 0);
@@ -228,8 +256,12 @@ mod tests {
     fn constant_feature_gives_single_point_flat() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
         let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let f = RandomForest::fit(&x, &y, &ForestParams::default().with_trees(20).with_seed(23))
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(20).with_seed(23),
+        )
+        .unwrap();
         let pd = PartialDependence::compute(&f, 1, 10);
         assert_eq!(pd.grid.len(), 1);
         assert_eq!(pd.trend(), Trend::Flat);

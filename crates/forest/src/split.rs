@@ -121,7 +121,10 @@ mod tests {
     fn finds_obvious_split() {
         // y jumps at x = 4.5.
         let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let y: Vec<f64> = values.iter().map(|&v| if v < 4.5 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = values
+            .iter()
+            .map(|&v| if v < 4.5 { 0.0 } else { 10.0 })
+            .collect();
         let idx: Vec<u32> = (0..10).collect();
         let mut scratch = SplitScratch::default();
         let s = best_split_on_feature(0, &values, &y, &idx, 1, &mut scratch).unwrap();

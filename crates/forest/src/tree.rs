@@ -13,7 +13,7 @@ use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One node in the flat tree arena.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Node {
     /// Internal node: route to `left` if `x[feature] <= threshold`, else to
     /// `left + 1`'s sibling stored in `right`.
@@ -37,7 +37,7 @@ pub enum Node {
 }
 
 /// A fitted regression tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -78,6 +78,20 @@ struct BuildItem {
 }
 
 impl RegressionTree {
+    /// Assembles a tree from a finished node arena (used by the histogram
+    /// builder in [`crate::binned`], which shares this storage format).
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        n_features: usize,
+        impurity_importance: Vec<f64>,
+    ) -> RegressionTree {
+        RegressionTree {
+            nodes,
+            n_features,
+            impurity_importance,
+        }
+    }
+
     /// Fits a tree on the samples selected by `idx` (indices into the
     /// column-major training data `columns` / response `y`).
     ///
@@ -98,7 +112,10 @@ impl RegressionTree {
         let mut scratch = SplitScratch::default();
         let mut feature_pool: Vec<usize> = (0..n_features).collect();
 
-        nodes.push(Node::Leaf { value: 0.0, count: 0 }); // placeholder root
+        nodes.push(Node::Leaf {
+            value: 0.0,
+            count: 0,
+        }); // placeholder root
         let mut stack = vec![BuildItem {
             start: 0,
             end: indices.len(),
@@ -133,9 +150,8 @@ impl RegressionTree {
                         params.min_node_size,
                         &mut scratch,
                     ) {
-                        if chosen.is_none_or(|c: crate::split::Split| {
-                            s.improvement > c.improvement
-                        }) {
+                        if chosen.is_none_or(|c: crate::split::Split| s.improvement > c.improvement)
+                        {
                             chosen = Some(s);
                         }
                     }
@@ -160,8 +176,14 @@ impl RegressionTree {
                     debug_assert!(boundary > item.start && boundary < item.end);
                     let left_slot = nodes.len();
                     let right_slot = nodes.len() + 1;
-                    nodes.push(Node::Leaf { value: 0.0, count: 0 });
-                    nodes.push(Node::Leaf { value: 0.0, count: 0 });
+                    nodes.push(Node::Leaf {
+                        value: 0.0,
+                        count: 0,
+                    });
+                    nodes.push(Node::Leaf {
+                        value: 0.0,
+                        count: 0,
+                    });
                     nodes[item.slot] = Node::Internal {
                         feature: split.feature as u32,
                         threshold: split.threshold,
@@ -273,8 +295,9 @@ impl RegressionTree {
         fn walk(nodes: &[Node], at: usize, d: usize) -> usize {
             match &nodes[at] {
                 Node::Leaf { .. } => d,
-                Node::Internal { left, right, .. } => walk(nodes, *left as usize, d + 1)
-                    .max(walk(nodes, *right as usize, d + 1)),
+                Node::Internal { left, right, .. } => {
+                    walk(nodes, *left as usize, d + 1).max(walk(nodes, *right as usize, d + 1))
+                }
             }
         }
         walk(&self.nodes, 0, 0)

@@ -1,0 +1,95 @@
+//! Exact-vs-histogram parity: when every feature has at most `max_bins`
+//! distinct values, each bin is pure (one value per bin) and the histogram
+//! search must reproduce the exact search node for node.
+
+use bf_forest::{ForestParams, RandomForest, SplitStrategy};
+
+/// Integer-valued synthetic data: 3 predictors with bounded cardinality, an
+/// integer response so floating-point sums are exact under any accumulation
+/// order — parity must then be bit-exact.
+fn integer_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                (i % 50) as f64,
+                ((i * 7) % 23) as f64,
+                ((i * 13) % 11) as f64,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] - 3.0 * r[2] + r[1]).collect();
+    (x, y)
+}
+
+#[test]
+fn pure_bins_reproduce_exact_forest_bit_for_bit() {
+    let (x, y) = integer_data(150);
+    for seed in [1u64, 42, 1234] {
+        let base = ForestParams::default().with_trees(30).with_seed(seed);
+        let exact =
+            RandomForest::fit(&x, &y, &base.with_split_strategy(SplitStrategy::Exact)).unwrap();
+        let hist = RandomForest::fit(
+            &x,
+            &y,
+            &base.with_split_strategy(SplitStrategy::Histogram { max_bins: 256 }),
+        )
+        .unwrap();
+        assert_eq!(exact.trees(), hist.trees(), "seed {seed}");
+        assert_eq!(exact.oob_mse(), hist.oob_mse(), "seed {seed}");
+        assert_eq!(
+            exact.permutation_importance().ranking(),
+            hist.permutation_importance().ranking(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn pure_bins_match_exact_at_minimal_bin_count() {
+    // max_bins exactly equal to the largest per-feature cardinality is still
+    // lossless — the guarantee is "max_bins >= distinct", not "much larger".
+    let (x, y) = integer_data(120);
+    let max_cardinality = 50;
+    let base = ForestParams::default().with_trees(20).with_seed(7);
+    let exact = RandomForest::fit(&x, &y, &base.with_split_strategy(SplitStrategy::Exact)).unwrap();
+    let hist = RandomForest::fit(
+        &x,
+        &y,
+        &base.with_split_strategy(SplitStrategy::Histogram {
+            max_bins: max_cardinality,
+        }),
+    )
+    .unwrap();
+    assert_eq!(exact.trees(), hist.trees());
+}
+
+#[test]
+fn coarse_bins_stay_close_on_continuous_data() {
+    // High-cardinality continuous features force genuine quantile binning;
+    // the approximation must stay statistically close to the exact fit.
+    let n = 400;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            vec![t * 0.37 + (t * 0.11).sin(), (t * 1.7).cos() * 10.0]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 0.3 * r[1]).collect();
+    let base = ForestParams::default().with_trees(80).with_seed(3);
+    let exact = RandomForest::fit(&x, &y, &base.with_split_strategy(SplitStrategy::Exact)).unwrap();
+    let hist = RandomForest::fit(
+        &x,
+        &y,
+        &base.with_split_strategy(SplitStrategy::Histogram { max_bins: 64 }),
+    )
+    .unwrap();
+    let (r2e, r2h) = (exact.oob_r_squared(), hist.oob_r_squared());
+    assert!(
+        (r2e - r2h).abs() < 0.05,
+        "exact r2 {r2e} vs histogram r2 {r2h}"
+    );
+    assert_eq!(
+        exact.permutation_importance().ranking()[0],
+        hist.permutation_importance().ranking()[0]
+    );
+}

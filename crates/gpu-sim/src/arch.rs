@@ -280,8 +280,11 @@ mod tests {
     #[test]
     fn table2_values_match_paper_gtx480() {
         let g = GpuConfig::gtx480();
-        let m: std::collections::HashMap<_, _> =
-            g.machine_metrics().into_iter().map(|m| (m.name, m.value)).collect();
+        let m: std::collections::HashMap<_, _> = g
+            .machine_metrics()
+            .into_iter()
+            .map(|m| (m.name, m.value))
+            .collect();
         assert_eq!(m["wsched"], 2.0);
         assert!((m["freq"] - 1.4).abs() < 1e-12);
         assert_eq!(m["smp"], 15.0);
@@ -294,8 +297,11 @@ mod tests {
     #[test]
     fn table2_values_match_paper_k20m() {
         let g = GpuConfig::k20m();
-        let m: std::collections::HashMap<_, _> =
-            g.machine_metrics().into_iter().map(|m| (m.name, m.value)).collect();
+        let m: std::collections::HashMap<_, _> = g
+            .machine_metrics()
+            .into_iter()
+            .map(|m| (m.name, m.value))
+            .collect();
         assert_eq!(m["wsched"], 4.0);
         assert!((m["freq"] - 0.71).abs() < 1e-12);
         assert_eq!(m["smp"], 13.0);

@@ -36,7 +36,12 @@ pub fn conflict_degree(
             }
         }
     }
-    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// Replays for an access: `conflict_degree - 1`.

@@ -242,19 +242,30 @@ mod tests {
         let t = b.build().unwrap();
         // Strided global: 32 distinct 128B lines.
         if let WarpInstruction::LoadGlobal { addrs, width, mask } = &t.warps[0][0] {
-            assert_eq!(crate::coalesce::coalesce(addrs, *width, *mask, 128).len(), 32);
+            assert_eq!(
+                crate::coalesce::coalesce(addrs, *width, *mask, 128).len(),
+                32
+            );
         } else {
             panic!();
         }
         // Strided shared: 2-way conflicts.
-        if let WarpInstruction::LoadShared { offsets, width, mask } = &t.warps[0][1] {
+        if let WarpInstruction::LoadShared {
+            offsets,
+            width,
+            mask,
+        } = &t.warps[0][1]
+        {
             assert_eq!(crate::banks::replays(offsets, *width, *mask, 32, 4), 1);
         } else {
             panic!();
         }
         // Broadcast: one transaction.
         if let WarpInstruction::LoadGlobal { addrs, width, mask } = &t.warps[0][2] {
-            assert_eq!(crate::coalesce::coalesce(addrs, *width, *mask, 128).len(), 1);
+            assert_eq!(
+                crate::coalesce::coalesce(addrs, *width, *mask, 128).len(),
+                1
+            );
         } else {
             panic!();
         }
@@ -272,7 +283,10 @@ mod tests {
         }
         b.barrier();
         for w in 0..4 {
-            b.warp(w).load_shared_seq(0, 4).alu(1).store_global_seq(0x10000 + w as u64 * 128, 4);
+            b.warp(w)
+                .load_shared_seq(0, 4)
+                .alu(1)
+                .store_global_seq(0x10000 + w as u64 * 128, 4);
         }
         let t = b.build().unwrap();
         let mut l1 = Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc);

@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = Cache::new(1024, 128, 2); // 8 lines
-        // Stream 64 distinct lines twice: second pass still misses (capacity).
+                                              // Stream 64 distinct lines twice: second pass still misses (capacity).
         for pass in 0..2 {
             for i in 0..64u64 {
                 let r = c.read(i * 128);

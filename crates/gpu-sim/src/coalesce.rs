@@ -29,12 +29,7 @@ pub struct Transaction {
 /// lanes' accesses. `width` is bytes per lane. Accesses that straddle a
 /// segment boundary produce both segments (possible with 8-byte words at
 /// 4-byte alignment).
-pub fn coalesce(
-    addrs: &[u64],
-    width: u8,
-    mask: LaneMask,
-    segment: u32,
-) -> Vec<Transaction> {
+pub fn coalesce(addrs: &[u64], width: u8, mask: LaneMask, segment: u32) -> Vec<Transaction> {
     debug_assert!(segment.is_power_of_two());
     let seg = segment as u64;
     let mut segments: Vec<u64> = Vec::with_capacity(8);

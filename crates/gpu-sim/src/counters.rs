@@ -298,18 +298,42 @@ mod tests {
 
     #[test]
     fn fermi_specific_counters_absent_on_kepler() {
-        assert!(counter_available("l1_shared_bank_conflict", GpuArchitecture::Fermi));
-        assert!(!counter_available("l1_shared_bank_conflict", GpuArchitecture::Kepler));
-        assert!(counter_available("l1_global_load_miss", GpuArchitecture::Fermi));
-        assert!(!counter_available("l1_global_load_miss", GpuArchitecture::Kepler));
+        assert!(counter_available(
+            "l1_shared_bank_conflict",
+            GpuArchitecture::Fermi
+        ));
+        assert!(!counter_available(
+            "l1_shared_bank_conflict",
+            GpuArchitecture::Kepler
+        ));
+        assert!(counter_available(
+            "l1_global_load_miss",
+            GpuArchitecture::Fermi
+        ));
+        assert!(!counter_available(
+            "l1_global_load_miss",
+            GpuArchitecture::Kepler
+        ));
     }
 
     #[test]
     fn kepler_specific_counters_absent_on_fermi() {
-        assert!(counter_available("shared_load_replay", GpuArchitecture::Kepler));
-        assert!(!counter_available("shared_load_replay", GpuArchitecture::Fermi));
-        assert!(counter_available("shared_store_replay", GpuArchitecture::Kepler));
-        assert!(!counter_available("shared_store_replay", GpuArchitecture::Fermi));
+        assert!(counter_available(
+            "shared_load_replay",
+            GpuArchitecture::Kepler
+        ));
+        assert!(!counter_available(
+            "shared_load_replay",
+            GpuArchitecture::Fermi
+        ));
+        assert!(counter_available(
+            "shared_store_replay",
+            GpuArchitecture::Kepler
+        ));
+        assert!(!counter_available(
+            "shared_store_replay",
+            GpuArchitecture::Fermi
+        ));
     }
 
     #[test]

@@ -43,7 +43,12 @@ pub struct LaunchResult {
 }
 
 /// Picks `count` representative block ids spread across `grid` blocks.
+/// An empty grid has no blocks to sample, so it yields no ids (rather than a
+/// phantom block 0 that no kernel ever launched).
 pub fn sample_block_ids(grid: usize, count: usize) -> Vec<usize> {
+    if grid == 0 {
+        return Vec::new();
+    }
     let count = count.min(grid).max(1);
     let mut ids: Vec<usize> = (0..count).map(|k| k * grid / count).collect();
     ids.dedup();
@@ -127,8 +132,8 @@ mod tests {
             let mut t = BlockTrace::with_warps(warps);
             for (w, stream) in t.warps.iter_mut().enumerate() {
                 for l in 0..self.loads {
-                    let base = ((block_id * warps + w) * self.loads + l) as u64 * 128
-                        % self.array_bytes;
+                    let base =
+                        ((block_id * warps + w) * self.loads + l) as u64 * 128 % self.array_bytes;
                     stream.push(WarpInstruction::LoadGlobal {
                         addrs: (0..32).map(|i| base + i * 4).collect(),
                         width: 4,
@@ -149,8 +154,20 @@ mod tests {
     #[test]
     fn more_blocks_take_more_time() {
         let gpu = GpuConfig::gtx580();
-        let small = Synthetic { blocks: 96, threads: 256, loads: 8, alus: 16, array_bytes: 1 << 24 };
-        let large = Synthetic { blocks: 960, threads: 256, loads: 8, alus: 16, array_bytes: 1 << 24 };
+        let small = Synthetic {
+            blocks: 96,
+            threads: 256,
+            loads: 8,
+            alus: 16,
+            array_bytes: 1 << 24,
+        };
+        let large = Synthetic {
+            blocks: 960,
+            threads: 256,
+            loads: 8,
+            alus: 16,
+            array_bytes: 1 << 24,
+        };
         let rs = simulate_launch(&gpu, &small).unwrap();
         let rl = simulate_launch(&gpu, &large).unwrap();
         // 10x the blocks -> 10x the waves; launch overhead compresses the
@@ -161,7 +178,13 @@ mod tests {
     #[test]
     fn events_scale_with_grid() {
         let gpu = GpuConfig::gtx580();
-        let k = Synthetic { blocks: 960, threads: 256, loads: 4, alus: 0, array_bytes: 1 << 24 };
+        let k = Synthetic {
+            blocks: 960,
+            threads: 256,
+            loads: 4,
+            alus: 0,
+            array_bytes: 1 << 24,
+        };
         let r = simulate_launch(&gpu, &k).unwrap();
         // 960 blocks x 8 warps x 4 loads.
         assert!((r.events.gld_request - 960.0 * 8.0 * 4.0).abs() < 1e-6);
@@ -170,7 +193,13 @@ mod tests {
     #[test]
     fn wave_count_matches_occupancy() {
         let gpu = GpuConfig::gtx580();
-        let k = Synthetic { blocks: 960, threads: 256, loads: 1, alus: 1, array_bytes: 1 << 20 };
+        let k = Synthetic {
+            blocks: 960,
+            threads: 256,
+            loads: 1,
+            alus: 1,
+            array_bytes: 1 << 20,
+        };
         let r = simulate_launch(&gpu, &k).unwrap();
         let expected_waves = 960usize.div_ceil(r.occupancy.blocks_per_sm * gpu.num_sms);
         assert_eq!(r.waves, expected_waves);
@@ -182,7 +211,13 @@ mod tests {
         // Huge streaming loads, no compute: time should be close to
         // bytes / bandwidth.
         let blocks = 2048;
-        let k = Synthetic { blocks, threads: 256, loads: 32, alus: 0, array_bytes: 1 << 30 };
+        let k = Synthetic {
+            blocks,
+            threads: 256,
+            loads: 32,
+            alus: 0,
+            array_bytes: 1 << 30,
+        };
         let r = simulate_launch(&gpu, &k).unwrap();
         let bytes = r.events.dram_read_transactions * 32.0;
         let bw_time = bytes / (gpu.mem_bandwidth_gbps * 1e9);
@@ -202,9 +237,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_grid_samples_no_blocks() {
+        assert!(sample_block_ids(0, 4).is_empty());
+        assert!(sample_block_ids(0, 0).is_empty());
+    }
+
+    #[test]
     fn launch_overhead_floors_tiny_kernels() {
         let gpu = GpuConfig::gtx580();
-        let k = Synthetic { blocks: 1, threads: 32, loads: 1, alus: 1, array_bytes: 4096 };
+        let k = Synthetic {
+            blocks: 1,
+            threads: 32,
+            loads: 1,
+            alus: 1,
+            array_bytes: 4096,
+        };
         let r = simulate_launch(&gpu, &k).unwrap();
         assert!(r.time_seconds >= LAUNCH_OVERHEAD_S);
     }
@@ -213,7 +260,13 @@ mod tests {
     fn kepler_and_fermi_produce_different_counter_profiles() {
         let fermi = GpuConfig::gtx580();
         let kepler = GpuConfig::k20m();
-        let k = Synthetic { blocks: 208, threads: 256, loads: 8, alus: 8, array_bytes: 1 << 22 };
+        let k = Synthetic {
+            blocks: 208,
+            threads: 256,
+            loads: 8,
+            alus: 8,
+            array_bytes: 1 << 22,
+        };
         let rf = simulate_launch(&fermi, &k).unwrap();
         let rk = simulate_launch(&kepler, &k).unwrap();
         assert!(rf.events.l1_global_load_miss > 0.0);

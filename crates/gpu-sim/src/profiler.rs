@@ -60,10 +60,9 @@ pub fn derive_counters(gpu: &GpuConfig, ev: &RawEvents) -> CounterSet {
             "gst_requested_throughput" => gbps(ev.gst_requested_bytes),
             "gld_throughput" => gbps(ev.global_load_transactions * line_bytes),
             "gst_throughput" => gbps(ev.l2_write_transactions * 32.0),
-            "achieved_occupancy" => {
-                (ev.active_warp_cycles / (elapsed_per_sm * sms * gpu.max_warps_per_sm as f64))
-                    .min(1.0)
-            }
+            "achieved_occupancy" => (ev.active_warp_cycles
+                / (elapsed_per_sm * sms * gpu.max_warps_per_sm as f64))
+                .min(1.0),
             "l2_read_transactions" => ev.l2_read_transactions,
             "l2_write_transactions" => ev.l2_write_transactions,
             "l2_read_throughput" => gbps(ev.l2_read_transactions * 32.0),
@@ -120,11 +119,8 @@ pub fn profile_application(
         let r = simulate_launch(gpu, k.as_ref())?;
         total.accumulate(&r.events);
     }
-    let power = crate::power::estimate_power(
-        gpu,
-        &total,
-        &crate::power::PowerModel::for_arch(gpu.arch),
-    );
+    let power =
+        crate::power::estimate_power(gpu, &total, &crate::power::PowerModel::for_arch(gpu.arch));
     Ok(ProfiledRun {
         kernel: name.to_string(),
         gpu: gpu.name.clone(),
@@ -158,8 +154,11 @@ pub fn profile_application_by_kernel(
         .into_iter()
         .map(|name| {
             let ev = &acc[&name];
-            let power =
-                crate::power::estimate_power(gpu, ev, &crate::power::PowerModel::for_arch(gpu.arch));
+            let power = crate::power::estimate_power(
+                gpu,
+                ev,
+                &crate::power::PowerModel::for_arch(gpu.arch),
+            );
             ProfiledRun {
                 kernel: name,
                 gpu: gpu.name.clone(),
@@ -215,7 +214,10 @@ mod tests {
                     width: 4,
                     mask: FULL_MASK,
                 });
-                stream.push(WarpInstruction::Alu { count: 4, mask: FULL_MASK });
+                stream.push(WarpInstruction::Alu {
+                    count: 4,
+                    mask: FULL_MASK,
+                });
                 stream.push(WarpInstruction::Barrier);
                 stream.push(WarpInstruction::StoreGlobal {
                     addrs: (0..32).map(|i| (1 << 22) + base + i * 4).collect(),

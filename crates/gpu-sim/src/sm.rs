@@ -194,7 +194,11 @@ pub fn simulate_sm(
                     start + gpu.alu_latency as f64
                 }
             }
-            WarpInstruction::LoadShared { offsets, width, mask } => {
+            WarpInstruction::LoadShared {
+                offsets,
+                width,
+                mask,
+            } => {
                 let r = banks::replays(
                     offsets,
                     *width,
@@ -213,7 +217,11 @@ pub fn simulate_sm(
                 ev.thread_inst_executed += lanes;
                 start + gpu.smem_latency as f64 + r
             }
-            WarpInstruction::StoreShared { offsets, width, mask } => {
+            WarpInstruction::StoreShared {
+                offsets,
+                width,
+                mask,
+            } => {
                 let r = banks::replays(
                     offsets,
                     *width,
@@ -402,7 +410,10 @@ mod tests {
     fn single_alu_warp_takes_latency() {
         let g = gpu();
         let mut b = BlockTrace::with_warps(1);
-        b.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+        b.warps[0].push(WarpInstruction::Alu {
+            count: 1,
+            mask: FULL_MASK,
+        });
         let r = run(&g, &[b]);
         assert!((r.cycles - g.alu_latency as f64).abs() < 2.0);
         assert_eq!(r.events.inst_executed, 1.0);
@@ -412,10 +423,16 @@ mod tests {
     fn dependent_alu_chain_accumulates() {
         let g = gpu();
         let mut one = BlockTrace::with_warps(1);
-        one.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+        one.warps[0].push(WarpInstruction::Alu {
+            count: 1,
+            mask: FULL_MASK,
+        });
         let mut ten = BlockTrace::with_warps(1);
         for _ in 0..10 {
-            ten.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+            ten.warps[0].push(WarpInstruction::Alu {
+                count: 1,
+                mask: FULL_MASK,
+            });
         }
         let r1 = run(&g, &[one]);
         let r10 = run(&g, &[ten]);
@@ -430,12 +447,18 @@ mod tests {
         // same: per-instruction cost should drop dramatically.
         let mut solo = BlockTrace::with_warps(1);
         for _ in 0..32 {
-            solo.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+            solo.warps[0].push(WarpInstruction::Alu {
+                count: 1,
+                mask: FULL_MASK,
+            });
         }
         let mut many = BlockTrace::with_warps(32);
         for w in &mut many.warps {
             for _ in 0..32 {
-                w.push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+                w.push(WarpInstruction::Alu {
+                    count: 1,
+                    mask: FULL_MASK,
+                });
             }
         }
         let r_solo = run(&g, &[solo]);
@@ -537,13 +560,22 @@ mod tests {
         // Warp 0 does a long chain before the barrier; warp 1 arrives early.
         let mut b = BlockTrace::with_warps(2);
         for _ in 0..20 {
-            b.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+            b.warps[0].push(WarpInstruction::Alu {
+                count: 1,
+                mask: FULL_MASK,
+            });
         }
         b.warps[0].push(WarpInstruction::Barrier);
         b.warps[1].push(WarpInstruction::Barrier);
         // After the barrier both do one ALU op.
-        b.warps[0].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
-        b.warps[1].push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+        b.warps[0].push(WarpInstruction::Alu {
+            count: 1,
+            mask: FULL_MASK,
+        });
+        b.warps[1].push(WarpInstruction::Alu {
+            count: 1,
+            mask: FULL_MASK,
+        });
         let r = run(&g, &[b]);
         // Warp 1's post-barrier work cannot start before warp 0's 20-op
         // chain completes.
@@ -563,8 +595,14 @@ mod tests {
     fn divergent_branch_counted_and_costed() {
         let g = gpu();
         let mut b = BlockTrace::with_warps(1);
-        b.warps[0].push(WarpInstruction::Branch { divergent: true, mask: FULL_MASK });
-        b.warps[0].push(WarpInstruction::Branch { divergent: false, mask: FULL_MASK });
+        b.warps[0].push(WarpInstruction::Branch {
+            divergent: true,
+            mask: FULL_MASK,
+        });
+        b.warps[0].push(WarpInstruction::Branch {
+            divergent: false,
+            mask: FULL_MASK,
+        });
         let r = run(&g, &[b]);
         assert_eq!(r.events.branch, 2.0);
         assert_eq!(r.events.divergent_branch, 1.0);
@@ -575,7 +613,10 @@ mod tests {
     fn partial_warp_lowers_thread_inst() {
         let g = gpu();
         let mut b = BlockTrace::with_warps(1);
-        b.warps[0].push(WarpInstruction::Alu { count: 1, mask: first_lanes(16) });
+        b.warps[0].push(WarpInstruction::Alu {
+            count: 1,
+            mask: first_lanes(16),
+        });
         let r = run(&g, &[b]);
         assert_eq!(r.events.thread_inst_executed, 16.0);
         assert_eq!(r.events.inst_executed, 1.0);
@@ -616,14 +657,20 @@ mod tests {
     fn occupancy_integral_reflects_warp_count() {
         let g = gpu();
         let mut one = BlockTrace::with_warps(1);
-        one.warps[0].push(WarpInstruction::Alu { count: 100, mask: FULL_MASK });
+        one.warps[0].push(WarpInstruction::Alu {
+            count: 100,
+            mask: FULL_MASK,
+        });
         let r1 = run(&g, &[one]);
         let occ1 = r1.events.active_warp_cycles / r1.cycles;
         assert!(occ1 <= 1.0 + 1e-9);
 
         let mut many = BlockTrace::with_warps(8);
         for w in &mut many.warps {
-            w.push(WarpInstruction::Alu { count: 100, mask: FULL_MASK });
+            w.push(WarpInstruction::Alu {
+                count: 100,
+                mask: FULL_MASK,
+            });
         }
         let r8 = run(&g, &[many]);
         let occ8 = r8.events.active_warp_cycles / r8.cycles;
@@ -636,9 +683,15 @@ mod tests {
         let mut b = BlockTrace::with_warps(4);
         for (i, w) in b.warps.iter_mut().enumerate() {
             w.push(coalesced_load((i as u64) * 4096));
-            w.push(WarpInstruction::Alu { count: 7, mask: FULL_MASK });
+            w.push(WarpInstruction::Alu {
+                count: 7,
+                mask: FULL_MASK,
+            });
             w.push(WarpInstruction::Barrier);
-            w.push(WarpInstruction::Alu { count: 3, mask: FULL_MASK });
+            w.push(WarpInstruction::Alu {
+                count: 3,
+                mask: FULL_MASK,
+            });
         }
         let r1 = run(&g, std::slice::from_ref(&b));
         let r2 = run(&g, std::slice::from_ref(&b));

@@ -258,7 +258,10 @@ mod tests {
     fn validate_accepts_matching_barriers() {
         let mut t = BlockTrace::with_warps(2);
         for w in &mut t.warps {
-            w.push(WarpInstruction::Alu { count: 1, mask: FULL_MASK });
+            w.push(WarpInstruction::Alu {
+                count: 1,
+                mask: FULL_MASK,
+            });
             w.push(WarpInstruction::Barrier);
         }
         assert!(t.validate().is_ok());
@@ -274,7 +277,10 @@ mod tests {
     #[test]
     fn total_instructions_counts_folded_alu() {
         let mut t = BlockTrace::with_warps(1);
-        t.warps[0].push(WarpInstruction::Alu { count: 5, mask: FULL_MASK });
+        t.warps[0].push(WarpInstruction::Alu {
+            count: 5,
+            mask: FULL_MASK,
+        });
         t.warps[0].push(WarpInstruction::Barrier);
         assert_eq!(t.total_instructions(), 6);
     }

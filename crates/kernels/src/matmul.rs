@@ -47,7 +47,10 @@ pub fn matmul_tiled(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
 
 /// Tiled multiply with an explicit tile edge `t` (must divide `n`).
 pub fn matmul_tiled_with(a: &[f32], b: &[f32], n: usize, t: usize) -> Vec<f32> {
-    assert!(t >= 1 && n.is_multiple_of(t), "n must be a multiple of the tile edge");
+    assert!(
+        t >= 1 && n.is_multiple_of(t),
+        "n must be a multiple of the tile edge"
+    );
     let nb = n / t;
     let mut c = vec![0.0f32; n * n];
     let mut a_s = vec![0.0f32; t * t];
@@ -103,15 +106,18 @@ pub struct MatmulTiled {
 impl MatmulTiled {
     /// The SDK-default 16x16 tiling.
     pub fn new(n: usize) -> MatmulTiled {
-        MatmulTiled { n, tile: BLOCK_SIZE }
+        MatmulTiled {
+            n,
+            tile: BLOCK_SIZE,
+        }
     }
 
     fn check(&self) {
+        assert!(matches!(self.tile, 8 | 16 | 32), "tile must be 8, 16 or 32");
         assert!(
-            matches!(self.tile, 8 | 16 | 32),
-            "tile must be 8, 16 or 32"
+            self.n.is_multiple_of(self.tile),
+            "n must be a multiple of tile"
         );
-        assert!(self.n.is_multiple_of(self.tile), "n must be a multiple of tile");
     }
 }
 
@@ -169,7 +175,10 @@ impl KernelTrace for MatmulTiled {
             for w in 0..warps {
                 let stream = &mut trace.warps[w];
                 // Index arithmetic for the tile loads.
-                stream.push(WarpInstruction::Alu { count: 4, mask: u32::MAX });
+                stream.push(WarpInstruction::Alu {
+                    count: 4,
+                    mask: u32::MAX,
+                });
                 // Load A[by*t+ty][m*t+tx] -> As[ty][tx].
                 let mut a_addrs = vec![0u64; 32];
                 let mut as_off = vec![0u32; 32];
@@ -181,10 +190,26 @@ impl KernelTrace for MatmulTiled {
                     b_addrs[lane] = elem(INPUT2_BASE, n, m * t + ty, bx * t + tx);
                     bs_off[lane] = bs_base + ((ty * t + tx) * 4) as u32;
                 }
-                stream.push(WarpInstruction::LoadGlobal { addrs: a_addrs, width: 4, mask: u32::MAX });
-                stream.push(WarpInstruction::StoreShared { offsets: as_off, width: 4, mask: u32::MAX });
-                stream.push(WarpInstruction::LoadGlobal { addrs: b_addrs, width: 4, mask: u32::MAX });
-                stream.push(WarpInstruction::StoreShared { offsets: bs_off, width: 4, mask: u32::MAX });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: a_addrs,
+                    width: 4,
+                    mask: u32::MAX,
+                });
+                stream.push(WarpInstruction::StoreShared {
+                    offsets: as_off,
+                    width: 4,
+                    mask: u32::MAX,
+                });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: b_addrs,
+                    width: 4,
+                    mask: u32::MAX,
+                });
+                stream.push(WarpInstruction::StoreShared {
+                    offsets: bs_off,
+                    width: 4,
+                    mask: u32::MAX,
+                });
                 stream.push(WarpInstruction::Barrier);
                 // t multiply-accumulate steps.
                 for k in 0..t {
@@ -194,9 +219,20 @@ impl KernelTrace for MatmulTiled {
                         as_k[lane] = ((ty * t + k) * 4) as u32;
                         bs_k[lane] = bs_base + ((k * t + tx) * 4) as u32;
                     }
-                    stream.push(WarpInstruction::LoadShared { offsets: as_k, width: 4, mask: u32::MAX });
-                    stream.push(WarpInstruction::LoadShared { offsets: bs_k, width: 4, mask: u32::MAX });
-                    stream.push(WarpInstruction::Alu { count: 1, mask: u32::MAX });
+                    stream.push(WarpInstruction::LoadShared {
+                        offsets: as_k,
+                        width: 4,
+                        mask: u32::MAX,
+                    });
+                    stream.push(WarpInstruction::LoadShared {
+                        offsets: bs_k,
+                        width: 4,
+                        mask: u32::MAX,
+                    });
+                    stream.push(WarpInstruction::Alu {
+                        count: 1,
+                        mask: u32::MAX,
+                    });
                 }
                 stream.push(WarpInstruction::Barrier);
             }
@@ -204,12 +240,19 @@ impl KernelTrace for MatmulTiled {
         // Store C[by*t+ty][bx*t+tx].
         for w in 0..warps {
             let stream = &mut trace.warps[w];
-            stream.push(WarpInstruction::Alu { count: 3, mask: u32::MAX });
+            stream.push(WarpInstruction::Alu {
+                count: 3,
+                mask: u32::MAX,
+            });
             let mut c_addrs = vec![0u64; 32];
             for (lane, tx, ty) in warp_coords(w, t) {
                 c_addrs[lane] = elem(OUTPUT_BASE, n, by * t + ty, bx * t + tx);
             }
-            stream.push(WarpInstruction::StoreGlobal { addrs: c_addrs, width: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::StoreGlobal {
+                addrs: c_addrs,
+                width: 4,
+                mask: u32::MAX,
+            });
         }
         trace
     }
@@ -238,7 +281,10 @@ impl KernelTrace for MatmulNaive {
         let mut trace = BlockTrace::with_warps(warps);
         for w in 0..warps {
             let stream = &mut trace.warps[w];
-            stream.push(WarpInstruction::Alu { count: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::Alu {
+                count: 4,
+                mask: u32::MAX,
+            });
             for k in 0..n {
                 let mut a_addrs = vec![0u64; 32];
                 let mut b_addrs = vec![0u64; 32];
@@ -247,15 +293,30 @@ impl KernelTrace for MatmulNaive {
                     a_addrs[lane] = elem(INPUT_BASE, n, by * BLOCK_SIZE + ty, k);
                     b_addrs[lane] = elem(INPUT2_BASE, n, k, bx * BLOCK_SIZE + tx);
                 }
-                stream.push(WarpInstruction::LoadGlobal { addrs: a_addrs, width: 4, mask: u32::MAX });
-                stream.push(WarpInstruction::LoadGlobal { addrs: b_addrs, width: 4, mask: u32::MAX });
-                stream.push(WarpInstruction::Alu { count: 1, mask: u32::MAX });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: a_addrs,
+                    width: 4,
+                    mask: u32::MAX,
+                });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: b_addrs,
+                    width: 4,
+                    mask: u32::MAX,
+                });
+                stream.push(WarpInstruction::Alu {
+                    count: 1,
+                    mask: u32::MAX,
+                });
             }
             let mut c_addrs = vec![0u64; 32];
             for (lane, tx, ty) in warp_coords(w, BLOCK_SIZE) {
                 c_addrs[lane] = elem(OUTPUT_BASE, n, by * BLOCK_SIZE + ty, bx * BLOCK_SIZE + tx);
             }
-            stream.push(WarpInstruction::StoreGlobal { addrs: c_addrs, width: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::StoreGlobal {
+                addrs: c_addrs,
+                width: 4,
+                mask: u32::MAX,
+            });
         }
         trace
     }
@@ -359,8 +420,16 @@ mod tests {
         let t = k.block_trace(0, &gpu);
         for stream in &t.warps {
             for instr in stream {
-                if let WarpInstruction::LoadShared { offsets, width, mask }
-                | WarpInstruction::StoreShared { offsets, width, mask } = instr
+                if let WarpInstruction::LoadShared {
+                    offsets,
+                    width,
+                    mask,
+                }
+                | WarpInstruction::StoreShared {
+                    offsets,
+                    width,
+                    mask,
+                } = instr
                 {
                     assert_eq!(gpu_sim::banks::replays(offsets, *width, *mask, 32, 4), 0);
                 }
@@ -428,8 +497,7 @@ mod tests {
         let r16 = matmul_application_tiled(256, 16).profile(&gpu).unwrap();
         let r32 = matmul_application_tiled(256, 32).profile(&gpu).unwrap();
         assert!(
-            r32.counters.get("gld_request").unwrap()
-                < r16.counters.get("gld_request").unwrap()
+            r32.counters.get("gld_request").unwrap() < r16.counters.get("gld_request").unwrap()
         );
     }
 

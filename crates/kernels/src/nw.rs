@@ -65,7 +65,10 @@ pub fn nw_reference(n: usize, penalty: i32) -> Vec<i32> {
 /// then bottom-right, with the intra-tile double diagonal sweep. Returns the
 /// full matrix and must equal [`nw_reference`] exactly (integer DP).
 pub fn nw_tiled(n: usize, penalty: i32) -> Vec<i32> {
-    assert!(n.is_multiple_of(BLOCK_SIZE), "n must be a multiple of {BLOCK_SIZE}");
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
     let cols = n + 1;
     let bw = n / BLOCK_SIZE;
     let mut s = vec![0i32; cols * cols];
@@ -90,7 +93,9 @@ pub fn nw_tiled(n: usize, penalty: i32) -> Vec<i32> {
                 let r = base_r + ty;
                 let c = base_c + tx;
                 let diag = temp[ty - 1][tx - 1] + reference_score(r, c);
-                temp[ty][tx] = diag.max(temp[ty][tx - 1] - penalty).max(temp[ty - 1][tx] - penalty);
+                temp[ty][tx] = diag
+                    .max(temp[ty][tx - 1] - penalty)
+                    .max(temp[ty - 1][tx] - penalty);
             }
         }
         for m in (0..BLOCK_SIZE - 1).rev() {
@@ -100,7 +105,9 @@ pub fn nw_tiled(n: usize, penalty: i32) -> Vec<i32> {
                 let r = base_r + ty;
                 let c = base_c + tx;
                 let diag = temp[ty - 1][tx - 1] + reference_score(r, c);
-                temp[ty][tx] = diag.max(temp[ty][tx - 1] - penalty).max(temp[ty - 1][tx] - penalty);
+                temp[ty][tx] = diag
+                    .max(temp[ty][tx - 1] - penalty)
+                    .max(temp[ty - 1][tx] - penalty);
             }
         }
         for ty in 1..=BLOCK_SIZE {
@@ -187,13 +194,26 @@ impl KernelTrace for NwKernel {
         let s = &mut trace.warps[0];
 
         // Index arithmetic.
-        s.push(WarpInstruction::Alu { count: 6, mask: T16 });
+        s.push(WarpInstruction::Alu {
+            count: 6,
+            mask: T16,
+        });
 
         // North boundary row: itemsets[base_r][base_c + tid + 1] — coalesced.
         let north: Vec<u64> = (0..32)
-            .map(|l| if l < 16 { items(base_r, base_c + l as u64 + 1) } else { 0 })
+            .map(|l| {
+                if l < 16 {
+                    items(base_r, base_c + l as u64 + 1)
+                } else {
+                    0
+                }
+            })
             .collect();
-        s.push(WarpInstruction::LoadGlobal { addrs: north, width: 4, mask: T16 });
+        s.push(WarpInstruction::LoadGlobal {
+            addrs: north,
+            width: 4,
+            mask: T16,
+        });
         s.push(WarpInstruction::StoreShared {
             offsets: (0..32).map(|l| temp_off(0, (l % 16) + 1)).collect(),
             width: 4,
@@ -202,9 +222,19 @@ impl KernelTrace for NwKernel {
         // West boundary column: itemsets[base_r + tid + 1][base_c] — strided
         // by the full matrix row: one transaction per lane.
         let west: Vec<u64> = (0..32)
-            .map(|l| if l < 16 { items(base_r + l as u64 + 1, base_c) } else { 0 })
+            .map(|l| {
+                if l < 16 {
+                    items(base_r + l as u64 + 1, base_c)
+                } else {
+                    0
+                }
+            })
             .collect();
-        s.push(WarpInstruction::LoadGlobal { addrs: west, width: 4, mask: T16 });
+        s.push(WarpInstruction::LoadGlobal {
+            addrs: west,
+            width: 4,
+            mask: T16,
+        });
         s.push(WarpInstruction::StoreShared {
             offsets: (0..32).map(|l| temp_off((l % 16) + 1, 0)).collect(),
             width: 4,
@@ -213,10 +243,18 @@ impl KernelTrace for NwKernel {
         // NW corner by lane 0.
         let mut corner = vec![0u64; 32];
         corner[0] = items(base_r, base_c);
-        s.push(WarpInstruction::LoadGlobal { addrs: corner, width: 4, mask: 1 });
+        s.push(WarpInstruction::LoadGlobal {
+            addrs: corner,
+            width: 4,
+            mask: 1,
+        });
         let mut corner_off = vec![0u32; 32];
         corner_off[0] = temp_off(0, 0);
-        s.push(WarpInstruction::StoreShared { offsets: corner_off, width: 4, mask: 1 });
+        s.push(WarpInstruction::StoreShared {
+            offsets: corner_off,
+            width: 4,
+            mask: 1,
+        });
 
         // Reference tile: 16 coalesced row loads.
         for ty in 0..BLOCK_SIZE {
@@ -229,7 +267,11 @@ impl KernelTrace for NwKernel {
                     }
                 })
                 .collect();
-            s.push(WarpInstruction::LoadGlobal { addrs, width: 4, mask: T16 });
+            s.push(WarpInstruction::LoadGlobal {
+                addrs,
+                width: 4,
+                mask: T16,
+            });
             s.push(WarpInstruction::StoreShared {
                 offsets: (0..32).map(|l| ref_off(ty, l % 16)).collect(),
                 width: 4,
@@ -270,7 +312,11 @@ impl KernelTrace for NwKernel {
                         }
                     })
                     .collect();
-                s.push(WarpInstruction::LoadShared { offsets, width: 4, mask });
+                s.push(WarpInstruction::LoadShared {
+                    offsets,
+                    width: 4,
+                    mask,
+                });
             }
             s.push(WarpInstruction::Alu { count: 3, mask });
             s.push(WarpInstruction::StoreShared {
@@ -312,7 +358,11 @@ impl KernelTrace for NwKernel {
                     }
                 })
                 .collect();
-            s.push(WarpInstruction::StoreGlobal { addrs, width: 4, mask: T16 });
+            s.push(WarpInstruction::StoreGlobal {
+                addrs,
+                width: 4,
+                mask: T16,
+            });
         }
         trace
     }
@@ -321,14 +371,25 @@ impl KernelTrace for NwKernel {
 /// The full NW application for an `n x n` problem: one launch per diagonal,
 /// both kernels, exactly Rodinia's host loop.
 pub fn nw_application(n: usize, _penalty: i32) -> Application {
-    assert!(n.is_multiple_of(BLOCK_SIZE), "n must be a multiple of {BLOCK_SIZE}");
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
     let bw = n / BLOCK_SIZE;
     let mut launches: Vec<Box<dyn KernelTrace>> = Vec::new();
     for i in 1..=bw {
-        launches.push(Box::new(NwKernel { n, kernel: 1, iteration: i }));
+        launches.push(Box::new(NwKernel {
+            n,
+            kernel: 1,
+            iteration: i,
+        }));
     }
     for i in (1..bw).rev() {
-        launches.push(Box::new(NwKernel { n, kernel: 2, iteration: i }));
+        launches.push(Box::new(NwKernel {
+            n,
+            kernel: 2,
+            iteration: i,
+        }));
     }
     Application {
         name: "needle".into(),
@@ -378,13 +439,21 @@ mod tests {
         let bw = n / BLOCK_SIZE;
         let mut seen = std::collections::HashSet::new();
         for i in 1..=bw {
-            let k = NwKernel { n, kernel: 1, iteration: i };
+            let k = NwKernel {
+                n,
+                kernel: 1,
+                iteration: i,
+            };
             for bx in 0..i {
                 assert!(seen.insert(k.tile(bx)), "duplicate tile");
             }
         }
         for i in (1..bw).rev() {
-            let k = NwKernel { n, kernel: 2, iteration: i };
+            let k = NwKernel {
+                n,
+                kernel: 2,
+                iteration: i,
+            };
             for bx in 0..i {
                 assert!(seen.insert(k.tile(bx)), "duplicate tile");
             }
@@ -400,7 +469,11 @@ mod tests {
     #[test]
     fn traces_validate_and_use_one_warp() {
         let gpu = GpuConfig::gtx580();
-        let k = NwKernel { n: 128, kernel: 1, iteration: 3 };
+        let k = NwKernel {
+            n: 128,
+            kernel: 1,
+            iteration: 3,
+        };
         let t = k.block_trace(1, &gpu);
         t.validate().unwrap();
         assert_eq!(t.warps.len(), 1);
@@ -409,15 +482,25 @@ mod tests {
     #[test]
     fn diagonal_accesses_have_bank_conflicts() {
         let gpu = GpuConfig::gtx580();
-        let k = NwKernel { n: 128, kernel: 1, iteration: 1 };
+        let k = NwKernel {
+            n: 128,
+            kernel: 1,
+            iteration: 1,
+        };
         let t = k.block_trace(0, &gpu);
         let total: u32 = t.warps[0]
             .iter()
             .map(|i| match i {
-                WarpInstruction::LoadShared { offsets, width, mask }
-                | WarpInstruction::StoreShared { offsets, width, mask } => {
-                    gpu_sim::banks::replays(offsets, *width, *mask, 32, 4)
+                WarpInstruction::LoadShared {
+                    offsets,
+                    width,
+                    mask,
                 }
+                | WarpInstruction::StoreShared {
+                    offsets,
+                    width,
+                    mask,
+                } => gpu_sim::banks::replays(offsets, *width, *mask, 32, 4),
                 _ => 0,
             })
             .sum();
@@ -427,7 +510,11 @@ mod tests {
     #[test]
     fn west_column_load_is_uncoalesced() {
         let gpu = GpuConfig::gtx580();
-        let k = NwKernel { n: 512, kernel: 1, iteration: 1 };
+        let k = NwKernel {
+            n: 512,
+            kernel: 1,
+            iteration: 1,
+        };
         let t = k.block_trace(0, &gpu);
         // Find the max transaction count over global loads: the west column
         // must hit 16 distinct lines.

@@ -129,7 +129,10 @@ fn block_reduce(variant: ReduceVariant, sdata: &mut [f32]) -> f32 {
         ReduceVariant::Reduce2 => {
             let mut s = t / 2;
             while s > 0 {
-                step_snapshot(sdata, |tid| if tid < s { Some((tid, tid + s)) } else { None });
+                step_snapshot(
+                    sdata,
+                    |tid| if tid < s { Some((tid, tid + s)) } else { None },
+                );
                 s /= 2;
             }
         }
@@ -139,14 +142,20 @@ fn block_reduce(variant: ReduceVariant, sdata: &mut [f32]) -> f32 {
         ReduceVariant::Reduce3 => {
             let mut s = t / 2;
             while s > 0 {
-                step_snapshot(sdata, |tid| if tid < s { Some((tid, tid + s)) } else { None });
+                step_snapshot(
+                    sdata,
+                    |tid| if tid < s { Some((tid, tid + s)) } else { None },
+                );
                 s /= 2;
             }
         }
         ReduceVariant::Reduce4 | ReduceVariant::Reduce5 | ReduceVariant::Reduce6 => {
             let mut s = t / 2;
             while s > 32 {
-                step_snapshot(sdata, |tid| if tid < s { Some((tid, tid + s)) } else { None });
+                step_snapshot(
+                    sdata,
+                    |tid| if tid < s { Some((tid, tid + s)) } else { None },
+                );
                 s /= 2;
             }
             // Warp-synchronous tail: all 32 lanes execute each step.
@@ -180,7 +189,10 @@ fn step_snapshot(sdata: &mut [f32], pick: impl Fn(usize) -> Option<(usize, usize
 /// Runs one full pass of a variant over `input`, producing one partial sum
 /// per block (exact CUDA semantics including grid-stride for reduce6).
 pub fn reduce_pass(variant: ReduceVariant, input: &[f32], threads: usize) -> Vec<f32> {
-    assert!(threads >= 64 && threads.is_power_of_two(), "threads must be a power of two >= 64");
+    assert!(
+        threads >= 64 && threads.is_power_of_two(),
+        "threads must be a power of two >= 64"
+    );
     let n = input.len();
     let grid = variant.grid_for(n, threads);
     let mut out = Vec::with_capacity(grid);
@@ -317,7 +329,13 @@ impl ReduceKernel {
     }
 
     /// Global load of `input[idx(tid)]` for active threads of warp `w`.
-    fn emit_global_load(&self, stream: &mut Vec<WarpInstruction>, w: usize, mask: u32, idx: impl Fn(usize) -> usize) {
+    fn emit_global_load(
+        &self,
+        stream: &mut Vec<WarpInstruction>,
+        w: usize,
+        mask: u32,
+        idx: impl Fn(usize) -> usize,
+    ) {
         if mask == 0 {
             return;
         }
@@ -372,12 +390,18 @@ impl KernelTrace for ReduceKernel {
             match v {
                 ReduceVariant::Reduce0 | ReduceVariant::Reduce1 | ReduceVariant::Reduce2 => {
                     let mask = self.mask_where(w, |tid| block_id * t + tid < n);
-                    stream.push(WarpInstruction::Alu { count: 2, mask: self.mask_where(w, |_| true) });
+                    stream.push(WarpInstruction::Alu {
+                        count: 2,
+                        mask: self.mask_where(w, |_| true),
+                    });
                     self.emit_global_load(stream, w, mask, |tid| block_id * t + tid);
                 }
                 ReduceVariant::Reduce3 | ReduceVariant::Reduce4 | ReduceVariant::Reduce5 => {
                     let full = self.mask_where(w, |_| true);
-                    stream.push(WarpInstruction::Alu { count: 3, mask: full });
+                    stream.push(WarpInstruction::Alu {
+                        count: 3,
+                        mask: full,
+                    });
                     let m1 = self.mask_where(w, |tid| block_id * t * 2 + tid < n);
                     self.emit_global_load(stream, w, m1, |tid| block_id * t * 2 + tid);
                     let m2 = self.mask_where(w, |tid| block_id * t * 2 + tid + t < n);
@@ -387,7 +411,10 @@ impl KernelTrace for ReduceKernel {
                 ReduceVariant::Reduce6 => {
                     let full = self.mask_where(w, |_| true);
                     let grid_size = t * 2 * grid;
-                    stream.push(WarpInstruction::Alu { count: 3, mask: full });
+                    stream.push(WarpInstruction::Alu {
+                        count: 3,
+                        mask: full,
+                    });
                     let mut i0 = block_id * t * 2;
                     while i0 < n {
                         let base = i0;
@@ -545,7 +572,9 @@ mod tests {
     use super::*;
 
     fn input(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 100.0).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761usize) % 1000) as f32 / 100.0)
+            .collect()
     }
 
     #[test]
@@ -573,7 +602,11 @@ mod tests {
     fn non_power_of_two_sizes_handled_by_masking() {
         let data = input(1000);
         let expect: f64 = data.iter().map(|&v| v as f64).sum();
-        for v in [ReduceVariant::Reduce1, ReduceVariant::Reduce2, ReduceVariant::Reduce6] {
+        for v in [
+            ReduceVariant::Reduce1,
+            ReduceVariant::Reduce2,
+            ReduceVariant::Reduce6,
+        ] {
             let got = reduce_full(v, &data, 64) as f64;
             assert!((got - expect).abs() / expect < 1e-3, "{}", v.name());
         }
@@ -627,10 +660,16 @@ mod tests {
                 .iter()
                 .flatten()
                 .map(|i| match i {
-                    WarpInstruction::LoadShared { offsets, width, mask }
-                    | WarpInstruction::StoreShared { offsets, width, mask } => {
-                        gpu_sim::banks::replays(offsets, *width, *mask, 32, 4)
+                    WarpInstruction::LoadShared {
+                        offsets,
+                        width,
+                        mask,
                     }
+                    | WarpInstruction::StoreShared {
+                        offsets,
+                        width,
+                        mask,
+                    } => gpu_sim::banks::replays(offsets, *width, *mask, 32, 4),
                     _ => 0,
                 })
                 .sum()
@@ -650,11 +689,20 @@ mod tests {
             output_base: OUTPUT_BASE,
         };
         let divergent = |v: ReduceVariant| -> usize {
-            mk(v).block_trace(0, &gpu)
+            mk(v)
+                .block_trace(0, &gpu)
                 .warps
                 .iter()
                 .flatten()
-                .filter(|i| matches!(i, WarpInstruction::Branch { divergent: true, .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        WarpInstruction::Branch {
+                            divergent: true,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert!(divergent(ReduceVariant::Reduce0) > 3 * divergent(ReduceVariant::Reduce2));

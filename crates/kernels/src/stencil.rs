@@ -47,7 +47,10 @@ pub fn stencil_reference(input: &[f32], n: usize) -> Vec<f32> {
 /// The tiled evaluation in CUDA block order; must equal the reference
 /// exactly (same FP expression per cell, just a different schedule).
 pub fn stencil_tiled(input: &[f32], n: usize) -> Vec<f32> {
-    assert!(n.is_multiple_of(BLOCK_SIZE), "n must be a multiple of {BLOCK_SIZE}");
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
     let mut out = input.to_vec();
     let nb = n / BLOCK_SIZE;
     let mut tile = [[0.0f32; BLOCK_SIZE + 2]; BLOCK_SIZE + 2];
@@ -123,7 +126,10 @@ impl KernelTrace for StencilKernel {
 
         for w in 0..warps {
             let stream = &mut trace.warps[w];
-            stream.push(WarpInstruction::Alu { count: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::Alu {
+                count: 4,
+                mask: u32::MAX,
+            });
             // Interior tile load: thread (tx, ty) loads its own cell into
             // tile[ty+1][tx+1] — coalesced (2 rows of 16 floats per warp).
             let mut addrs = vec![0u64; 32];
@@ -134,8 +140,16 @@ impl KernelTrace for StencilKernel {
                 addrs[lane] = gaddr(by * BLOCK_SIZE + ty, bx * BLOCK_SIZE + tx);
                 offs[lane] = tile_off(ty + 1, tx + 1);
             }
-            stream.push(WarpInstruction::LoadGlobal { addrs, width: 4, mask: u32::MAX });
-            stream.push(WarpInstruction::StoreShared { offsets: offs, width: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::LoadGlobal {
+                addrs,
+                width: 4,
+                mask: u32::MAX,
+            });
+            stream.push(WarpInstruction::StoreShared {
+                offsets: offs,
+                width: 4,
+                mask: u32::MAX,
+            });
         }
         // Halo loads, done by warp 0 (like the boundary threads would):
         // north/south rows are coalesced, west/east columns are strided.
@@ -154,7 +168,11 @@ impl KernelTrace for StencilKernel {
                         }
                     })
                     .collect();
-                stream.push(WarpInstruction::LoadGlobal { addrs, width: 4, mask: mask16 });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs,
+                    width: 4,
+                    mask: mask16,
+                });
                 stream.push(WarpInstruction::StoreShared {
                     offsets: (0..32).map(|l| tile_off(tile_row, (l % 16) + 1)).collect(),
                     width: 4,
@@ -173,7 +191,11 @@ impl KernelTrace for StencilKernel {
                         }
                     })
                     .collect();
-                stream.push(WarpInstruction::LoadGlobal { addrs, width: 4, mask: mask16 });
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs,
+                    width: 4,
+                    mask: mask16,
+                });
                 stream.push(WarpInstruction::StoreShared {
                     offsets: (0..32).map(|l| tile_off((l % 16) + 1, tile_col)).collect(),
                     width: 4,
@@ -196,9 +218,16 @@ impl KernelTrace for StencilKernel {
                         tile_off(ty + dy, tx + dx)
                     })
                     .collect();
-                stream.push(WarpInstruction::LoadShared { offsets: offs, width: 4, mask: u32::MAX });
+                stream.push(WarpInstruction::LoadShared {
+                    offsets: offs,
+                    width: 4,
+                    mask: u32::MAX,
+                });
             }
-            stream.push(WarpInstruction::Alu { count: 5, mask: u32::MAX });
+            stream.push(WarpInstruction::Alu {
+                count: 5,
+                mask: u32::MAX,
+            });
             let addrs: Vec<u64> = (0..32)
                 .map(|lane| {
                     let ty = 2 * w + lane / 16;
@@ -206,7 +235,11 @@ impl KernelTrace for StencilKernel {
                     OUTPUT_BASE + (((by * BLOCK_SIZE + ty) * n + bx * BLOCK_SIZE + tx) as u64) * 4
                 })
                 .collect();
-            stream.push(WarpInstruction::StoreGlobal { addrs, width: 4, mask: u32::MAX });
+            stream.push(WarpInstruction::StoreGlobal {
+                addrs,
+                width: 4,
+                mask: u32::MAX,
+            });
         }
         trace
     }
@@ -270,7 +303,12 @@ mod tests {
         t.validate().unwrap();
         for stream in &t.warps {
             for instr in stream {
-                if let WarpInstruction::LoadShared { offsets, width, mask } = instr {
+                if let WarpInstruction::LoadShared {
+                    offsets,
+                    width,
+                    mask,
+                } = instr
+                {
                     // Row-major 18-wide tile: lanes stride 1 word within a
                     // row; the 18-word row pitch avoids 2-way conflicts for
                     // the two half-warps.
@@ -296,7 +334,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(worst >= 16, "expected a 16-transaction column load, got {worst}");
+        assert!(
+            worst >= 16,
+            "expected a 16-transaction column load, got {worst}"
+        );
     }
 
     #[test]

@@ -92,9 +92,7 @@ impl Cholesky {
 
     /// Log-determinant of `A` (sum of `2 ln L_ii`); useful for model scoring.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| 2.0 * self.l[(i, i)].ln())
-            .sum()
+        (0..self.l.rows()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
     }
 }
 

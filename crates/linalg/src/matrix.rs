@@ -204,13 +204,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect())
     }
 

@@ -189,7 +189,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let qr = QrDecomposition::decompose(&a).unwrap();
         assert!(!qr.is_full_rank());
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl std::fmt::Display for PcaError {
             PcaError::TooManyComponents {
                 requested,
                 available,
-            } => write!(f, "requested {requested} components, only {available} available"),
+            } => write!(
+                f,
+                "requested {requested} components, only {available} available"
+            ),
         }
     }
 }

@@ -121,9 +121,7 @@ impl Pca {
         }
         let (n, xp) = x.shape();
         if xp != p {
-            return Err(PcaError::Eigen(format!(
-                "expected {p} features, got {xp}"
-            )));
+            return Err(PcaError::Eigen(format!("expected {p} features, got {xp}")));
         }
         let mut scores = Matrix::zeros(n, k);
         for i in 0..n {

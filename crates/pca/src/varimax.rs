@@ -128,7 +128,9 @@ pub fn varimax_criterion(loadings: &Matrix) -> f64 {
     }
     let mut total = 0.0;
     for c in 0..k {
-        let sq: Vec<f64> = (0..p).map(|i| loadings[(i, c)] * loadings[(i, c)]).collect();
+        let sq: Vec<f64> = (0..p)
+            .map(|i| loadings[(i, c)] * loadings[(i, c)])
+            .collect();
         let mean = sq.iter().sum::<f64>() / p as f64;
         total += sq.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / p as f64;
     }

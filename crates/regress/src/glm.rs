@@ -274,7 +274,13 @@ mod tests {
     fn log_basis_fits_logarithmic_growth() {
         let x: Vec<Vec<f64>> = (1..50).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 + 7.0 * r[0].ln()).collect();
-        let basis = vec![Basis::Intercept, Basis::Log { feature: 0, floor: 1e-9 }];
+        let basis = vec![
+            Basis::Intercept,
+            Basis::Log {
+                feature: 0,
+                floor: 1e-9,
+            },
+        ];
         let m = LinearModel::fit(&basis, &x, &y).unwrap();
         assert!((m.coefficients[1] - 7.0).abs() < 1e-8);
     }
@@ -321,8 +327,14 @@ mod tests {
         let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let basis = vec![
             Basis::Intercept,
-            Basis::Power { feature: 0, power: 1 },
-            Basis::Power { feature: 0, power: 1 },
+            Basis::Power {
+                feature: 0,
+                power: 1,
+            },
+            Basis::Power {
+                feature: 0,
+                power: 1,
+            },
         ];
         let m = LinearModel::fit(&basis, &x, &y).unwrap();
         assert!(m.coefficients.iter().all(|c| c.is_finite()));

@@ -384,7 +384,16 @@ mod tests {
                 y.push(a as f64 * b as f64);
             }
         }
-        let m = Mars::fit(&x, &y, &MarsParams { max_degree: 2, max_terms: 15, ..MarsParams::default() }).unwrap();
+        let m = Mars::fit(
+            &x,
+            &y,
+            &MarsParams {
+                max_degree: 2,
+                max_terms: 15,
+                ..MarsParams::default()
+            },
+        )
+        .unwrap();
         assert!(m.train_r_squared > 0.95, "r2 = {}", m.train_r_squared);
         // At least one basis function of degree 2 should survive pruning.
         assert!(m.basis.iter().any(|b| b.degree() == 2));
@@ -450,7 +459,15 @@ mod tests {
     fn smooth_nonlinearity_well_approximated() {
         let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 8.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
-        let m = Mars::fit(&x, &y, &MarsParams { max_terms: 21, ..MarsParams::default() }).unwrap();
+        let m = Mars::fit(
+            &x,
+            &y,
+            &MarsParams {
+                max_terms: 21,
+                ..MarsParams::default()
+            },
+        )
+        .unwrap();
         assert!(m.train_r_squared > 0.99);
     }
 

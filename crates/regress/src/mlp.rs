@@ -140,7 +140,11 @@ impl MlpRegressor {
                     }
                     hidden[k] = a.tanh();
                 }
-                let out = b2 + w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>();
+                let out = b2
+                    + w2.iter()
+                        .zip(hidden.iter())
+                        .map(|(w, h)| w * h)
+                        .sum::<f64>();
                 let err = out - t;
                 gb2 += err;
                 for k in 0..h {

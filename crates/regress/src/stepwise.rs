@@ -52,7 +52,10 @@ fn aic(rss: f64, n: usize, k: usize) -> f64 {
 fn fit_subset(x: &[Vec<f64>], y: &[f64], subset: &[usize]) -> Result<(LinearModel, f64)> {
     let mut basis = vec![Basis::Intercept];
     for &f in subset {
-        basis.push(Basis::Power { feature: f, power: 1 });
+        basis.push(Basis::Power {
+            feature: f,
+            power: 1,
+        });
     }
     let m = LinearModel::fit(&basis, x, y)?;
     let a = aic(m.residual_deviance, y.len(), subset.len());

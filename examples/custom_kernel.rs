@@ -14,7 +14,9 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use blackforest_suite::blackforest::collect::{dataset_from_observations, CollectOptions, Observation};
+use blackforest_suite::blackforest::collect::{
+    dataset_from_observations, CollectOptions, Observation,
+};
 use blackforest_suite::blackforest::model::{BlackForestModel, ModelConfig};
 use blackforest_suite::blackforest::{bottleneck, report};
 use blackforest_suite::gpu_sim::trace::{BlockTrace, KernelTrace, LaunchConfig};
@@ -90,23 +92,38 @@ fn main() {
     // One-off profile, like nvprof.
     let run = profile_kernel(
         &gpu,
-        &GatherKernel { n: 1 << 20, k: 4, spread: 1 << 22 },
+        &GatherKernel {
+            n: 1 << 20,
+            k: 4,
+            spread: 1 << 22,
+        },
     )
     .expect("profile");
     println!("one run of {}: {:.3} ms", run.kernel, run.time_ms);
-    for c in ["gld_request", "global_load_transaction", "l1_global_load_miss"] {
+    for c in [
+        "gld_request",
+        "global_load_transaction",
+        "l1_global_load_miss",
+    ] {
         println!("  {c:<26} {:.0}", run.counters.get(c).unwrap());
     }
     let req = run.counters.get("gld_request").unwrap();
     let trans = run.counters.get("global_load_transaction").unwrap();
-    println!("  transactions per request: {:.1} (1.0 would be perfectly coalesced)", trans / req);
+    println!(
+        "  transactions per request: {:.1} (1.0 would be perfectly coalesced)",
+        trans / req
+    );
 
     // A sweep over problem size and locality, then the full pipeline.
     let mut observations = Vec::new();
     for e in 16..=20 {
         for spread_shift in [14usize, 18, 22] {
             let n = 1usize << e;
-            let k = GatherKernel { n, k: 4, spread: 1 << spread_shift };
+            let k = GatherKernel {
+                n,
+                k: 4,
+                spread: 1 << spread_shift,
+            };
             let run = profile_kernel(&gpu, &k).expect("profile");
             observations.push(Observation {
                 run,

@@ -37,18 +37,27 @@ fn main() {
 
     // Held-out evaluation (the paper's Figure 5b).
     let points = predictor.evaluate_holdout().expect("holdout");
-    println!("\nheld-out sizes:\n{}", report::prediction_table(&points, "size"));
+    println!(
+        "\nheld-out sizes:\n{}",
+        report::prediction_table(&points, "size")
+    );
 
     // True out-of-sweep check: sizes never collected at all.
     println!("fresh sizes never profiled during training:");
     for &n in &[176usize, 272, 368] {
         let predicted = predictor.predict(&[n as f64]).expect("predict");
-        let measured = matmul_application(n).profile(&gpu).expect("profile").time_ms;
+        let measured = matmul_application(n)
+            .profile(&gpu)
+            .expect("profile")
+            .time_ms;
         println!(
             "  n={n:4}  measured {measured:8.4} ms  predicted {predicted:8.4} ms  ({:+.1}%)",
             100.0 * (predicted - measured) / measured
         );
     }
     let s = summarize(&points);
-    println!("\nholdout summary: MSE {:.4}, R^2 {:.4}, MAPE {:.1}%", s.mse, s.r_squared, s.mape);
+    println!(
+        "\nholdout summary: MSE {:.4}, R^2 {:.4}, MAPE {:.1}%",
+        s.mse, s.r_squared, s.mape
+    );
 }

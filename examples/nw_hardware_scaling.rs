@@ -24,13 +24,19 @@ fn main() {
         drop_constant: false,
         ..CollectOptions::default().with_repetitions(2, 0.02)
     };
-    println!("collecting NW sweeps on {} and {}...", src_gpu.name, tgt_gpu.name);
+    println!(
+        "collecting NW sweeps on {} and {}...",
+        src_gpu.name, tgt_gpu.name
+    );
     let src = collect_nw(&src_gpu, &lengths, &opts).expect("source");
     let tgt = collect_nw(&tgt_gpu, &lengths, &opts).expect("target");
     let (tgt_train, tgt_test) = tgt.split(0.8, 2016);
 
     let cfg = ModelConfig::quick(62);
-    for strategy in [HwFeatureStrategy::SourceImportance, HwFeatureStrategy::MixedImportance] {
+    for strategy in [
+        HwFeatureStrategy::SourceImportance,
+        HwFeatureStrategy::MixedImportance,
+    ] {
         let hw = HardwareScalingPredictor::fit(&src, &tgt_train, &cfg, strategy).expect("fit");
         let s = summarize(&hw.evaluate(&tgt_test, "size").expect("evaluate"));
         println!(

@@ -46,7 +46,10 @@ fn main() {
         "\npower model over {} runs (range {:.1}..{:.1} W):",
         data.len(),
         data.response.iter().cloned().fold(f64::INFINITY, f64::min),
-        data.response.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        data.response
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     println!("{}", report::importance_chart(&p.model, 8));
 

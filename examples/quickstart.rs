@@ -7,15 +7,20 @@
 
 use blackforest_suite::blackforest::model::ModelConfig;
 use blackforest_suite::blackforest::{BlackForest, Workload};
-use blackforest_suite::kernels::reduce::{reduce_application, ReduceVariant};
 use blackforest_suite::gpu_sim::GpuConfig;
+use blackforest_suite::kernels::reduce::{reduce_application, ReduceVariant};
 
 fn main() {
     // --- Step 1: one profiled run (what `nvprof ./reduce` would print) ---
     let gpu = GpuConfig::gtx580();
     let app = reduce_application(ReduceVariant::Reduce1, 1 << 20, 256);
     let run = app.profile(&gpu).expect("simulation");
-    println!("profile of {} on {} ({} launches):", run.kernel, run.gpu, app.launches.len());
+    println!(
+        "profile of {} on {} ({} launches):",
+        run.kernel,
+        run.gpu,
+        app.launches.len()
+    );
     println!("  elapsed: {:.4} ms", run.time_ms);
     for name in [
         "achieved_occupancy",

@@ -16,7 +16,11 @@ fn main() {
     let bf = BlackForest::new(GpuConfig::gtx580()).with_config(ModelConfig::quick(2016));
     let sizes: Vec<usize> = (14..=19).map(|e| 1usize << e).collect();
 
-    for variant in [ReduceVariant::Reduce1, ReduceVariant::Reduce2, ReduceVariant::Reduce6] {
+    for variant in [
+        ReduceVariant::Reduce1,
+        ReduceVariant::Reduce2,
+        ReduceVariant::Reduce6,
+    ] {
         let report = bf
             .analyze(Workload::Reduce(variant), &sizes)
             .expect("analysis");
@@ -30,7 +34,11 @@ fn main() {
         println!(
             ">>> {}: bank-conflict counter {} the dataset; primary bottleneck: {}\n",
             variant.name(),
-            if conflict_present { "present in" } else { "vanished from" },
+            if conflict_present {
+                "present in"
+            } else {
+                "vanished from"
+            },
             report
                 .bottlenecks
                 .primary()
@@ -50,5 +58,8 @@ fn main() {
         .profile(&gpu)
         .unwrap()
         .time_ms;
-    println!("reduce1 vs reduce6 at {n} elements: {t1:.3} ms vs {t6:.3} ms ({:.1}x)", t1 / t6);
+    println!(
+        "reduce1 vs reduce6 at {n} elements: {t1:.3} ms vs {t6:.3} ms ({:.1}x)",
+        t1 / t6
+    );
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_baselines-1872abc9a6b0789f.d: crates/bench/benches/ablation_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_baselines-1872abc9a6b0789f.rmeta: crates/bench/benches/ablation_baselines.rs Cargo.toml
+
+crates/bench/benches/ablation_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_forest-904ca691adff0009.d: crates/bench/benches/ablation_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_forest-904ca691adff0009.rmeta: crates/bench/benches/ablation_forest.rs Cargo.toml
+
+crates/bench/benches/ablation_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_models-073895591552607a.d: crates/bench/benches/ablation_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_models-073895591552607a.rmeta: crates/bench/benches/ablation_models.rs Cargo.toml
+
+crates/bench/benches/ablation_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

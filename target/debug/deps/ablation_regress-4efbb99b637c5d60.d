@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_regress-4efbb99b637c5d60.d: crates/bench/benches/ablation_regress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_regress-4efbb99b637c5d60.rmeta: crates/bench/benches/ablation_regress.rs Cargo.toml
+
+crates/bench/benches/ablation_regress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sim-6403647ba75ac283.d: crates/bench/benches/ablation_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sim-6403647ba75ac283.rmeta: crates/bench/benches/ablation_sim.rs Cargo.toml
+
+crates/bench/benches/ablation_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_forest-669e87ac44e14172.d: crates/bench/src/bin/bench_forest.rs
+
+/root/repo/target/debug/deps/bench_forest-669e87ac44e14172: crates/bench/src/bin/bench_forest.rs
+
+crates/bench/src/bin/bench_forest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_forest-e87b25ddfcb9ee15.d: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_forest-e87b25ddfcb9ee15.rmeta: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+crates/bench/src/bin/bench_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bf_bench-37fda343756b9178.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-37fda343756b9178.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-37fda343756b9178.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

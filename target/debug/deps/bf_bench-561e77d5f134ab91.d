@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bf_bench-561e77d5f134ab91.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bf_bench-561e77d5f134ab91: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_bench-749a0b67ab4fca5f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_bench-749a0b67ab4fca5f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bf_bench-b23f56ec41149013.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-b23f56ec41149013.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-b23f56ec41149013.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bf_bench-ca61ccd73f7dd4e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bf_bench-ca61ccd73f7dd4e4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

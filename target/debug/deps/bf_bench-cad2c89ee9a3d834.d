@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_bench-cad2c89ee9a3d834.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_bench-cad2c89ee9a3d834.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bf_forest-7e0ac29d7ed99a00.d: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/debug/deps/libbf_forest-7e0ac29d7ed99a00.rlib: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/debug/deps/libbf_forest-7e0ac29d7ed99a00.rmeta: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+crates/forest/src/lib.rs:
+crates/forest/src/binned.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bf_forest-989f182951df67e8.d: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_forest-989f182951df67e8.rmeta: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs Cargo.toml
+
+crates/forest/src/lib.rs:
+crates/forest/src/binned.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_forest-daf761e07931d9f9.d: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/debug/deps/bf_forest-daf761e07931d9f9: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+crates/forest/src/lib.rs:
+crates/forest/src/binned.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bf_forest-ec33998069eedf4e.d: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_forest-ec33998069eedf4e.rmeta: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs Cargo.toml
+
+crates/forest/src/lib.rs:
+crates/forest/src/binned.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

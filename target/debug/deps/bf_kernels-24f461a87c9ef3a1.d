@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bf_kernels-24f461a87c9ef3a1.d: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_kernels-24f461a87c9ef3a1.rmeta: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/nw.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_kernels-5f43b9129da1be4e.d: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+/root/repo/target/debug/deps/bf_kernels-5f43b9129da1be4e: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/nw.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/stencil.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_kernels-a669b2c557120694.d: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+/root/repo/target/debug/deps/libbf_kernels-a669b2c557120694.rlib: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+/root/repo/target/debug/deps/libbf_kernels-a669b2c557120694.rmeta: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/nw.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/stencil.rs:

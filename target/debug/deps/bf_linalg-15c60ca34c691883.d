@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bf_linalg-15c60ca34c691883.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libbf_linalg-15c60ca34c691883.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libbf_linalg-15c60ca34c691883.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bf_linalg-20353e2b44a67284.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/bf_linalg-20353e2b44a67284: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/stats.rs:

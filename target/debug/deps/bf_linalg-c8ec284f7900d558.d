@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bf_linalg-c8ec284f7900d558.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_linalg-c8ec284f7900d558.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_pca-3a7a937f49ba193a.d: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_pca-3a7a937f49ba193a.rmeta: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs Cargo.toml
+
+crates/pca/src/lib.rs:
+crates/pca/src/model.rs:
+crates/pca/src/varimax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_pca-4397470f909aa89d.d: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_pca-4397470f909aa89d.rmeta: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs Cargo.toml
+
+crates/pca/src/lib.rs:
+crates/pca/src/model.rs:
+crates/pca/src/varimax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bf_pca-e7d619112c8630e9.d: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+/root/repo/target/debug/deps/bf_pca-e7d619112c8630e9: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+crates/pca/src/lib.rs:
+crates/pca/src/model.rs:
+crates/pca/src/varimax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_pca-f1f0bb983192303d.d: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+/root/repo/target/debug/deps/libbf_pca-f1f0bb983192303d.rlib: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+/root/repo/target/debug/deps/libbf_pca-f1f0bb983192303d.rmeta: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+crates/pca/src/lib.rs:
+crates/pca/src/model.rs:
+crates/pca/src/varimax.rs:

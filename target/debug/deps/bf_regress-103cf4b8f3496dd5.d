@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_regress-103cf4b8f3496dd5.d: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+/root/repo/target/debug/deps/libbf_regress-103cf4b8f3496dd5.rlib: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+/root/repo/target/debug/deps/libbf_regress-103cf4b8f3496dd5.rmeta: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+crates/regress/src/lib.rs:
+crates/regress/src/glm.rs:
+crates/regress/src/mars.rs:
+crates/regress/src/mlp.rs:
+crates/regress/src/stepwise.rs:

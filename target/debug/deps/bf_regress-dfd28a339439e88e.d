@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_regress-dfd28a339439e88e.d: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+/root/repo/target/debug/deps/bf_regress-dfd28a339439e88e: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+crates/regress/src/lib.rs:
+crates/regress/src/glm.rs:
+crates/regress/src/mars.rs:
+crates/regress/src/mlp.rs:
+crates/regress/src/stepwise.rs:

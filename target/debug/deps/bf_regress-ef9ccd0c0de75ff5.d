@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bf_regress-ef9ccd0c0de75ff5.d: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_regress-ef9ccd0c0de75ff5.rmeta: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs Cargo.toml
+
+crates/regress/src/lib.rs:
+crates/regress/src/glm.rs:
+crates/regress/src/mars.rs:
+crates/regress/src/mlp.rs:
+crates/regress/src/stepwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

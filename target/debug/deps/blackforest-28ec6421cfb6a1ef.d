@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blackforest-28ec6421cfb6a1ef.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest-28ec6421cfb6a1ef.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

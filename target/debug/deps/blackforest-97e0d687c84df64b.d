@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blackforest-97e0d687c84df64b.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest-97e0d687c84df64b.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blackforest-c8fcd2b34c27a6d1.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/blackforest-c8fcd2b34c27a6d1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blackforest_suite-087da4db503fc5c3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest_suite-087da4db503fc5c3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blackforest_suite-2903bef0cbfed189.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblackforest_suite-2903bef0cbfed189.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libblackforest_suite-2903bef0cbfed189.rmeta: src/lib.rs
+
+src/lib.rs:

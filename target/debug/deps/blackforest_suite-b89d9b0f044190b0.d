@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blackforest_suite-b89d9b0f044190b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest_suite-b89d9b0f044190b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

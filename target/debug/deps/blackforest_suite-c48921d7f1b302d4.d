@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blackforest_suite-c48921d7f1b302d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/blackforest_suite-c48921d7f1b302d4: src/lib.rs
+
+src/lib.rs:

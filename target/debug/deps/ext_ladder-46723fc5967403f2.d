@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ladder-46723fc5967403f2.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/debug/deps/ext_ladder-46723fc5967403f2: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ladder-781ed7884061f513.d: crates/bench/src/bin/ext_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ladder-781ed7884061f513.rmeta: crates/bench/src/bin/ext_ladder.rs Cargo.toml
+
+crates/bench/src/bin/ext_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

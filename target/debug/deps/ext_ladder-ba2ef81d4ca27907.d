@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ladder-ba2ef81d4ca27907.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/debug/deps/ext_ladder-ba2ef81d4ca27907: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_power-0c3a4b47648e04df.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/debug/deps/ext_power-0c3a4b47648e04df: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_power-2e899d27ff5f74ab.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/debug/deps/ext_power-2e899d27ff5f74ab: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

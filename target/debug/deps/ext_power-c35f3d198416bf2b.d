@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_power-c35f3d198416bf2b.d: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_power-c35f3d198416bf2b.rmeta: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+crates/bench/src/bin/ext_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

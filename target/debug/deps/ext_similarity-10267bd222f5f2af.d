@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_similarity-10267bd222f5f2af.d: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_similarity-10267bd222f5f2af.rmeta: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+crates/bench/src/bin/ext_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

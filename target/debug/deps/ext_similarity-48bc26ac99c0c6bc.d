@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_similarity-48bc26ac99c0c6bc.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/debug/deps/ext_similarity-48bc26ac99c0c6bc: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_similarity-9b7f3bbca90d6ba3.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/debug/deps/ext_similarity-9b7f3bbca90d6ba3: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

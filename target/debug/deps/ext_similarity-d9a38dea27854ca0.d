@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_similarity-d9a38dea27854ca0.d: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_similarity-d9a38dea27854ca0.rmeta: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+crates/bench/src/bin/ext_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tiles-a3ec862d3a7ecd1c.d: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tiles-a3ec862d3a7ecd1c.rmeta: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+crates/bench/src/bin/ext_tiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tiles-d0526e9e03b371f1.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/debug/deps/ext_tiles-d0526e9e03b371f1: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

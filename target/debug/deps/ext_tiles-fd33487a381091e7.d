@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tiles-fd33487a381091e7.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/debug/deps/ext_tiles-fd33487a381091e7: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

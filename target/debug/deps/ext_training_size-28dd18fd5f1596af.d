@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_training_size-28dd18fd5f1596af.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/debug/deps/ext_training_size-28dd18fd5f1596af: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_training_size-5f1ac8cfef2b9385.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/debug/deps/ext_training_size-5f1ac8cfef2b9385: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_training_size-dcd9962b064a50d3.d: crates/bench/src/bin/ext_training_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_training_size-dcd9962b064a50d3.rmeta: crates/bench/src/bin/ext_training_size.rs Cargo.toml
+
+crates/bench/src/bin/ext_training_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_reduce1-3080219829c5fa02.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/debug/deps/fig2_reduce1-3080219829c5fa02: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

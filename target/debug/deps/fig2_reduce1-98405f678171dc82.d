@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reduce1-98405f678171dc82.d: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reduce1-98405f678171dc82.rmeta: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+crates/bench/src/bin/fig2_reduce1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

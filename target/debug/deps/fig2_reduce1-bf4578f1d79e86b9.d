@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reduce1-bf4578f1d79e86b9.d: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reduce1-bf4578f1d79e86b9.rmeta: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+crates/bench/src/bin/fig2_reduce1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

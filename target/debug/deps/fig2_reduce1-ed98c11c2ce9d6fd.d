@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_reduce1-ed98c11c2ce9d6fd.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/debug/deps/fig2_reduce1-ed98c11c2ce9d6fd: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_reduce2-27aa8bb831fc55ed.d: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_reduce2-27aa8bb831fc55ed.rmeta: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+crates/bench/src/bin/fig3_reduce2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_reduce2-5654a40b90b63951.d: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_reduce2-5654a40b90b63951.rmeta: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+crates/bench/src/bin/fig3_reduce2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

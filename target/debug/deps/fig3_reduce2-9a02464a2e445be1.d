@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_reduce2-9a02464a2e445be1.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/debug/deps/fig3_reduce2-9a02464a2e445be1: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_reduce2-9b50beee7ec2a9cb.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/debug/deps/fig3_reduce2-9b50beee7ec2a9cb: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_reduce6-365df3be72d52055.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/debug/deps/fig4_reduce6-365df3be72d52055: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_reduce6-589238560fd9d5ec.d: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_reduce6-589238560fd9d5ec.rmeta: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+crates/bench/src/bin/fig4_reduce6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

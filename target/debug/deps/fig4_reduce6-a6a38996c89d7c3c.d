@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_reduce6-a6a38996c89d7c3c.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/debug/deps/fig4_reduce6-a6a38996c89d7c3c: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_reduce6-c2c3ea4ae7e08f93.d: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_reduce6-c2c3ea4ae7e08f93.rmeta: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+crates/bench/src/bin/fig4_reduce6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mm-350acdb02a3646a3.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/debug/deps/fig5_mm-350acdb02a3646a3: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mm-98c1676ab2192f4f.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/debug/deps/fig5_mm-98c1676ab2192f4f: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mm-a5ce3e9ca536e29e.d: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mm-a5ce3e9ca536e29e.rmeta: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+crates/bench/src/bin/fig5_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

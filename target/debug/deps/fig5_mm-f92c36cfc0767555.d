@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mm-f92c36cfc0767555.d: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mm-f92c36cfc0767555.rmeta: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+crates/bench/src/bin/fig5_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

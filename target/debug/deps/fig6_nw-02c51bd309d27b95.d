@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_nw-02c51bd309d27b95.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/debug/deps/fig6_nw-02c51bd309d27b95: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

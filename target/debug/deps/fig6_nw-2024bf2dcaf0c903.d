@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_nw-2024bf2dcaf0c903.d: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_nw-2024bf2dcaf0c903.rmeta: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+crates/bench/src/bin/fig6_nw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

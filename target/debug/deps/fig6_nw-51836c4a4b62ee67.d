@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_nw-51836c4a4b62ee67.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/debug/deps/fig6_nw-51836c4a4b62ee67: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

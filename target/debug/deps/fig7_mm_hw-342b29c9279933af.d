@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mm_hw-342b29c9279933af.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/debug/deps/fig7_mm_hw-342b29c9279933af: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

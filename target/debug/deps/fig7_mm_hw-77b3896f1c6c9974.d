@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mm_hw-77b3896f1c6c9974.d: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mm_hw-77b3896f1c6c9974.rmeta: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mm_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mm_hw-a526d95f44a9faf4.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/debug/deps/fig7_mm_hw-a526d95f44a9faf4: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

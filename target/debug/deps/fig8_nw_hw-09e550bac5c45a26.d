@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_nw_hw-09e550bac5c45a26.d: crates/bench/src/bin/fig8_nw_hw.rs
+
+/root/repo/target/debug/deps/fig8_nw_hw-09e550bac5c45a26: crates/bench/src/bin/fig8_nw_hw.rs
+
+crates/bench/src/bin/fig8_nw_hw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_nw_hw-12a8b5e12a15a40c.d: crates/bench/src/bin/fig8_nw_hw.rs
+
+/root/repo/target/debug/deps/fig8_nw_hw-12a8b5e12a15a40c: crates/bench/src/bin/fig8_nw_hw.rs
+
+crates/bench/src/bin/fig8_nw_hw.rs:

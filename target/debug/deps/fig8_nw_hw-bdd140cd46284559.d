@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_nw_hw-bdd140cd46284559.d: crates/bench/src/bin/fig8_nw_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_nw_hw-bdd140cd46284559.rmeta: crates/bench/src/bin/fig8_nw_hw.rs Cargo.toml
+
+crates/bench/src/bin/fig8_nw_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

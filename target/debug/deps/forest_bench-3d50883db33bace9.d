@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forest_bench-3d50883db33bace9.d: crates/bench/benches/forest_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforest_bench-3d50883db33bace9.rmeta: crates/bench/benches/forest_bench.rs Cargo.toml
+
+crates/bench/benches/forest_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

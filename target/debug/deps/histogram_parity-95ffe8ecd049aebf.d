@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/histogram_parity-95ffe8ecd049aebf.d: crates/forest/tests/histogram_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistogram_parity-95ffe8ecd049aebf.rmeta: crates/forest/tests/histogram_parity.rs Cargo.toml
+
+crates/forest/tests/histogram_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/histogram_parity-97a800061ab98c9d.d: crates/forest/tests/histogram_parity.rs
+
+/root/repo/target/debug/deps/histogram_parity-97a800061ab98c9d: crates/forest/tests/histogram_parity.rs
+
+crates/forest/tests/histogram_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-c391b4eb7a5f8a06.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-c391b4eb7a5f8a06.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

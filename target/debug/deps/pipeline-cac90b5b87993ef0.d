@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-cac90b5b87993ef0.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-cac90b5b87993ef0: tests/pipeline.rs
+
+tests/pipeline.rs:

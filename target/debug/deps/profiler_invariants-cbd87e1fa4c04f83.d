@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profiler_invariants-cbd87e1fa4c04f83.d: tests/profiler_invariants.rs
+
+/root/repo/target/debug/deps/profiler_invariants-cbd87e1fa4c04f83: tests/profiler_invariants.rs
+
+tests/profiler_invariants.rs:

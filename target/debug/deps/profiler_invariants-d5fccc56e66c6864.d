@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profiler_invariants-d5fccc56e66c6864.d: tests/profiler_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiler_invariants-d5fccc56e66c6864.rmeta: tests/profiler_invariants.rs Cargo.toml
+
+tests/profiler_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

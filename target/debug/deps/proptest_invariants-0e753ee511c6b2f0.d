@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-0e753ee511c6b2f0.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-0e753ee511c6b2f0: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

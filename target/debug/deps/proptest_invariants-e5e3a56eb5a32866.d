@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-e5e3a56eb5a32866.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-e5e3a56eb5a32866.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline_check-2f5416da6fa975cc.d: tests/roofline_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline_check-2f5416da6fa975cc.rmeta: tests/roofline_check.rs Cargo.toml
+
+tests/roofline_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roofline_check-d02d506787300e98.d: tests/roofline_check.rs
+
+/root/repo/target/debug/deps/roofline_check-d02d506787300e98: tests/roofline_check.rs
+
+tests/roofline_check.rs:

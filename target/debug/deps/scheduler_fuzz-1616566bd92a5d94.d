@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_fuzz-1616566bd92a5d94.d: tests/scheduler_fuzz.rs
+
+/root/repo/target/debug/deps/scheduler_fuzz-1616566bd92a5d94: tests/scheduler_fuzz.rs
+
+tests/scheduler_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_fuzz-b992790ea910b455.d: tests/scheduler_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_fuzz-b992790ea910b455.rmeta: tests/scheduler_fuzz.rs Cargo.toml
+
+tests/scheduler_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_behavior-2634505583f7dc7c.d: tests/sim_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_behavior-2634505583f7dc7c.rmeta: tests/sim_behavior.rs Cargo.toml
+
+tests/sim_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-d1c0bd2bbec18818.d: tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-d1c0bd2bbec18818: tests/sim_behavior.rs
+
+tests/sim_behavior.rs:

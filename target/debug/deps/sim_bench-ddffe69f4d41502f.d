@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_bench-ddffe69f4d41502f.d: crates/bench/benches/sim_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_bench-ddffe69f4d41502f.rmeta: crates/bench/benches/sim_bench.rs Cargo.toml
+
+crates/bench/benches/sim_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

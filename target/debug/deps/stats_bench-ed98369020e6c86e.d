@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_bench-ed98369020e6c86e.d: crates/bench/benches/stats_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_bench-ed98369020e6c86e.rmeta: crates/bench/benches/stats_bench.rs Cargo.toml
+
+crates/bench/benches/stats_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_parity-7056341857074d1e.d: crates/core/tests/strategy_parity.rs
+
+/root/repo/target/debug/deps/strategy_parity-7056341857074d1e: crates/core/tests/strategy_parity.rs
+
+crates/core/tests/strategy_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_parity-b3b0eeadbfc6324a.d: crates/core/tests/strategy_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_parity-b3b0eeadbfc6324a.rmeta: crates/core/tests/strategy_parity.rs Cargo.toml
+
+crates/core/tests/strategy_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bbf0ba3ba1a35d66.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bbf0ba3ba1a35d66: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e9f4bfec67dc241c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e9f4bfec67dc241c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-be9d754d78d10546.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-be9d754d78d10546: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

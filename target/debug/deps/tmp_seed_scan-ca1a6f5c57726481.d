@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_seed_scan-ca1a6f5c57726481.d: crates/core/tests/tmp_seed_scan.rs
+
+/root/repo/target/debug/deps/tmp_seed_scan-ca1a6f5c57726481: crates/core/tests/tmp_seed_scan.rs
+
+crates/core/tests/tmp_seed_scan.rs:

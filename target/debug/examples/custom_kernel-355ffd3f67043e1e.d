@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel-355ffd3f67043e1e.d: examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-355ffd3f67043e1e.rmeta: examples/custom_kernel.rs Cargo.toml
+
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-396371d5eb91e456.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-396371d5eb91e456: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

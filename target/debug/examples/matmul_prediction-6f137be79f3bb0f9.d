@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_prediction-6f137be79f3bb0f9.d: examples/matmul_prediction.rs
+
+/root/repo/target/debug/examples/matmul_prediction-6f137be79f3bb0f9: examples/matmul_prediction.rs
+
+examples/matmul_prediction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_prediction-b0f6bc002df76695.d: examples/matmul_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_prediction-b0f6bc002df76695.rmeta: examples/matmul_prediction.rs Cargo.toml
+
+examples/matmul_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nw_hardware_scaling-b15b72bc6818b4ac.d: examples/nw_hardware_scaling.rs
+
+/root/repo/target/debug/examples/nw_hardware_scaling-b15b72bc6818b4ac: examples/nw_hardware_scaling.rs
+
+examples/nw_hardware_scaling.rs:

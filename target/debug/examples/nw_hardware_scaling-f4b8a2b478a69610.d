@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nw_hardware_scaling-f4b8a2b478a69610.d: examples/nw_hardware_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnw_hardware_scaling-f4b8a2b478a69610.rmeta: examples/nw_hardware_scaling.rs Cargo.toml
+
+examples/nw_hardware_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

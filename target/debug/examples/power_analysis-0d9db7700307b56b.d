@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_analysis-0d9db7700307b56b.d: examples/power_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_analysis-0d9db7700307b56b.rmeta: examples/power_analysis.rs Cargo.toml
+
+examples/power_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_analysis-f3ef6e1cdfdcb3e8.d: examples/power_analysis.rs
+
+/root/repo/target/debug/examples/power_analysis-f3ef6e1cdfdcb3e8: examples/power_analysis.rs
+
+examples/power_analysis.rs:

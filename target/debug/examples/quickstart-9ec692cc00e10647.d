@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ec692cc00e10647.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ec692cc00e10647: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reduction_bottleneck-bb4b08c026fa82c5.d: examples/reduction_bottleneck.rs
+
+/root/repo/target/debug/examples/reduction_bottleneck-bb4b08c026fa82c5: examples/reduction_bottleneck.rs
+
+examples/reduction_bottleneck.rs:

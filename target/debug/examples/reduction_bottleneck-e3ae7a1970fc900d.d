@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reduction_bottleneck-e3ae7a1970fc900d.d: examples/reduction_bottleneck.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreduction_bottleneck-e3ae7a1970fc900d.rmeta: examples/reduction_bottleneck.rs Cargo.toml
+
+examples/reduction_bottleneck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

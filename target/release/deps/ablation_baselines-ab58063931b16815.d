@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_baselines-ab58063931b16815.d: crates/bench/benches/ablation_baselines.rs
+
+/root/repo/target/release/deps/ablation_baselines-ab58063931b16815: crates/bench/benches/ablation_baselines.rs
+
+crates/bench/benches/ablation_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_forest-7e06ce20f985b345.d: crates/bench/benches/ablation_forest.rs
+
+/root/repo/target/release/deps/ablation_forest-7e06ce20f985b345: crates/bench/benches/ablation_forest.rs
+
+crates/bench/benches/ablation_forest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_models-7a3096a9542b4f0d.d: crates/bench/benches/ablation_models.rs
+
+/root/repo/target/release/deps/ablation_models-7a3096a9542b4f0d: crates/bench/benches/ablation_models.rs
+
+crates/bench/benches/ablation_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_regress-716440f13bbc2278.d: crates/bench/benches/ablation_regress.rs
+
+/root/repo/target/release/deps/ablation_regress-716440f13bbc2278: crates/bench/benches/ablation_regress.rs
+
+crates/bench/benches/ablation_regress.rs:

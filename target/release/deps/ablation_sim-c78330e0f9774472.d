@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sim-c78330e0f9774472.d: crates/bench/benches/ablation_sim.rs
+
+/root/repo/target/release/deps/ablation_sim-c78330e0f9774472: crates/bench/benches/ablation_sim.rs
+
+crates/bench/benches/ablation_sim.rs:

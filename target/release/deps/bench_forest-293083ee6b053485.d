@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_forest-293083ee6b053485.d: crates/bench/src/bin/bench_forest.rs
+
+/root/repo/target/release/deps/bench_forest-293083ee6b053485: crates/bench/src/bin/bench_forest.rs
+
+crates/bench/src/bin/bench_forest.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bf_bench-604970215424ee41.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-604970215424ee41.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-604970215424ee41.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bf_bench-f4f407e0c047dde4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-f4f407e0c047dde4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-f4f407e0c047dde4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bf_forest-10c0fb3db75f7e41.d: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/release/deps/libbf_forest-10c0fb3db75f7e41.rlib: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/release/deps/libbf_forest-10c0fb3db75f7e41.rmeta: crates/forest/src/lib.rs crates/forest/src/binned.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+crates/forest/src/lib.rs:
+crates/forest/src/binned.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bf_forest-ab39fc9266c605c9.d: crates/forest/src/lib.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+/root/repo/target/release/deps/bf_forest-ab39fc9266c605c9: crates/forest/src/lib.rs crates/forest/src/forest.rs crates/forest/src/importance.rs crates/forest/src/partial.rs crates/forest/src/split.rs crates/forest/src/tree.rs
+
+crates/forest/src/lib.rs:
+crates/forest/src/forest.rs:
+crates/forest/src/importance.rs:
+crates/forest/src/partial.rs:
+crates/forest/src/split.rs:
+crates/forest/src/tree.rs:

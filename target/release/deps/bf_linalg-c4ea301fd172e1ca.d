@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bf_linalg-c4ea301fd172e1ca.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libbf_linalg-c4ea301fd172e1ca.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libbf_linalg-c4ea301fd172e1ca.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/stats.rs:

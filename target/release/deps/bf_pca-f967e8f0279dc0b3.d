@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bf_pca-f967e8f0279dc0b3.d: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+/root/repo/target/release/deps/libbf_pca-f967e8f0279dc0b3.rlib: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+/root/repo/target/release/deps/libbf_pca-f967e8f0279dc0b3.rmeta: crates/pca/src/lib.rs crates/pca/src/model.rs crates/pca/src/varimax.rs
+
+crates/pca/src/lib.rs:
+crates/pca/src/model.rs:
+crates/pca/src/varimax.rs:

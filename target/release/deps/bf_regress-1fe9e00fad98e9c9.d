@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bf_regress-1fe9e00fad98e9c9.d: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+/root/repo/target/release/deps/libbf_regress-1fe9e00fad98e9c9.rlib: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+/root/repo/target/release/deps/libbf_regress-1fe9e00fad98e9c9.rmeta: crates/regress/src/lib.rs crates/regress/src/glm.rs crates/regress/src/mars.rs crates/regress/src/mlp.rs crates/regress/src/stepwise.rs
+
+crates/regress/src/lib.rs:
+crates/regress/src/glm.rs:
+crates/regress/src/mars.rs:
+crates/regress/src/mlp.rs:
+crates/regress/src/stepwise.rs:

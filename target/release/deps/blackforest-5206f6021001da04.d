@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blackforest-5206f6021001da04.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/blackforest-5206f6021001da04: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

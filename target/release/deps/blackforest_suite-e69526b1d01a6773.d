@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blackforest_suite-e69526b1d01a6773.d: src/lib.rs
+
+/root/repo/target/release/deps/libblackforest_suite-e69526b1d01a6773.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libblackforest_suite-e69526b1d01a6773.rmeta: src/lib.rs
+
+src/lib.rs:

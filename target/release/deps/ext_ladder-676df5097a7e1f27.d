@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ladder-676df5097a7e1f27.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/release/deps/ext_ladder-676df5097a7e1f27: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

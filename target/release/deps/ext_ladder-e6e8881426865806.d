@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ladder-e6e8881426865806.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/release/deps/ext_ladder-e6e8881426865806: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_power-aa056e6cc6b46586.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/release/deps/ext_power-aa056e6cc6b46586: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

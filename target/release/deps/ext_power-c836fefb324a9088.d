@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_power-c836fefb324a9088.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/release/deps/ext_power-c836fefb324a9088: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

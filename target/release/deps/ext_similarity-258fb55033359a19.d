@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_similarity-258fb55033359a19.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/release/deps/ext_similarity-258fb55033359a19: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

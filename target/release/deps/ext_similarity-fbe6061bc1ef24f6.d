@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_similarity-fbe6061bc1ef24f6.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/release/deps/ext_similarity-fbe6061bc1ef24f6: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

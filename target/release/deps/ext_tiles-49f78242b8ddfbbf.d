@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_tiles-49f78242b8ddfbbf.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/release/deps/ext_tiles-49f78242b8ddfbbf: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_tiles-f6e2ed25adb2dd65.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/release/deps/ext_tiles-f6e2ed25adb2dd65: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_training_size-251b7fe97c5329eb.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/release/deps/ext_training_size-251b7fe97c5329eb: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

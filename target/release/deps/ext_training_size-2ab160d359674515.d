@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_training_size-2ab160d359674515.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/release/deps/ext_training_size-2ab160d359674515: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

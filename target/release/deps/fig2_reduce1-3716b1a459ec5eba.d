@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_reduce1-3716b1a459ec5eba.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/release/deps/fig2_reduce1-3716b1a459ec5eba: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_reduce1-481d0fbb846789b5.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/release/deps/fig2_reduce1-481d0fbb846789b5: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

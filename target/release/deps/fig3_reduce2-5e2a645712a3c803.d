@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_reduce2-5e2a645712a3c803.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/release/deps/fig3_reduce2-5e2a645712a3c803: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_reduce2-c50ae5cc7b3feea6.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/release/deps/fig3_reduce2-c50ae5cc7b3feea6: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_reduce6-80111976e2cc7694.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/release/deps/fig4_reduce6-80111976e2cc7694: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_reduce6-ee8542b43a1773cc.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/release/deps/fig4_reduce6-ee8542b43a1773cc: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mm-363e7b574c29ea7d.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/release/deps/fig5_mm-363e7b574c29ea7d: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

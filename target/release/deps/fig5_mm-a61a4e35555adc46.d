@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mm-a61a4e35555adc46.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/release/deps/fig5_mm-a61a4e35555adc46: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

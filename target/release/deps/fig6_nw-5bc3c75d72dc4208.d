@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_nw-5bc3c75d72dc4208.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/release/deps/fig6_nw-5bc3c75d72dc4208: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

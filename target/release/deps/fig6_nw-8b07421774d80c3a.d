@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_nw-8b07421774d80c3a.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/release/deps/fig6_nw-8b07421774d80c3a: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

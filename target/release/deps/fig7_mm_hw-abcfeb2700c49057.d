@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mm_hw-abcfeb2700c49057.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/release/deps/fig7_mm_hw-abcfeb2700c49057: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

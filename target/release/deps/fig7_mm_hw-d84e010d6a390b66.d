@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mm_hw-d84e010d6a390b66.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/release/deps/fig7_mm_hw-d84e010d6a390b66: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

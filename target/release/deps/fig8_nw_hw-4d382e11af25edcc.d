@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_nw_hw-4d382e11af25edcc.d: crates/bench/src/bin/fig8_nw_hw.rs
+
+/root/repo/target/release/deps/fig8_nw_hw-4d382e11af25edcc: crates/bench/src/bin/fig8_nw_hw.rs
+
+crates/bench/src/bin/fig8_nw_hw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/forest_bench-b1a16d6ecd43aa96.d: crates/bench/benches/forest_bench.rs
+
+/root/repo/target/release/deps/forest_bench-b1a16d6ecd43aa96: crates/bench/benches/forest_bench.rs
+
+crates/bench/benches/forest_bench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-17fd2259f6d027e9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-17fd2259f6d027e9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-17fd2259f6d027e9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

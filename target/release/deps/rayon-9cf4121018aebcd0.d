@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-9cf4121018aebcd0.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-9cf4121018aebcd0.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-9cf4121018aebcd0.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_bench-821c1bb69e110b8a.d: crates/bench/benches/sim_bench.rs
+
+/root/repo/target/release/deps/sim_bench-821c1bb69e110b8a: crates/bench/benches/sim_bench.rs
+
+crates/bench/benches/sim_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats_bench-774fce359a9e1ec5.d: crates/bench/benches/stats_bench.rs
+
+/root/repo/target/release/deps/stats_bench-774fce359a9e1ec5: crates/bench/benches/stats_bench.rs
+
+crates/bench/benches/stats_bench.rs:

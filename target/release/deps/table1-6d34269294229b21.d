@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6d34269294229b21.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6d34269294229b21: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

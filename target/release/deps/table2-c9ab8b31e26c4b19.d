@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c9ab8b31e26c4b19.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c9ab8b31e26c4b19: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

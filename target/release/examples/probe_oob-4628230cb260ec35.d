@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_oob-4628230cb260ec35.d: examples/probe_oob.rs
+
+/root/repo/target/release/examples/probe_oob-4628230cb260ec35: examples/probe_oob.rs
+
+examples/probe_oob.rs:

@@ -53,8 +53,14 @@ fn full_pipeline_reduce_bottlenecks_differ_by_variant() {
         .unwrap();
     // reduce1 has bank conflicts in its dataset; reduce2's conflict counter
     // vanished (constant zero).
-    assert!(r1.dataset.feature_index("l1_shared_bank_conflict").is_some());
-    assert!(r2.dataset.feature_index("l1_shared_bank_conflict").is_none());
+    assert!(r1
+        .dataset
+        .feature_index("l1_shared_bank_conflict")
+        .is_some());
+    assert!(r2
+        .dataset
+        .feature_index("l1_shared_bank_conflict")
+        .is_none());
     // Both produce renderable reports with a primary bottleneck.
     assert!(r1.render().contains("bottleneck analysis"));
     assert!(r2.bottlenecks.primary().is_some());
@@ -64,8 +70,12 @@ fn full_pipeline_reduce_bottlenecks_differ_by_variant() {
 fn full_pipeline_nw_with_mars() {
     let gpu = GpuConfig::gtx580();
     let lengths: Vec<usize> = (1..=20).map(|k| k * 64).collect();
-    let ds = collect_nw(&gpu, &lengths, &CollectOptions::default().with_repetitions(2, 0.02))
-        .unwrap();
+    let ds = collect_nw(
+        &gpu,
+        &lengths,
+        &CollectOptions::default().with_repetitions(2, 0.02),
+    )
+    .unwrap();
     let p = ProblemScalingPredictor::fit(
         &ds,
         &ModelConfig::quick(103),
@@ -128,7 +138,10 @@ fn reduce_collection_differs_between_gpus() {
     )
     .unwrap();
     // Architecture-specific counters diverge.
-    assert!(fermi.feature_index("l1_global_load_hit").is_some() || fermi.feature_index("l1_global_load_miss").is_some());
+    assert!(
+        fermi.feature_index("l1_global_load_hit").is_some()
+            || fermi.feature_index("l1_global_load_miss").is_some()
+    );
     assert!(kepler.feature_index("l1_global_load_hit").is_none());
     assert!(kepler.feature_index("shared_load_replay").is_some());
     // Same problem, different silicon: times differ.

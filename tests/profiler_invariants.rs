@@ -11,15 +11,15 @@ use proptest::prelude::*;
 /// l2 >= dram, positive time.
 fn events_strategy() -> impl Strategy<Value = RawEvents> {
     (
-        1.0e3f64..1.0e8,  // inst_executed
-        0.0f64..0.5,      // replay fraction
-        0.0f64..1.0e6,    // gld_request
-        0.0f64..1.0e6,    // gst_request
-        0.0f64..1.0,      // l1 hit ratio
-        1.0f64..8.0,      // transactions per request
-        0.0f64..1.0,      // l2 hit ratio
-        1.0e-6f64..1.0,   // time seconds
-        1.0e3f64..1.0e9,  // elapsed cycles
+        1.0e3f64..1.0e8, // inst_executed
+        0.0f64..0.5,     // replay fraction
+        0.0f64..1.0e6,   // gld_request
+        0.0f64..1.0e6,   // gst_request
+        0.0f64..1.0,     // l1 hit ratio
+        1.0f64..8.0,     // transactions per request
+        0.0f64..1.0,     // l2 hit ratio
+        1.0e-6f64..1.0,  // time seconds
+        1.0e3f64..1.0e9, // elapsed cycles
     )
         .prop_map(
             |(exec, replay, gld, gst, l1hit, tpr, l2hit, time, cycles)| {

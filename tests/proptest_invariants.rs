@@ -5,7 +5,7 @@ use blackforest_suite::forest::{ForestParams, RandomForest};
 use blackforest_suite::gpu_sim::banks::conflict_degree;
 use blackforest_suite::gpu_sim::coalesce::coalesce;
 use blackforest_suite::linalg::{stats, Matrix, SymmetricEigen};
-use blackforest_suite::pca::{varimax::varimax_criterion, varimax, Pca, PcaOptions};
+use blackforest_suite::pca::{varimax, varimax::varimax_criterion, Pca, PcaOptions};
 use blackforest_suite::regress::{Mars, MarsParams, PolynomialModel};
 use proptest::prelude::*;
 

@@ -43,7 +43,10 @@ fn reduce_time_respects_bandwidth_roof_and_approaches_it() {
     let bw_floor_s = bytes / (gpu.mem_bandwidth_gbps * 1e9);
     let t = run.time_ms / 1e3;
     // Never faster than moving the input once at peak bandwidth...
-    assert!(t >= bw_floor_s, "time {t} below bandwidth floor {bw_floor_s}");
+    assert!(
+        t >= bw_floor_s,
+        "time {t} below bandwidth floor {bw_floor_s}"
+    );
     // ...and for the fully optimised kernel, within 5x of that roof (the
     // real reduce6 reaches ~80% of peak; our model should be in the same
     // regime, not orders of magnitude off).
@@ -62,7 +65,10 @@ fn stencil_time_respects_bandwidth_roof() {
     let bw_floor_s = bytes / (gpu.mem_bandwidth_gbps * 1e9);
     let t = run.time_ms / 1e3;
     assert!(t >= bw_floor_s * 0.9, "time {t} below floor {bw_floor_s}");
-    assert!(t <= 6.0 * bw_floor_s, "time {t} far above floor {bw_floor_s}");
+    assert!(
+        t <= 6.0 * bw_floor_s,
+        "time {t} far above floor {bw_floor_s}"
+    );
 }
 
 #[test]

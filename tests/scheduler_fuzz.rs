@@ -21,8 +21,14 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u32..6).prop_map(Op::Alu),
-        ((0u64..(1 << 16)), prop_oneof![Just(4u64), Just(8), Just(128)])
-            .prop_map(|(base, stride)| Op::LoadGlobal { base: base * 4, stride }),
+        (
+            (0u64..(1 << 16)),
+            prop_oneof![Just(4u64), Just(8), Just(128)]
+        )
+            .prop_map(|(base, stride)| Op::LoadGlobal {
+                base: base * 4,
+                stride
+            }),
         (0u64..(1 << 16)).prop_map(|b| Op::StoreGlobal { base: b * 4 }),
         prop_oneof![Just(4u32), Just(8), Just(16), Just(128)]
             .prop_map(|stride| Op::LoadShared { stride }),
@@ -32,7 +38,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn materialize(op: &Op) -> WarpInstruction {
     match *op {
-        Op::Alu(count) => WarpInstruction::Alu { count, mask: FULL_MASK },
+        Op::Alu(count) => WarpInstruction::Alu {
+            count,
+            mask: FULL_MASK,
+        },
         Op::LoadGlobal { base, stride } => WarpInstruction::LoadGlobal {
             addrs: (0..32).map(|i| base + i * stride).collect(),
             width: 4,
@@ -48,7 +57,10 @@ fn materialize(op: &Op) -> WarpInstruction {
             width: 4,
             mask: FULL_MASK,
         },
-        Op::Branch { divergent } => WarpInstruction::Branch { divergent, mask: FULL_MASK },
+        Op::Branch { divergent } => WarpInstruction::Branch {
+            divergent,
+            mask: FULL_MASK,
+        },
     }
 }
 
@@ -57,7 +69,7 @@ fn materialize(op: &Op) -> WarpInstruction {
 /// structure guarantees matched barriers).
 fn block_strategy() -> impl Strategy<Value = BlockTrace> {
     (
-        1usize..6, // warps
+        1usize..6,                                                               // warps
         prop::collection::vec(prop::collection::vec(op_strategy(), 0..6), 1..4), // segments
     )
         .prop_map(|(warps, segments)| {

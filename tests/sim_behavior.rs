@@ -23,7 +23,8 @@ fn counter_identities_hold_for_all_workloads() {
         // Issued >= executed (replays only add).
         assert!(
             c.get("inst_issued").unwrap() >= c.get("inst_executed").unwrap(),
-            "{}", run.kernel
+            "{}",
+            run.kernel
         );
         // L1 hits + misses account for all load transactions on Fermi.
         let hits = c.get("l1_global_load_hit").unwrap();
@@ -48,7 +49,11 @@ fn execution_time_scales_superlinearly_for_mm_and_roughly_linearly_for_reduce() 
     let t_mm_1 = matmul_application(128).profile(&gpu).unwrap().time_ms;
     let t_mm_4 = matmul_application(512).profile(&gpu).unwrap().time_ms;
     // 4x size => 64x flops; allow generous slack for overheads.
-    assert!(t_mm_4 / t_mm_1 > 16.0, "MM scaling ratio {}", t_mm_4 / t_mm_1);
+    assert!(
+        t_mm_4 / t_mm_1 > 16.0,
+        "MM scaling ratio {}",
+        t_mm_4 / t_mm_1
+    );
 
     let t_r_1 = reduce_application(ReduceVariant::Reduce2, 1 << 18, 256)
         .profile(&gpu)

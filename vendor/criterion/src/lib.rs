@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Measures wall-clock time per iteration with a warmup pass and a bounded
+//! sampling loop, printing a one-line summary per benchmark. Statistical
+//! analysis, HTML reports, and regression detection of real criterion are out
+//! of scope; timings are honest but simpler.
+//!
+//! When the binary is executed without a `--bench` argument (as a plain run
+//! would) each benchmark does a single smoke iteration, so accidental
+//! invocations stay fast. `cargo bench` passes `--bench`, which enables real
+//! measurement.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to `criterion_group!` functions.
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    /// Mean time per iteration of the measured routine, filled by `iter`.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock duration per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            self.last_mean = None;
+            return;
+        }
+        // Warmup: at least one call, up to ~200ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters == 0
+            || (warm_start.elapsed() < Duration::from_millis(200) && warm_iters < 10)
+        {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Measure: up to `sample_size` calls or ~1s, whichever first.
+        let budget = Duration::from_secs(1);
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters == 0 || (start.elapsed() < budget && (iters as usize) < self.sample_size) {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.last_mean = Some(start.elapsed() / iters);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--bench` enables
+    /// measurement; a bare non-flag argument filters benchmarks by substring).
+    pub fn from_args() -> Criterion {
+        let mut measure = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                measure = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            measure,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.enabled(name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            measure: self.measure,
+            sample_size,
+            last_mean: None,
+        };
+        f(&mut bencher);
+        match bencher.last_mean {
+            Some(mean) => println!("{name:<50} time: {}", format_duration(mean)),
+            None => println!("{name:<50} smoke ok"),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Prints the closing line (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        if self.measure {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Caps the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}/{}", self.name, id.function_name, id.parameter);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&full, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once_without_timing() {
+        let mut c = Criterion {
+            measure: false,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let mut hits = 0;
+        c.bench_function("noop", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::new("n", 128);
+        assert_eq!(id.function_name, "n");
+        assert_eq!(id.parameter, "128");
+        let mut c = Criterion {
+            measure: false,
+            filter: Some("other_bench".into()),
+            default_sample_size: 20,
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("unwanted");
+            g.sample_size(10);
+            g.bench_function("x", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

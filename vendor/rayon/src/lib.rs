@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the `par_iter().map().collect()` surface BlackForest uses with
+//! real data parallelism on `std::thread::scope`: the item list is split into
+//! contiguous chunks, one per available core, and each chunk is mapped on its
+//! own OS thread. Order is preserved. Work stealing, adaptive splitting, and
+//! the broader combinator zoo of real rayon are intentionally absent.
+
+use std::sync::Mutex;
+
+/// Parallel iterator over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Types convertible from the ordered results of a parallel map.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds `Self` from results in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (applied in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+fn thread_count(n_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n_items)
+        .max(1)
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the map on scoped threads and collects results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = thread_count(n);
+        if threads <= 1 {
+            let f = self.f;
+            return C::from_ordered(self.items.into_iter().map(f).collect());
+        }
+
+        // Tag items with their index, deal them into contiguous chunks, and
+        // merge results back by tag so output order matches input order.
+        let mut tagged: Vec<(usize, T)> = self.items.into_iter().enumerate().collect();
+        let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+        let base = n / threads;
+        let extra = n % threads;
+        for k in (0..threads).rev() {
+            let take = base + usize::from(k < extra);
+            chunks.push(tagged.split_off(tagged.len() - take));
+        }
+
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                scope.spawn(|| {
+                    let done: Vec<(usize, R)> =
+                        chunk.into_iter().map(|(i, item)| (i, f(item))).collect();
+                    let mut guard = slots.lock().unwrap();
+                    for (i, r) in done {
+                        guard[i] = Some(r);
+                    }
+                });
+            }
+        });
+        let results = slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("worker thread panicked"))
+            .collect();
+        C::from_ordered(results)
+    }
+}
+
+/// Conversion of owned collections into parallel iterators.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration over slices and slice-like types.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use super::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0usize..257).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[16], 256);
+        assert_eq!(squares.len(), 257);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<usize>, String> = (0usize..10)
+            .into_par_iter()
+            .map(|x| {
+                if x < 10 {
+                    Ok(x)
+                } else {
+                    Err("too big".to_string())
+                }
+            })
+            .collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0usize..10)
+            .into_par_iter()
+            .map(|x| {
+                if x % 2 == 0 {
+                    Ok(x)
+                } else {
+                    Err(format!("odd {x}"))
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_actually_runs_closures_once_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+}

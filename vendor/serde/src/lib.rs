@@ -1,0 +1,344 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde streams through a visitor-based data model; this stand-in goes
+//! through an owned, self-describing [`Value`] tree instead — dramatically
+//! simpler, and fully adequate for the JSON persistence BlackForest does
+//! (datasets and fitted models, written once and read once).
+//!
+//! The [`Serialize`]/[`Deserialize`] derive macros (re-exported from
+//! `serde_derive`) cover named-field structs and enums with unit, newtype,
+//! tuple, and struct variants, using serde's externally-tagged enum
+//! representation so the JSON output looks like what upstream serde would
+//! produce.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A self-describing value tree: the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative integers).
+    I64(i64),
+    /// Unsigned integer (used for non-negative integers; full u64 range).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks a key up in a map value; missing keys and non-maps yield `Null`
+    /// (so `Option` fields tolerate elision, as serde's `default` would).
+    pub fn field(&self, key: &str) -> &Value {
+        match self {
+            Value::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The value as i64, accepting any integral representation.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) => i64::try_from(v).map_err(Error::msg),
+            Value::F64(v) if v.fract() == 0.0 => Ok(v as i64),
+            ref other => Err(Error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// The value as u64, accepting any non-negative integral representation.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) => u64::try_from(v).map_err(Error::msg),
+            Value::F64(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u64),
+            ref other => Err(Error(format!("expected unsigned integer, found {other:?}"))),
+        }
+    }
+
+    /// The value as f64, accepting any numeric representation (`null` maps
+    /// to NaN, mirroring serde_json's lossy round-trip of non-finite floats).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(v) => Ok(v),
+            Value::I64(v) => Ok(v as f64),
+            Value::U64(v) => Ok(v as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    // Static-catalogue types (counter/metric tables) carry `&'static str`
+    // fields; deserializing one leaks the string, which is fine for their
+    // descriptive, load-once role.
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            other => Err(Error(format!("expected 2-element array, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trips_preserve_u64_precision() {
+        let big: u64 = u64::MAX - 3;
+        let v = big.serialize_value();
+        assert_eq!(u64::deserialize_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(
+            Option::<f64>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+        let some = Some(2.5f64);
+        assert_eq!(
+            Option::<f64>::deserialize_value(&some.serialize_value()).unwrap(),
+            some
+        );
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(*v.field("b"), Value::Null);
+        assert_eq!(v.field("a").as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn btreemap_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 1.5f64);
+        m.insert("y".to_string(), -2.0f64);
+        let v = m.serialize_value();
+        assert_eq!(BTreeMap::<String, f64>::deserialize_value(&v).unwrap(), m);
+    }
+}

@@ -1,0 +1,370 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item's
+//! `TokenStream` is walked directly to extract the type name plus field or
+//! variant structure, and the impl is generated as a `format!`-built string
+//! parsed back into tokens.
+//!
+//! Supported shapes — everything this workspace serializes:
+//! named-field structs, and enums with unit, newtype, tuple, or struct
+//! variants (externally tagged, matching upstream serde's default repr).
+//! Generics, tuple structs, and `#[serde(...)]` attributes are rejected with
+//! a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Data {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize` via the Value data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` via the Value data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Parsed) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "vendored serde derive does not support tuple struct `{name}`"
+            ))
+        }
+        other => return Err(format!("expected `{{` after `{name}`, found {other:?}")),
+    };
+
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(parse_named_fields(body)?),
+        "enum" => Data::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive serde impls for `{other}` items")),
+    };
+    Ok(Parsed { name, data })
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names. Types are
+/// skipped by scanning to the next comma outside `<...>` nesting.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume through the trailing comma (covers `= discriminant` too).
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Counts the comma-separated types of a tuple variant's parenthesised list.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in body {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+// --- code generation -------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    match &p.data {
+        Data::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Data::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(f0) => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                 serde::Serialize::serialize_value(f0))]),\n"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: String = binders
+                .iter()
+                .map(|b| format!("serde::Serialize::serialize_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({binds}) => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                     serde::Value::Seq(vec![{items}]))]),\n",
+                binds = binders.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize_value({f})),"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                     serde::Value::Map(vec![{pairs}]))]),\n",
+                binds = fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    match &p.data {
+        Data::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::deserialize_value(v.field(\"{f}\"))?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| deserialize_data_arm(name, v))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(serde::Error(format!(\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             serde::Value::Map(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\
+                                     other => Err(serde::Error(format!(\
+                                         \"unknown {name} variant {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error(format!(\
+                                 \"invalid {name} value {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn deserialize_data_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in the Str arm"),
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => Ok({name}::{vname}(\
+                 serde::Deserialize::deserialize_value(inner)?)),\n"
+        ),
+        VariantKind::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "\"{vname}\" => match inner {{\n\
+                     serde::Value::Seq(items) if items.len() == {n} => \
+                         Ok({name}::{vname}({elems})),\n\
+                     other => Err(serde::Error(format!(\
+                         \"{name}::{vname} expects {n} values, found {{other:?}}\"))),\n\
+                 }},\n"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::deserialize_value(inner.field(\"{f}\"))?,")
+                })
+                .collect();
+            format!("\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),\n")
+        }
+    }
+}
