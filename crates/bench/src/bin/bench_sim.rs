@@ -1,0 +1,170 @@
+//! Simulation-throughput trajectory: sequential vs parallel vs memoized.
+//!
+//! Runs the paper's three profiling sweeps (NW lengths, Reduce6 sizes x
+//! block sizes, stencil sizes x sweep counts) three ways — single-threaded
+//! with the cache off, launch-parallel with the cache off, and
+//! launch-parallel with the memo cache on — timing each and reading the
+//! process-wide cache counters. Results land in `BENCH_sim.json` so the
+//! speedup and hit rates are tracked as first-class artifacts.
+//!
+//! Pass `--quick` (or set `BF_QUICK=1`) to shrink the sweeps for smoke
+//! runs. Parallel speedup scales with host cores; the report records the
+//! host's thread count so a 1-core CI box reporting ~1.0x is legible.
+
+use bf_kernels::reduce::ReduceVariant;
+use blackforest::collect::{
+    collect_nw, collect_reduce, collect_stencil, paper_nw_lengths, paper_reduce_sweep,
+    CollectOptions,
+};
+use gpu_sim::GpuConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    sweep: String,
+    rows: usize,
+    sequential_seconds: f64,
+    parallel_seconds: f64,
+    cached_seconds: f64,
+    parallel_speedup: f64,
+    cached_speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    host_threads: usize,
+    quick: bool,
+    points: Vec<SweepPoint>,
+}
+
+fn timed(f: &dyn Fn() -> usize) -> (f64, usize) {
+    let t0 = Instant::now();
+    let rows = f();
+    (t0.elapsed().as_secs_f64(), rows)
+}
+
+fn run_sweep(name: &str, collect: &dyn Fn() -> usize) -> SweepPoint {
+    // Sequential baseline: one worker, no memoization.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    std::env::set_var("BF_SIM_CACHE", "0");
+    let (sequential_seconds, rows) = timed(collect);
+
+    // Launch-parallel, still cold every launch.
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let (parallel_seconds, _) = timed(collect);
+
+    // Launch-parallel with the content-addressed memo cache.
+    std::env::remove_var("BF_SIM_CACHE");
+    gpu_sim::reset_global_cache_stats();
+    let (cached_seconds, _) = timed(collect);
+    let stats = gpu_sim::global_cache_stats();
+
+    let point = SweepPoint {
+        sweep: name.to_string(),
+        rows,
+        sequential_seconds,
+        parallel_seconds,
+        cached_seconds,
+        parallel_speedup: sequential_seconds / parallel_seconds,
+        cached_speedup: sequential_seconds / cached_seconds,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+    };
+    println!(
+        "{name:>9}: seq {sequential_seconds:>7.3}s  par {parallel_seconds:>7.3}s \
+         ({:>5.2}x)  cached {cached_seconds:>7.3}s ({:>5.2}x)  \
+         hits {}/{} ({:.1}%)",
+        point.parallel_speedup,
+        point.cached_speedup,
+        stats.hits,
+        stats.hits + stats.misses,
+        point.cache_hit_rate * 100.0,
+    );
+    point
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("BF_QUICK", "1");
+    }
+    let quick = bf_bench::quick_mode();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    bf_bench::banner(
+        "Bench",
+        "Profiling sweep wall-clock: sequential vs parallel vs memoized",
+    );
+    println!("host threads: {host_threads}  quick: {quick}");
+
+    let gpu = GpuConfig::gtx580();
+    // Single repetition, no noise: the timings should measure simulation,
+    // not dataset expansion.
+    let opts = CollectOptions::default();
+
+    let nw_lengths: Vec<usize> = if quick {
+        (1..=8).map(|k| k * 64).collect()
+    } else {
+        paper_nw_lengths()
+    };
+    let (reduce_sizes, reduce_threads) = if quick {
+        ((14..=16).map(|e| 1usize << e).collect(), vec![64, 256])
+    } else {
+        paper_reduce_sweep()
+    };
+    let (stencil_sizes, stencil_sweeps): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![64, 128], vec![1, 2, 4])
+    } else {
+        (vec![64, 128, 256, 512], vec![1, 2, 4, 8])
+    };
+
+    let points = vec![
+        run_sweep("nw", &{
+            let gpu = gpu.clone();
+            let opts = opts.clone();
+            move || {
+                collect_nw(&gpu, &nw_lengths, &opts)
+                    .expect("collect_nw")
+                    .len()
+            }
+        }),
+        run_sweep("reduce", &{
+            let gpu = gpu.clone();
+            let opts = opts.clone();
+            move || {
+                collect_reduce(
+                    &gpu,
+                    ReduceVariant::Reduce6,
+                    &reduce_sizes,
+                    &reduce_threads,
+                    &opts,
+                )
+                .expect("collect_reduce")
+                .len()
+            }
+        }),
+        run_sweep("stencil", &{
+            let gpu = gpu.clone();
+            let opts = opts.clone();
+            move || {
+                collect_stencil(&gpu, &stencil_sizes, &stencil_sweeps, &opts)
+                    .expect("collect_stencil")
+                    .len()
+            }
+        }),
+    ];
+
+    let report = BenchReport {
+        benchmark: "sim_sequential_vs_parallel_vs_memoized".to_string(),
+        host_threads,
+        quick,
+        points,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}

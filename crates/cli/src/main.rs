@@ -46,6 +46,12 @@ OPTIONS:
     --quick         smaller sweep and forest (faster)
     --split-strategy S   forest split search: histogram (default) or exact
     --max-bins N    histogram bin ceiling per feature, 2..=65536 (default 256)
+    --threads N     simulation worker threads (default: all cores; 1 = sequential)
+    --no-sim-cache  disable the launch-memoization cache (always re-simulate)
+
+Launch simulation is deterministic: --threads and --no-sim-cache change
+wall-clock time only, never a collected value. The flags are shorthands for
+the RAYON_NUM_THREADS and BF_SIM_CACHE=0 environment variables.
 ";
 
 struct Args {
@@ -59,6 +65,8 @@ struct Args {
     quick: bool,
     split_strategy: Option<String>,
     max_bins: Option<usize>,
+    threads: Option<usize>,
+    no_sim_cache: bool,
 }
 
 impl Args {
@@ -93,6 +101,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         quick: false,
         split_strategy: None,
         max_bins: None,
+        threads: None,
+        no_sim_cache: false,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -127,6 +137,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("bad --max-bins: {e}"))?,
                 )
             }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
+            "--no-sim-cache" => args.no_sim_cache = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -203,6 +225,14 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let args = parse_args(&argv)?;
+    // The simulator reads these per collection pass, so setting them here
+    // (before any profiling starts) covers every subcommand.
+    if let Some(n) = args.threads {
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
+    if args.no_sim_cache {
+        std::env::set_var("BF_SIM_CACHE", "0");
+    }
     match args.command.as_str() {
         "gpus" => {
             for gpu in GpuConfig::presets() {

@@ -1,0 +1,123 @@
+//! Determinism of the parallel + memoized collection path.
+//!
+//! Launch-level parallel simulation accumulates per-application events in
+//! issue order, and the memo cache replays pure simulation results, so the
+//! profiled datasets must be *bit-identical* no matter how many worker
+//! threads run and whether the cache is on. This test pins that contract
+//! for all three collection drivers the paper uses.
+//!
+//! The thread/cache knobs are process-global environment variables
+//! (`RAYON_NUM_THREADS`, `BF_SIM_CACHE`), so every scenario runs inside one
+//! `#[test]` — integration-test binaries are separate processes, but tests
+//! within a binary share an environment. Flipping the knobs mid-process is
+//! harmless to any concurrently running test precisely because of the
+//! property asserted here: the knobs change scheduling, never values.
+
+use bf_kernels::reduce::ReduceVariant;
+use blackforest::collect::{
+    collect_nw, collect_reduce, collect_stencil, CollectOptions, ResponseMetric,
+};
+use blackforest::Dataset;
+use gpu_sim::GpuConfig;
+
+/// Exact bit pattern of every feature cell and response value.
+fn fingerprint(ds: &Dataset) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(ds.len() * (ds.n_features() + 1));
+    for row in &ds.rows {
+        bits.extend(row.iter().map(|v| v.to_bits()));
+    }
+    bits.extend(ds.response.iter().map(|v| v.to_bits()));
+    bits
+}
+
+fn set_knobs(threads: &str, cache: &str) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    std::env::set_var("BF_SIM_CACHE", cache);
+}
+
+#[test]
+fn thread_count_and_cache_never_change_collected_values() {
+    let gpu = GpuConfig::gtx580();
+    // Repetitions + noise on, so the expansion path (and its RNG stream) is
+    // covered too.
+    let opts = CollectOptions::default().with_repetitions(2, 0.02);
+    type Scenario<'a> = (&'a str, Box<dyn Fn() -> Dataset>);
+    let scenarios: Vec<Scenario> = vec![
+        (
+            "reduce",
+            Box::new({
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || {
+                    collect_reduce(
+                        &gpu,
+                        ReduceVariant::Reduce6,
+                        &[1 << 12, 1 << 13],
+                        &[64, 128],
+                        &opts,
+                    )
+                    .unwrap()
+                }
+            }),
+        ),
+        (
+            "nw",
+            Box::new({
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || collect_nw(&gpu, &[64, 128], &opts).unwrap()
+            }),
+        ),
+        (
+            "stencil",
+            Box::new({
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || collect_stencil(&gpu, &[32, 48], &[1, 3], &opts).unwrap()
+            }),
+        ),
+    ];
+
+    let saved_threads = std::env::var("RAYON_NUM_THREADS").ok();
+    let saved_cache = std::env::var("BF_SIM_CACHE").ok();
+
+    for (name, collectfn) in &scenarios {
+        set_knobs("1", "0");
+        let sequential = collectfn();
+        let reference = fingerprint(&sequential);
+
+        for (threads, cache) in [("1", "1"), ("4", "0"), ("4", "1"), ("16", "1")] {
+            set_knobs(threads, cache);
+            let ds = collectfn();
+            assert_eq!(
+                ds.feature_names, sequential.feature_names,
+                "{name}: schema drifted at threads={threads} cache={cache}"
+            );
+            assert_eq!(
+                fingerprint(&ds),
+                reference,
+                "{name}: values drifted at threads={threads} cache={cache}"
+            );
+        }
+    }
+
+    // Also pin the power response through the same machinery.
+    set_knobs("1", "0");
+    let power_opts = CollectOptions {
+        response: ResponseMetric::AvgPowerW,
+        ..opts.clone()
+    };
+    let seq = collect_nw(&gpu, &[64], &power_opts).unwrap();
+    set_knobs("8", "1");
+    let par = collect_nw(&gpu, &[64], &power_opts).unwrap();
+    assert_eq!(fingerprint(&par), fingerprint(&seq));
+
+    match saved_threads {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    match saved_cache {
+        Some(v) => std::env::set_var("BF_SIM_CACHE", v),
+        None => std::env::remove_var("BF_SIM_CACHE"),
+    }
+}

@@ -230,6 +230,49 @@ impl GpuConfig {
         self.mem_bandwidth_gbps / self.clock_ghz
     }
 
+    /// A 64-bit digest of every simulation-relevant field, used to key the
+    /// launch-memoization cache ([`crate::memo`]): two configs with equal
+    /// fingerprints simulate any launch identically. Every field of the
+    /// struct participates (floats via their IEEE bit patterns), so editing a
+    /// preset or constructing a custom config can never alias a cached entry.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.arch.hash(&mut h);
+        self.num_sms.hash(&mut h);
+        self.cores_per_sm.hash(&mut h);
+        self.warp_schedulers.hash(&mut h);
+        self.clock_ghz.to_bits().hash(&mut h);
+        self.mem_bandwidth_gbps.to_bits().hash(&mut h);
+        self.warp_size.hash(&mut h);
+        self.max_warps_per_sm.hash(&mut h);
+        self.max_blocks_per_sm.hash(&mut h);
+        self.max_threads_per_block.hash(&mut h);
+        self.registers_per_sm.hash(&mut h);
+        self.max_registers_per_thread.hash(&mut h);
+        self.shared_mem_per_sm.hash(&mut h);
+        self.shared_banks.hash(&mut h);
+        self.bank_width.hash(&mut h);
+        self.l1_size.hash(&mut h);
+        self.l1_line.hash(&mut h);
+        self.l1_assoc.hash(&mut h);
+        self.l1_caches_globals.hash(&mut h);
+        self.l2_size.hash(&mut h);
+        self.l2_line.hash(&mut h);
+        self.l2_assoc.hash(&mut h);
+        self.alu_latency.hash(&mut h);
+        self.sfu_latency.hash(&mut h);
+        self.smem_latency.hash(&mut h);
+        self.l1_latency.hash(&mut h);
+        self.l2_latency.hash(&mut h);
+        self.dram_latency.hash(&mut h);
+        self.alu_throughput.to_bits().hash(&mut h);
+        self.ldst_units.to_bits().hash(&mut h);
+        self.sfu_throughput.to_bits().hash(&mut h);
+        h.finish()
+    }
+
     /// The machine-characteristic rows of the paper's Table 2 for this GPU,
     /// injected as extra predictors in the hardware-scaling experiments.
     pub fn machine_metrics(&self) -> Vec<MachineMetric> {

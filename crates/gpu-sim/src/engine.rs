@@ -19,7 +19,7 @@ use crate::cache::Cache;
 use crate::counters::RawEvents;
 use crate::occupancy::{occupancy, Occupancy};
 use crate::sm::simulate_sm;
-use crate::trace::{BlockTrace, KernelTrace};
+use crate::trace::{BlockTrace, KernelTrace, LaunchConfig};
 use crate::Result;
 
 /// Fixed kernel-launch overhead (driver + dispatch), in seconds. Matters for
@@ -59,18 +59,32 @@ pub fn sample_block_ids(grid: usize, count: usize) -> Vec<usize> {
 pub fn simulate_launch(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<LaunchResult> {
     let lc = kernel.launch_config();
     let occ = occupancy(gpu, &lc)?;
+    let ids = sample_block_ids(lc.grid_blocks, occ.blocks_per_sm);
+    let traces: Vec<BlockTrace> = ids.iter().map(|&b| kernel.block_trace(b, gpu)).collect();
+    simulate_sampled_launch(gpu, &lc, occ, &traces)
+}
+
+/// Simulates a launch from pre-built sampled block traces. `occ` must be the
+/// occupancy of `lc` on `gpu` and `traces` the representative blocks picked
+/// by [`sample_block_ids`] — [`simulate_launch`] wires these together; the
+/// memoization layer ([`crate::memo`]) calls this directly after hashing the
+/// traces, so a cache miss does not rebuild them.
+pub fn simulate_sampled_launch(
+    gpu: &GpuConfig,
+    lc: &LaunchConfig,
+    occ: Occupancy,
+    traces: &[BlockTrace],
+) -> Result<LaunchResult> {
     let blocks_per_wave = occ.blocks_per_sm * gpu.num_sms;
     let waves = lc.grid_blocks.div_ceil(blocks_per_wave);
 
     // Detailed simulation of one SM's resident set.
-    let ids = sample_block_ids(lc.grid_blocks, occ.blocks_per_sm);
-    let traces: Vec<BlockTrace> = ids.iter().map(|&b| kernel.block_trace(b, gpu)).collect();
     let mut l1 = Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc);
     // The SM sees a 1/num_sms slice of the shared L2 (standard approximation
     // for single-SM sampling).
     let l2_slice = (gpu.l2_size / gpu.num_sms).max(gpu.l2_line * gpu.l2_assoc);
     let mut l2 = Cache::new(l2_slice, gpu.l2_line.max(32), gpu.l2_assoc);
-    let sm = simulate_sm(gpu, &traces, &mut l1, &mut l2)?;
+    let sm = simulate_sm(gpu, traces, &mut l1, &mut l2)?;
 
     // Wave timing: compute/latency vs bandwidth.
     let sm_seconds = sm.cycles / (gpu.clock_ghz * 1e9);

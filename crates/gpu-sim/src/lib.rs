@@ -35,6 +35,14 @@
 //! throughputs, ...) from raw event counts, honouring per-architecture
 //! counter availability (e.g. `l1_shared_bank_conflict` exists only on Fermi,
 //! `shared_load_replay`/`shared_store_replay` only on Kepler).
+//!
+//! Launch simulation is *pure* — each launch builds fresh cache state and
+//! shares nothing with its neighbours — which the profiling layer exploits
+//! twice: launches simulate **in parallel** (order-preserving accumulation
+//! keeps results bit-identical to the sequential path; thread count follows
+//! `RAYON_NUM_THREADS`), and structurally identical launches are **memoized**
+//! through a content-addressed cache ([`memo`], disable with
+//! `BF_SIM_CACHE=0`).
 
 // Index-based loops are the clearer idiom throughout this numeric code
 // (parallel arrays, in-place matrix updates), so the pedantic lint is off.
@@ -47,6 +55,7 @@ pub mod cache;
 pub mod coalesce;
 pub mod counters;
 pub mod engine;
+pub mod memo;
 pub mod occupancy;
 pub mod power;
 pub mod profiler;
@@ -57,9 +66,16 @@ pub use arch::{GpuArchitecture, GpuConfig};
 pub use builder::TraceBuilder;
 pub use counters::{CounterSet, RawEvents};
 pub use engine::{simulate_launch, LaunchResult};
+pub use memo::{
+    cache_enabled, global_cache_stats, reset_global_cache_stats, simulate_launch_cached,
+    CacheStats, SimCache,
+};
 pub use occupancy::Occupancy;
 pub use power::{estimate_power, PowerEstimate, PowerModel};
-pub use profiler::{profile_application, profile_kernel, ProfiledRun};
+pub use profiler::{
+    profile_application, profile_application_with, profile_applications, profile_kernel,
+    simulate_launches, ProfiledRun,
+};
 pub use trace::{BlockTrace, KernelTrace, LaunchConfig, WarpInstruction};
 
 /// Errors raised by the simulator.

@@ -1,0 +1,319 @@
+//! Launch memoization: a content-addressed cache over pure launch
+//! simulations.
+//!
+//! [`crate::engine::simulate_launch`] is a pure function — every launch
+//! builds fresh L1/L2 state and shares nothing with its neighbours — so two
+//! launches with identical sampled block traces, launch geometry, and GPU
+//! configuration produce identical [`LaunchResult`]s *by construction*.
+//! Multi-pass reductions, multi-sweep stencils, and repeated-grid sweep jobs
+//! re-simulate exactly such structurally identical launches; [`SimCache`]
+//! recognises them by hashing the trace content and replays the stored
+//! result instead.
+//!
+//! The cache key is a 128-bit digest of (GPU fingerprint, launch config,
+//! sampled block traces) — see [`GpuConfig::fingerprint`] — computed from
+//! two independently salted 64-bit hashes so accidental collisions are
+//! vanishingly unlikely at sweep scale (tens of thousands of launches).
+//! Trace construction still runs on every call (it is needed to compute the
+//! key); only the expensive cycle-detailed SM simulation is skipped.
+//!
+//! A `SimCache` is `Sync` and intended to be shared across the launches of
+//! one application or a whole collection sweep. Process-wide hit/miss
+//! totals are additionally tracked so drivers like `bench_sim` can report a
+//! hit rate without threading cache handles through every collection API.
+//! Set `BF_SIM_CACHE=0` (or `off`) to disable memoization in the stock
+//! profiling paths; results are bit-identical either way.
+
+use crate::arch::GpuConfig;
+use crate::engine::{sample_block_ids, simulate_sampled_launch, LaunchResult};
+use crate::occupancy::occupancy;
+use crate::trace::{BlockTrace, KernelTrace, LaunchConfig};
+use crate::Result;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache hit/miss totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Launches answered from the cache.
+    pub hits: u64,
+    /// Launches that had to be simulated.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Process-wide totals, aggregated over every [`SimCache`] instance.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the process-wide cache totals accumulated since the last
+/// [`reset_global_cache_stats`].
+pub fn global_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the process-wide cache totals (bench harnesses call this between
+/// scenarios).
+pub fn reset_global_cache_stats() {
+    GLOBAL_HITS.store(0, Ordering::Relaxed);
+    GLOBAL_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Whether the stock profiling paths should memoize launches: true unless
+/// `BF_SIM_CACHE` is set to `0` or `off`.
+pub fn cache_enabled() -> bool {
+    !matches!(
+        std::env::var("BF_SIM_CACHE").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
+/// A shared, thread-safe launch-result cache.
+pub struct SimCache {
+    map: Mutex<HashMap<u128, LaunchResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::new()
+    }
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> SimCache {
+        SimCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss counts for this cache instance.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct launches stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: u128) -> Option<LaunchResult> {
+        let found = self.map.lock().unwrap().get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn put(&self, key: u128, value: LaunchResult) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, value);
+    }
+}
+
+/// The 128-bit content key of one launch: two differently salted SipHash
+/// digests over (GPU fingerprint, launch config, sampled traces).
+fn launch_key(gpu_fp: u64, lc: &LaunchConfig, traces: &[BlockTrace]) -> u128 {
+    let digest = |salt: u64| {
+        let mut h = DefaultHasher::new();
+        salt.hash(&mut h);
+        gpu_fp.hash(&mut h);
+        lc.hash(&mut h);
+        traces.hash(&mut h);
+        h.finish()
+    };
+    ((digest(0x9E37_79B9_7F4A_7C15) as u128) << 64) | digest(0xD1B5_4A32_D192_ED03) as u128
+}
+
+/// Simulates one launch through the cache: identical (traces, config, GPU)
+/// triples replay the stored result, everything else simulates and stores.
+pub fn simulate_launch_cached(
+    gpu: &GpuConfig,
+    kernel: &dyn KernelTrace,
+    cache: &SimCache,
+) -> Result<LaunchResult> {
+    let lc = kernel.launch_config();
+    let occ = occupancy(gpu, &lc)?;
+    let ids = sample_block_ids(lc.grid_blocks, occ.blocks_per_sm);
+    let traces: Vec<BlockTrace> = ids.iter().map(|&b| kernel.block_trace(b, gpu)).collect();
+    let key = launch_key(gpu.fingerprint(), &lc, &traces);
+    if let Some(result) = cache.get(key) {
+        return Ok(result);
+    }
+    let result = simulate_sampled_launch(gpu, &lc, occ, &traces)?;
+    cache.put(key, result.clone());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_launch;
+    use crate::trace::{WarpInstruction, FULL_MASK};
+
+    /// A trivially homogeneous kernel parameterised by a base address, so
+    /// tests can mint identical and distinct launches at will.
+    struct Streamer {
+        base: u64,
+        blocks: usize,
+    }
+
+    impl KernelTrace for Streamer {
+        fn name(&self) -> String {
+            "streamer".into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid_blocks: self.blocks,
+                threads_per_block: 128,
+                regs_per_thread: 16,
+                shared_mem_per_block: 0,
+            }
+        }
+
+        fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {
+            let warps = 128 / gpu.warp_size;
+            let mut t = BlockTrace::with_warps(warps);
+            for (w, stream) in t.warps.iter_mut().enumerate() {
+                let base = self.base + (block_id * warps + w) as u64 * 128;
+                stream.push(WarpInstruction::LoadGlobal {
+                    addrs: (0..32).map(|i| base + i * 4).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                });
+                stream.push(WarpInstruction::Alu {
+                    count: 8,
+                    mask: FULL_MASK,
+                });
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn identical_launches_hit_and_replay_bit_identical_results() {
+        let gpu = GpuConfig::gtx580();
+        let cache = SimCache::new();
+        let k = Streamer {
+            base: 0x1000_0000,
+            blocks: 64,
+        };
+        let fresh = simulate_launch(&gpu, &k).unwrap();
+        let miss = simulate_launch_cached(&gpu, &k, &cache).unwrap();
+        let hit = simulate_launch_cached(&gpu, &k, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        for r in [&miss, &hit] {
+            assert_eq!(r.time_seconds.to_bits(), fresh.time_seconds.to_bits());
+            assert_eq!(
+                r.events.inst_executed.to_bits(),
+                fresh.events.inst_executed.to_bits()
+            );
+            assert_eq!(
+                r.events.dram_read_transactions.to_bits(),
+                fresh.events.dram_read_transactions.to_bits()
+            );
+            assert_eq!(r.waves, fresh.waves);
+            assert_eq!(r.sampled_blocks, fresh.sampled_blocks);
+        }
+    }
+
+    #[test]
+    fn different_traces_do_not_alias() {
+        let gpu = GpuConfig::gtx580();
+        let cache = SimCache::new();
+        let a = simulate_launch_cached(
+            &gpu,
+            &Streamer {
+                base: 0x1000_0000,
+                blocks: 64,
+            },
+            &cache,
+        )
+        .unwrap();
+        let b = simulate_launch_cached(
+            &gpu,
+            &Streamer {
+                base: 0x2000_0000,
+                blocks: 64,
+            },
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        // Same structure, different addresses: both simulated, same timing.
+        assert_eq!(a.time_seconds.to_bits(), b.time_seconds.to_bits());
+    }
+
+    #[test]
+    fn different_gpus_do_not_alias() {
+        let cache = SimCache::new();
+        let k = Streamer {
+            base: 0x1000_0000,
+            blocks: 64,
+        };
+        let f = simulate_launch_cached(&GpuConfig::gtx580(), &k, &cache).unwrap();
+        let kep = simulate_launch_cached(&GpuConfig::k20m(), &k, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_ne!(f.time_seconds.to_bits(), kep.time_seconds.to_bits());
+    }
+
+    #[test]
+    fn preset_fingerprints_are_distinct() {
+        let fps: Vec<u64> = GpuConfig::presets()
+            .iter()
+            .map(|g| g.fingerprint())
+            .collect();
+        for i in 0..fps.len() {
+            for j in 0..i {
+                assert_ne!(fps[i], fps[j], "presets {i} and {j} collide");
+            }
+        }
+        // Any field change must change the fingerprint.
+        let mut g = GpuConfig::gtx580();
+        let before = g.fingerprint();
+        g.mem_bandwidth_gbps += 1.0;
+        assert_ne!(before, g.fingerprint());
+    }
+
+    #[test]
+    fn cache_env_gate_matches_environment() {
+        let disabled = matches!(
+            std::env::var("BF_SIM_CACHE").as_deref(),
+            Ok("0") | Ok("off")
+        );
+        assert_eq!(cache_enabled(), !disabled);
+    }
+}

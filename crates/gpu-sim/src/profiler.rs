@@ -8,9 +8,11 @@
 
 use crate::arch::{GpuArchitecture, GpuConfig};
 use crate::counters::{counters_for, CounterSet, RawEvents};
-use crate::engine::simulate_launch;
+use crate::engine::{simulate_launch, LaunchResult};
+use crate::memo::{self, SimCache};
 use crate::trace::KernelTrace;
 use crate::Result;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One profiled run: elapsed time plus a full counter set, the simulator's
@@ -106,17 +108,58 @@ pub fn profile_kernel(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<Profi
     })
 }
 
+/// Simulates every launch in parallel, preserving issue order in the output.
+///
+/// The work unit handed to the scheduler is a single *launch*, so a
+/// 1000-launch NW job spreads across every core instead of serialising on
+/// one. Results come back indexed by input position and are accumulated by
+/// the callers strictly in issue order, which keeps the floating-point event
+/// sums bit-identical to the sequential path. When `cache` is given,
+/// structurally identical launches are answered from it (see
+/// [`crate::memo`]); cached replay is also bit-identical by purity.
+pub fn simulate_launches(
+    gpu: &GpuConfig,
+    launches: &[Box<dyn KernelTrace>],
+    cache: Option<&SimCache>,
+) -> Result<Vec<LaunchResult>> {
+    launches
+        .par_iter()
+        .map(|k| match cache {
+            Some(c) => memo::simulate_launch_cached(gpu, k.as_ref(), c),
+            None => simulate_launch(gpu, k.as_ref()),
+        })
+        .collect::<Result<Vec<_>>>()
+}
+
 /// Profiles a multi-launch application: simulates every launch, accumulates
 /// raw events and time, then derives one counter set for the whole run —
 /// how the paper aggregates NW's two kernels and the reduction's passes.
+///
+/// Launches simulate in parallel through a fresh per-application memo cache
+/// (disable with `BF_SIM_CACHE=0`; thread count follows
+/// `RAYON_NUM_THREADS`). Use [`profile_application_with`] to share a cache
+/// across applications, e.g. over a whole collection sweep.
 pub fn profile_application(
     gpu: &GpuConfig,
     name: &str,
     launches: &[Box<dyn KernelTrace>],
 ) -> Result<ProfiledRun> {
+    let cache = SimCache::new();
+    let cache = memo::cache_enabled().then_some(&cache);
+    profile_application_with(gpu, name, launches, cache)
+}
+
+/// [`profile_application`] with an explicit (shared) memo cache; `None`
+/// disables memoization for this profile.
+pub fn profile_application_with(
+    gpu: &GpuConfig,
+    name: &str,
+    launches: &[Box<dyn KernelTrace>],
+    cache: Option<&SimCache>,
+) -> Result<ProfiledRun> {
+    let results = simulate_launches(gpu, launches, cache)?;
     let mut total = RawEvents::default();
-    for k in launches {
-        let r = simulate_launch(gpu, k.as_ref())?;
+    for r in &results {
         total.accumulate(&r.events);
     }
     let power =
@@ -130,20 +173,81 @@ pub fn profile_application(
     })
 }
 
+/// Profiles a batch of applications as one flat, launch-level parallel job.
+///
+/// Every launch of every application goes into a single scheduler queue, so
+/// small applications no longer finish instantly while a single
+/// 1000-launch job serialises on one thread. Per-application event
+/// accumulation still walks the results in issue order, making the output
+/// identical to profiling each application sequentially. `cache` (usually
+/// one per sweep) lets structurally identical launches from *different*
+/// applications share simulations — multi-pass reductions funnelling into
+/// the same tail passes, stencil sweeps repeating the same grid.
+pub fn profile_applications(
+    gpu: &GpuConfig,
+    apps: &[(&str, &[Box<dyn KernelTrace>])],
+    cache: Option<&SimCache>,
+) -> Result<Vec<ProfiledRun>> {
+    let flat: Vec<&dyn KernelTrace> = apps
+        .iter()
+        .flat_map(|(_, launches)| launches.iter().map(|k| k.as_ref()))
+        .collect();
+    let results: Vec<LaunchResult> = flat
+        .into_par_iter()
+        .map(|k| match cache {
+            Some(c) => memo::simulate_launch_cached(gpu, k, c),
+            None => simulate_launch(gpu, k),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut runs = Vec::with_capacity(apps.len());
+    let mut cursor = 0usize;
+    for (name, launches) in apps {
+        let mut total = RawEvents::default();
+        for r in &results[cursor..cursor + launches.len()] {
+            total.accumulate(&r.events);
+        }
+        cursor += launches.len();
+        let power = crate::power::estimate_power(
+            gpu,
+            &total,
+            &crate::power::PowerModel::for_arch(gpu.arch),
+        );
+        runs.push(ProfiledRun {
+            kernel: name.to_string(),
+            gpu: gpu.name.clone(),
+            time_ms: total.time_seconds * 1e3,
+            avg_power_w: power.average_w,
+            counters: derive_counters(gpu, &total),
+        });
+    }
+    Ok(runs)
+}
+
 /// Profiles a multi-launch application *per kernel*: launches sharing a
 /// kernel name are accumulated together and reported separately — how
 /// `nvprof` itself presents a multi-kernel application, and what the paper
 /// does for NW ("we measure the contribution of each kernel in the overall
 /// execution time"). Returns one run per distinct kernel, in first-seen
-/// order.
+/// order. Simulation is parallel and memoized like [`profile_application`].
 pub fn profile_application_by_kernel(
     gpu: &GpuConfig,
     launches: &[Box<dyn KernelTrace>],
 ) -> Result<Vec<ProfiledRun>> {
+    let cache = SimCache::new();
+    let cache = memo::cache_enabled().then_some(&cache);
+    profile_application_by_kernel_with(gpu, launches, cache)
+}
+
+/// [`profile_application_by_kernel`] with an explicit (shared) memo cache.
+pub fn profile_application_by_kernel_with(
+    gpu: &GpuConfig,
+    launches: &[Box<dyn KernelTrace>],
+    cache: Option<&SimCache>,
+) -> Result<Vec<ProfiledRun>> {
+    let results = simulate_launches(gpu, launches, cache)?;
     let mut order: Vec<String> = Vec::new();
     let mut acc: std::collections::HashMap<String, RawEvents> = std::collections::HashMap::new();
-    for k in launches {
-        let r = simulate_launch(gpu, k.as_ref())?;
+    for (k, r) in launches.iter().zip(&results) {
         let name = k.name();
         if !acc.contains_key(&name) {
             order.push(name.clone());

@@ -9,7 +9,7 @@ use crate::arch::GpuConfig;
 use serde::{Deserialize, Serialize};
 
 /// Launch geometry and per-block resource usage.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LaunchConfig {
     /// Total thread blocks in the grid.
     pub grid_blocks: usize,
@@ -53,7 +53,7 @@ pub fn first_lanes(n: usize) -> LaneMask {
 /// Memory instructions carry concrete addresses so the coalescing, cache,
 /// and bank-conflict models operate on real access patterns rather than
 /// statistical summaries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WarpInstruction {
     /// Integer/float arithmetic executed on the CUDA cores. `count` folds
     /// runs of dependent ALU instructions into one entry (issue cost and
@@ -145,7 +145,11 @@ impl WarpInstruction {
 }
 
 /// The instruction streams of one thread block: one stream per warp.
-#[derive(Debug, Clone, Default)]
+///
+/// `Hash`/`Eq` are content hashes over the full instruction streams — the
+/// launch-memoization cache ([`crate::memo`]) is keyed on them, which is
+/// sound because the simulator is a pure function of the traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct BlockTrace {
     /// `warps[w]` is warp `w`'s instruction stream.
     pub warps: Vec<Vec<WarpInstruction>>,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_baselines-63aedfd901e0f05a.d: crates/bench/benches/ablation_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_baselines-63aedfd901e0f05a.rmeta: crates/bench/benches/ablation_baselines.rs Cargo.toml
+
+crates/bench/benches/ablation_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_forest-70463c5f535cf3f4.d: crates/bench/benches/ablation_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_forest-70463c5f535cf3f4.rmeta: crates/bench/benches/ablation_forest.rs Cargo.toml
+
+crates/bench/benches/ablation_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_models-b78354493aa7639b.d: crates/bench/benches/ablation_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_models-b78354493aa7639b.rmeta: crates/bench/benches/ablation_models.rs Cargo.toml
+
+crates/bench/benches/ablation_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

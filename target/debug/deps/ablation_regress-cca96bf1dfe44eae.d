@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_regress-cca96bf1dfe44eae.d: crates/bench/benches/ablation_regress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_regress-cca96bf1dfe44eae.rmeta: crates/bench/benches/ablation_regress.rs Cargo.toml
+
+crates/bench/benches/ablation_regress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

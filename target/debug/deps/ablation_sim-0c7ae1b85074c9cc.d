@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sim-0c7ae1b85074c9cc.d: crates/bench/benches/ablation_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sim-0c7ae1b85074c9cc.rmeta: crates/bench/benches/ablation_sim.rs Cargo.toml
+
+crates/bench/benches/ablation_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

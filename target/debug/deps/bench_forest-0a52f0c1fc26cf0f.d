@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_forest-0a52f0c1fc26cf0f.d: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_forest-0a52f0c1fc26cf0f.rmeta: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+crates/bench/src/bin/bench_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_forest-c8c2501d742cbb8e.d: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_forest-c8c2501d742cbb8e.rmeta: crates/bench/src/bin/bench_forest.rs Cargo.toml
+
+crates/bench/src/bin/bench_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

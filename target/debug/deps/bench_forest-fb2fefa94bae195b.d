@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_forest-fb2fefa94bae195b.d: crates/bench/src/bin/bench_forest.rs
+
+/root/repo/target/debug/deps/bench_forest-fb2fefa94bae195b: crates/bench/src/bin/bench_forest.rs
+
+crates/bench/src/bin/bench_forest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sim-652816eead1a27c6.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/debug/deps/bench_sim-652816eead1a27c6: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sim-a8f3b48f75748292.d: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim-a8f3b48f75748292.rmeta: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+crates/bench/src/bin/bench_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

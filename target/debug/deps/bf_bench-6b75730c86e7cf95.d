@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_bench-6b75730c86e7cf95.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_bench-6b75730c86e7cf95.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bf_bench-85362a5dfe285b4a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-85362a5dfe285b4a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbf_bench-85362a5dfe285b4a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

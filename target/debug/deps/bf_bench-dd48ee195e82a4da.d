@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bf_bench-dd48ee195e82a4da.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bf_bench-dd48ee195e82a4da: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bf_bench-fac02b713cf11cfe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_bench-fac02b713cf11cfe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bf_kernels-46f5e882f4cc609a.d: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+/root/repo/target/debug/deps/libbf_kernels-46f5e882f4cc609a.rlib: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+/root/repo/target/debug/deps/libbf_kernels-46f5e882f4cc609a.rmeta: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/nw.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/stencil.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bf_kernels-4a0222c80364e8e2.d: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbf_kernels-4a0222c80364e8e2.rmeta: crates/kernels/src/lib.rs crates/kernels/src/matmul.rs crates/kernels/src/nw.rs crates/kernels/src/reduce.rs crates/kernels/src/stencil.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/nw.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/blackforest-2a3cfa36733b8446.d: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest-2a3cfa36733b8446.rmeta: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/collect.rs:
+crates/core/src/countermodel.rs:
+crates/core/src/cv.rs:
+crates/core/src/dataset.rs:
+crates/core/src/markdown.rs:
+crates/core/src/model.rs:
+crates/core/src/predict.rs:
+crates/core/src/report.rs:
+crates/core/src/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

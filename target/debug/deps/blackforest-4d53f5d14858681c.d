@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/blackforest-4d53f5d14858681c.d: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libblackforest-4d53f5d14858681c.rlib: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libblackforest-4d53f5d14858681c.rmeta: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/collect.rs:
+crates/core/src/countermodel.rs:
+crates/core/src/cv.rs:
+crates/core/src/dataset.rs:
+crates/core/src/markdown.rs:
+crates/core/src/model.rs:
+crates/core/src/predict.rs:
+crates/core/src/report.rs:
+crates/core/src/toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blackforest-5f1d58e154d48ccd.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/blackforest-5f1d58e154d48ccd: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blackforest_suite-2dc426e48bd05860.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblackforest_suite-2dc426e48bd05860.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libblackforest_suite-2dc426e48bd05860.rmeta: src/lib.rs
+
+src/lib.rs:

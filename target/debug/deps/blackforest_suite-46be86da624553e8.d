@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blackforest_suite-46be86da624553e8.d: src/lib.rs
+
+/root/repo/target/debug/deps/blackforest_suite-46be86da624553e8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blackforest_suite-c9a9b469529fb028.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblackforest_suite-c9a9b469529fb028.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d282b10a2fbef62d.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d282b10a2fbef62d: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

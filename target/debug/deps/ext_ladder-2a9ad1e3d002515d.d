@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ladder-2a9ad1e3d002515d.d: crates/bench/src/bin/ext_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ladder-2a9ad1e3d002515d.rmeta: crates/bench/src/bin/ext_ladder.rs Cargo.toml
+
+crates/bench/src/bin/ext_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

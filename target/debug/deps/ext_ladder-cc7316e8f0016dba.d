@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ladder-cc7316e8f0016dba.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/debug/deps/ext_ladder-cc7316e8f0016dba: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_power-13d0a4aea4e83654.d: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_power-13d0a4aea4e83654.rmeta: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+crates/bench/src/bin/ext_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

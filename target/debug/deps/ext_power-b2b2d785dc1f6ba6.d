@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_power-b2b2d785dc1f6ba6.d: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_power-b2b2d785dc1f6ba6.rmeta: crates/bench/src/bin/ext_power.rs Cargo.toml
+
+crates/bench/src/bin/ext_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

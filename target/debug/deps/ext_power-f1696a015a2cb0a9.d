@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_power-f1696a015a2cb0a9.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/debug/deps/ext_power-f1696a015a2cb0a9: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

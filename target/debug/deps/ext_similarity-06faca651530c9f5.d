@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_similarity-06faca651530c9f5.d: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_similarity-06faca651530c9f5.rmeta: crates/bench/src/bin/ext_similarity.rs Cargo.toml
+
+crates/bench/src/bin/ext_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_similarity-5311c9c50d286045.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/debug/deps/ext_similarity-5311c9c50d286045: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

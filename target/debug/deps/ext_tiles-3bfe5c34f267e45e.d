@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tiles-3bfe5c34f267e45e.d: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tiles-3bfe5c34f267e45e.rmeta: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+crates/bench/src/bin/ext_tiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

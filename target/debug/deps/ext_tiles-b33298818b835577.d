@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tiles-b33298818b835577.d: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tiles-b33298818b835577.rmeta: crates/bench/src/bin/ext_tiles.rs Cargo.toml
+
+crates/bench/src/bin/ext_tiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

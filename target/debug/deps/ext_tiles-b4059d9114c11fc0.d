@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tiles-b4059d9114c11fc0.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/debug/deps/ext_tiles-b4059d9114c11fc0: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

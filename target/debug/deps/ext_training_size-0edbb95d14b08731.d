@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_training_size-0edbb95d14b08731.d: crates/bench/src/bin/ext_training_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_training_size-0edbb95d14b08731.rmeta: crates/bench/src/bin/ext_training_size.rs Cargo.toml
+
+crates/bench/src/bin/ext_training_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_training_size-31dc066e5317e6a7.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/debug/deps/ext_training_size-31dc066e5317e6a7: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

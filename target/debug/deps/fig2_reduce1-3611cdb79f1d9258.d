@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reduce1-3611cdb79f1d9258.d: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reduce1-3611cdb79f1d9258.rmeta: crates/bench/src/bin/fig2_reduce1.rs Cargo.toml
+
+crates/bench/src/bin/fig2_reduce1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

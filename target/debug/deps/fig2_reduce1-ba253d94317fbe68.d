@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_reduce1-ba253d94317fbe68.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/debug/deps/fig2_reduce1-ba253d94317fbe68: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

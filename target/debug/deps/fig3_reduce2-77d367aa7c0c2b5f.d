@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_reduce2-77d367aa7c0c2b5f.d: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_reduce2-77d367aa7c0c2b5f.rmeta: crates/bench/src/bin/fig3_reduce2.rs Cargo.toml
+
+crates/bench/src/bin/fig3_reduce2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

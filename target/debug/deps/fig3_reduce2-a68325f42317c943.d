@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_reduce2-a68325f42317c943.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/debug/deps/fig3_reduce2-a68325f42317c943: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

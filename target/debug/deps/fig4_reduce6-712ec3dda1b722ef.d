@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_reduce6-712ec3dda1b722ef.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/debug/deps/fig4_reduce6-712ec3dda1b722ef: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_reduce6-c91914ecea0cc973.d: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_reduce6-c91914ecea0cc973.rmeta: crates/bench/src/bin/fig4_reduce6.rs Cargo.toml
+
+crates/bench/src/bin/fig4_reduce6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

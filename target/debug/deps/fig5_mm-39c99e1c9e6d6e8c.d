@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mm-39c99e1c9e6d6e8c.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/debug/deps/fig5_mm-39c99e1c9e6d6e8c: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

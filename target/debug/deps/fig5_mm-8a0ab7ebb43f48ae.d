@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mm-8a0ab7ebb43f48ae.d: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mm-8a0ab7ebb43f48ae.rmeta: crates/bench/src/bin/fig5_mm.rs Cargo.toml
+
+crates/bench/src/bin/fig5_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_nw-a6d6afe223505286.d: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_nw-a6d6afe223505286.rmeta: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+crates/bench/src/bin/fig6_nw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

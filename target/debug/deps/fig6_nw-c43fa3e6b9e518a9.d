@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_nw-c43fa3e6b9e518a9.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/debug/deps/fig6_nw-c43fa3e6b9e518a9: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_nw-d3a34f761372f434.d: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_nw-d3a34f761372f434.rmeta: crates/bench/src/bin/fig6_nw.rs Cargo.toml
+
+crates/bench/src/bin/fig6_nw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mm_hw-3457d3992808b0fe.d: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mm_hw-3457d3992808b0fe.rmeta: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mm_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

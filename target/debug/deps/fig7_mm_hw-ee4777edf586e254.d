@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mm_hw-ee4777edf586e254.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/debug/deps/fig7_mm_hw-ee4777edf586e254: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mm_hw-f69d412fb5e6411e.d: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mm_hw-f69d412fb5e6411e.rmeta: crates/bench/src/bin/fig7_mm_hw.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mm_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_nw_hw-3fc2e6734ff5a0dc.d: crates/bench/src/bin/fig8_nw_hw.rs
+
+/root/repo/target/debug/deps/fig8_nw_hw-3fc2e6734ff5a0dc: crates/bench/src/bin/fig8_nw_hw.rs
+
+crates/bench/src/bin/fig8_nw_hw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_nw_hw-dd02ba5464bbdd41.d: crates/bench/src/bin/fig8_nw_hw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_nw_hw-dd02ba5464bbdd41.rmeta: crates/bench/src/bin/fig8_nw_hw.rs Cargo.toml
+
+crates/bench/src/bin/fig8_nw_hw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

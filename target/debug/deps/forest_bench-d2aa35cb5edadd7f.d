@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forest_bench-d2aa35cb5edadd7f.d: crates/bench/benches/forest_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforest_bench-d2aa35cb5edadd7f.rmeta: crates/bench/benches/forest_bench.rs Cargo.toml
+
+crates/bench/benches/forest_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gpu_sim-cfa83e6e54e4227a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sim-cfa83e6e54e4227a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/arch.rs:
+crates/gpu-sim/src/banks.rs:
+crates/gpu-sim/src/builder.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/coalesce.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/memo.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/power.rs:
+crates/gpu-sim/src/profiler.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

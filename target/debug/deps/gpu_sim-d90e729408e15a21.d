@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gpu_sim-d90e729408e15a21.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libgpu_sim-d90e729408e15a21.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libgpu_sim-d90e729408e15a21.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/arch.rs:
+crates/gpu-sim/src/banks.rs:
+crates/gpu-sim/src/builder.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/coalesce.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/memo.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/power.rs:
+crates/gpu-sim/src/profiler.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/trace.rs:

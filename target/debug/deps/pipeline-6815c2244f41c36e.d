@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6815c2244f41c36e.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6815c2244f41c36e: tests/pipeline.rs
+
+tests/pipeline.rs:

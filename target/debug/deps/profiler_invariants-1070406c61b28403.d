@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profiler_invariants-1070406c61b28403.d: tests/profiler_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiler_invariants-1070406c61b28403.rmeta: tests/profiler_invariants.rs Cargo.toml
+
+tests/profiler_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profiler_invariants-2af05bd29a1206f9.d: tests/profiler_invariants.rs
+
+/root/repo/target/debug/deps/profiler_invariants-2af05bd29a1206f9: tests/profiler_invariants.rs
+
+tests/profiler_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-3f0b39a28326da26.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-3f0b39a28326da26: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roofline_check-09dc59dc028be0e1.d: tests/roofline_check.rs
+
+/root/repo/target/debug/deps/roofline_check-09dc59dc028be0e1: tests/roofline_check.rs
+
+tests/roofline_check.rs:

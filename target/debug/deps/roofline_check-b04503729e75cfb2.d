@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline_check-b04503729e75cfb2.d: tests/roofline_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline_check-b04503729e75cfb2.rmeta: tests/roofline_check.rs Cargo.toml
+
+tests/roofline_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

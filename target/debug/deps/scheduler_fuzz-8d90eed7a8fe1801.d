@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_fuzz-8d90eed7a8fe1801.d: tests/scheduler_fuzz.rs
+
+/root/repo/target/debug/deps/scheduler_fuzz-8d90eed7a8fe1801: tests/scheduler_fuzz.rs
+
+tests/scheduler_fuzz.rs:

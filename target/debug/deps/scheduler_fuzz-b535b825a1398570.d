@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_fuzz-b535b825a1398570.d: tests/scheduler_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_fuzz-b535b825a1398570.rmeta: tests/scheduler_fuzz.rs Cargo.toml
+
+tests/scheduler_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_behavior-a0b3d67c6e664996.d: tests/sim_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_behavior-a0b3d67c6e664996.rmeta: tests/sim_behavior.rs Cargo.toml
+
+tests/sim_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

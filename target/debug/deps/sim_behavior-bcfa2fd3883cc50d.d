@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-bcfa2fd3883cc50d.d: tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-bcfa2fd3883cc50d: tests/sim_behavior.rs
+
+tests/sim_behavior.rs:

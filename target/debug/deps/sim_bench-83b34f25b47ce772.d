@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_bench-83b34f25b47ce772.d: crates/bench/benches/sim_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_bench-83b34f25b47ce772.rmeta: crates/bench/benches/sim_bench.rs Cargo.toml
+
+crates/bench/benches/sim_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_bench-897f93a739bffd6a.d: crates/bench/benches/stats_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_bench-897f93a739bffd6a.rmeta: crates/bench/benches/stats_bench.rs Cargo.toml
+
+crates/bench/benches/stats_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_parity-85e3bddb38505e4b.d: crates/core/tests/strategy_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_parity-85e3bddb38505e4b.rmeta: crates/core/tests/strategy_parity.rs Cargo.toml
+
+crates/core/tests/strategy_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

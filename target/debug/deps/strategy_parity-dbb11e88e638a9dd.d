@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_parity-dbb11e88e638a9dd.d: crates/core/tests/strategy_parity.rs
+
+/root/repo/target/debug/deps/strategy_parity-dbb11e88e638a9dd: crates/core/tests/strategy_parity.rs
+
+crates/core/tests/strategy_parity.rs:

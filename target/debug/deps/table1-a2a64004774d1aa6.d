@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a2a64004774d1aa6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a2a64004774d1aa6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-27ef6ed4cfe53fd6.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-27ef6ed4cfe53fd6: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-85b5da68ca8716c5.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-85b5da68ca8716c5.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-2f7ec20c962041ff.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-2f7ec20c962041ff: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_prediction-91fd680b5eb2f69b.d: examples/matmul_prediction.rs
+
+/root/repo/target/debug/examples/matmul_prediction-91fd680b5eb2f69b: examples/matmul_prediction.rs
+
+examples/matmul_prediction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_prediction-e10f5c3998c1a4dc.d: examples/matmul_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_prediction-e10f5c3998c1a4dc.rmeta: examples/matmul_prediction.rs Cargo.toml
+
+examples/matmul_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nw_hardware_scaling-698b768dec2211ce.d: examples/nw_hardware_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnw_hardware_scaling-698b768dec2211ce.rmeta: examples/nw_hardware_scaling.rs Cargo.toml
+
+examples/nw_hardware_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nw_hardware_scaling-adbbc45d1f7b1da3.d: examples/nw_hardware_scaling.rs
+
+/root/repo/target/debug/examples/nw_hardware_scaling-adbbc45d1f7b1da3: examples/nw_hardware_scaling.rs
+
+examples/nw_hardware_scaling.rs:

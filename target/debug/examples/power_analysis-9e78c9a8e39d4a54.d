@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_analysis-9e78c9a8e39d4a54.d: examples/power_analysis.rs
+
+/root/repo/target/debug/examples/power_analysis-9e78c9a8e39d4a54: examples/power_analysis.rs
+
+examples/power_analysis.rs:

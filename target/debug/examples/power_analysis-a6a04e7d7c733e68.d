@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_analysis-a6a04e7d7c733e68.d: examples/power_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_analysis-a6a04e7d7c733e68.rmeta: examples/power_analysis.rs Cargo.toml
+
+examples/power_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

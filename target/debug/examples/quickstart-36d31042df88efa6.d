@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-36d31042df88efa6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-36d31042df88efa6: examples/quickstart.rs
+
+examples/quickstart.rs:

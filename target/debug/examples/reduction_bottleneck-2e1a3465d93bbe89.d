@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reduction_bottleneck-2e1a3465d93bbe89.d: examples/reduction_bottleneck.rs
+
+/root/repo/target/debug/examples/reduction_bottleneck-2e1a3465d93bbe89: examples/reduction_bottleneck.rs
+
+examples/reduction_bottleneck.rs:

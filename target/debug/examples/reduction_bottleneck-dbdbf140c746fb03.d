@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reduction_bottleneck-dbdbf140c746fb03.d: examples/reduction_bottleneck.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreduction_bottleneck-dbdbf140c746fb03.rmeta: examples/reduction_bottleneck.rs Cargo.toml
+
+examples/reduction_bottleneck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

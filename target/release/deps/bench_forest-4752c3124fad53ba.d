@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_forest-4752c3124fad53ba.d: crates/bench/src/bin/bench_forest.rs
+
+/root/repo/target/release/deps/bench_forest-4752c3124fad53ba: crates/bench/src/bin/bench_forest.rs
+
+crates/bench/src/bin/bench_forest.rs:

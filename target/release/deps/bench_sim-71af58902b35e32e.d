@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sim-71af58902b35e32e.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/release/deps/bench_sim-71af58902b35e32e: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:

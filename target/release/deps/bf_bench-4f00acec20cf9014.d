@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bf_bench-4f00acec20cf9014.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-4f00acec20cf9014.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbf_bench-4f00acec20cf9014.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

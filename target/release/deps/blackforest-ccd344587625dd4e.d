@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blackforest-ccd344587625dd4e.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/blackforest-ccd344587625dd4e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

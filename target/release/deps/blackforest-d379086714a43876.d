@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/blackforest-d379086714a43876.d: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libblackforest-d379086714a43876.rlib: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libblackforest-d379086714a43876.rmeta: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/collect.rs crates/core/src/countermodel.rs crates/core/src/cv.rs crates/core/src/dataset.rs crates/core/src/markdown.rs crates/core/src/model.rs crates/core/src/predict.rs crates/core/src/report.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/collect.rs:
+crates/core/src/countermodel.rs:
+crates/core/src/cv.rs:
+crates/core/src/dataset.rs:
+crates/core/src/markdown.rs:
+crates/core/src/model.rs:
+crates/core/src/predict.rs:
+crates/core/src/report.rs:
+crates/core/src/toolchain.rs:

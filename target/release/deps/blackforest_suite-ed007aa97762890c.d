@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blackforest_suite-ed007aa97762890c.d: src/lib.rs
+
+/root/repo/target/release/deps/libblackforest_suite-ed007aa97762890c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libblackforest_suite-ed007aa97762890c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ladder-47b46e2868399604.d: crates/bench/src/bin/ext_ladder.rs
+
+/root/repo/target/release/deps/ext_ladder-47b46e2868399604: crates/bench/src/bin/ext_ladder.rs
+
+crates/bench/src/bin/ext_ladder.rs:

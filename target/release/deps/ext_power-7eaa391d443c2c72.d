@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_power-7eaa391d443c2c72.d: crates/bench/src/bin/ext_power.rs
+
+/root/repo/target/release/deps/ext_power-7eaa391d443c2c72: crates/bench/src/bin/ext_power.rs
+
+crates/bench/src/bin/ext_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_similarity-4737f22e5a0b4efd.d: crates/bench/src/bin/ext_similarity.rs
+
+/root/repo/target/release/deps/ext_similarity-4737f22e5a0b4efd: crates/bench/src/bin/ext_similarity.rs
+
+crates/bench/src/bin/ext_similarity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_tiles-3fc9b7216774860e.d: crates/bench/src/bin/ext_tiles.rs
+
+/root/repo/target/release/deps/ext_tiles-3fc9b7216774860e: crates/bench/src/bin/ext_tiles.rs
+
+crates/bench/src/bin/ext_tiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_training_size-d885f5a16e172d6f.d: crates/bench/src/bin/ext_training_size.rs
+
+/root/repo/target/release/deps/ext_training_size-d885f5a16e172d6f: crates/bench/src/bin/ext_training_size.rs
+
+crates/bench/src/bin/ext_training_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_reduce1-47ab9a3e4c25214b.d: crates/bench/src/bin/fig2_reduce1.rs
+
+/root/repo/target/release/deps/fig2_reduce1-47ab9a3e4c25214b: crates/bench/src/bin/fig2_reduce1.rs
+
+crates/bench/src/bin/fig2_reduce1.rs:

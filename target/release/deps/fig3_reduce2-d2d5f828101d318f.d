@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_reduce2-d2d5f828101d318f.d: crates/bench/src/bin/fig3_reduce2.rs
+
+/root/repo/target/release/deps/fig3_reduce2-d2d5f828101d318f: crates/bench/src/bin/fig3_reduce2.rs
+
+crates/bench/src/bin/fig3_reduce2.rs:

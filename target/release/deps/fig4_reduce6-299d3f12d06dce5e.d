@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_reduce6-299d3f12d06dce5e.d: crates/bench/src/bin/fig4_reduce6.rs
+
+/root/repo/target/release/deps/fig4_reduce6-299d3f12d06dce5e: crates/bench/src/bin/fig4_reduce6.rs
+
+crates/bench/src/bin/fig4_reduce6.rs:

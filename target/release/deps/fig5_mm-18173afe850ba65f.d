@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mm-18173afe850ba65f.d: crates/bench/src/bin/fig5_mm.rs
+
+/root/repo/target/release/deps/fig5_mm-18173afe850ba65f: crates/bench/src/bin/fig5_mm.rs
+
+crates/bench/src/bin/fig5_mm.rs:

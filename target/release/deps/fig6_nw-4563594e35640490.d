@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_nw-4563594e35640490.d: crates/bench/src/bin/fig6_nw.rs
+
+/root/repo/target/release/deps/fig6_nw-4563594e35640490: crates/bench/src/bin/fig6_nw.rs
+
+crates/bench/src/bin/fig6_nw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mm_hw-832d92ec59e82cee.d: crates/bench/src/bin/fig7_mm_hw.rs
+
+/root/repo/target/release/deps/fig7_mm_hw-832d92ec59e82cee: crates/bench/src/bin/fig7_mm_hw.rs
+
+crates/bench/src/bin/fig7_mm_hw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_nw_hw-186c558290edc588.d: crates/bench/src/bin/fig8_nw_hw.rs
+
+/root/repo/target/release/deps/fig8_nw_hw-186c558290edc588: crates/bench/src/bin/fig8_nw_hw.rs
+
+crates/bench/src/bin/fig8_nw_hw.rs:

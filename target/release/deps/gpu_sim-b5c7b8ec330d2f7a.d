@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/gpu_sim-b5c7b8ec330d2f7a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/release/deps/libgpu_sim-b5c7b8ec330d2f7a.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/release/deps/libgpu_sim-b5c7b8ec330d2f7a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/arch.rs crates/gpu-sim/src/banks.rs crates/gpu-sim/src/builder.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalesce.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/memo.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/power.rs crates/gpu-sim/src/profiler.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/trace.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/arch.rs:
+crates/gpu-sim/src/banks.rs:
+crates/gpu-sim/src/builder.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/coalesce.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/memo.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/power.rs:
+crates/gpu-sim/src/profiler.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-498482ba99a30645.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-498482ba99a30645: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

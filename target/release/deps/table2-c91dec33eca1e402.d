@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c91dec33eca1e402.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c91dec33eca1e402: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

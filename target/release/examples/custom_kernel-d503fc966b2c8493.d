@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_kernel-d503fc966b2c8493.d: examples/custom_kernel.rs
+
+/root/repo/target/release/examples/custom_kernel-d503fc966b2c8493: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/matmul_prediction-84230fb37662b043.d: examples/matmul_prediction.rs
+
+/root/repo/target/release/examples/matmul_prediction-84230fb37662b043: examples/matmul_prediction.rs
+
+examples/matmul_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nw_hardware_scaling-1146439ccb54705c.d: examples/nw_hardware_scaling.rs
+
+/root/repo/target/release/examples/nw_hardware_scaling-1146439ccb54705c: examples/nw_hardware_scaling.rs
+
+examples/nw_hardware_scaling.rs:

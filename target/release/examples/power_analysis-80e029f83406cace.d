@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_analysis-80e029f83406cace.d: examples/power_analysis.rs
+
+/root/repo/target/release/examples/power_analysis-80e029f83406cace: examples/power_analysis.rs
+
+examples/power_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-946f5ec5cb711207.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-946f5ec5cb711207: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reduction_bottleneck-3937c18e1f72b31f.d: examples/reduction_bottleneck.rs
+
+/root/repo/target/release/examples/reduction_bottleneck-3937c18e1f72b31f: examples/reduction_bottleneck.rs
+
+examples/reduction_bottleneck.rs:

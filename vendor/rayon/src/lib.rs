@@ -1,11 +1,24 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Implements the `par_iter().map().collect()` surface BlackForest uses with
-//! real data parallelism on `std::thread::scope`: the item list is split into
-//! contiguous chunks, one per available core, and each chunk is mapped on its
-//! own OS thread. Order is preserved. Work stealing, adaptive splitting, and
-//! the broader combinator zoo of real rayon are intentionally absent.
+//! real data parallelism on `std::thread::scope`. Scheduling is *dynamic*:
+//! workers claim items one at a time from a shared atomic index, so a thread
+//! that draws a cheap item immediately comes back for more while a thread
+//! stuck on an expensive item keeps crunching. This is the work-stealing
+//! property that matters for BlackForest's workloads — sweep jobs whose
+//! per-item cost grows as O(k²) (NW diagonals, matmul sizes) would leave most
+//! cores idle under static contiguous chunking. Order is preserved: results
+//! land in slots indexed by their input position. The broader combinator zoo
+//! of real rayon is intentionally absent.
+//!
+//! Thread count defaults to `std::thread::available_parallelism()` and can be
+//! overridden with the `RAYON_NUM_THREADS` environment variable (same knob as
+//! real rayon; `1` forces the sequential path, which BlackForest's
+//! determinism tests and `bench_sim` baselines rely on). The variable is
+//! re-read at every `collect`, so a process can switch between sequential and
+//! parallel phases.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Parallel iterator over an owned list of items.
@@ -51,16 +64,25 @@ impl<T: Send> ParIter<T> {
     }
 }
 
+/// Resolves the worker-thread count for `n_items` items: the
+/// `RAYON_NUM_THREADS` override if set to a positive integer, otherwise the
+/// machine's available parallelism, clamped to the item count.
 fn thread_count(n_items: usize) -> usize {
-    std::thread::available_parallelism()
+    let hw = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n_items)
-        .max(1)
+        .unwrap_or(1);
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    configured.min(n_items).max(1)
 }
 
 impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
-    /// Runs the map on scoped threads and collects results in input order.
+    /// Runs the map on scoped worker threads and collects results in input
+    /// order. Workers dynamically claim the next unprocessed item from a
+    /// shared atomic cursor, so heterogeneous per-item costs balance.
     pub fn collect<C>(self) -> C
     where
         C: FromParallelIterator<R>,
@@ -72,36 +94,37 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
             return C::from_ordered(self.items.into_iter().map(f).collect());
         }
 
-        // Tag items with their index, deal them into contiguous chunks, and
-        // merge results back by tag so output order matches input order.
-        let mut tagged: Vec<(usize, T)> = self.items.into_iter().enumerate().collect();
-        let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
-        let base = n / threads;
-        let extra = n % threads;
-        for k in (0..threads).rev() {
-            let take = base + usize::from(k < extra);
-            chunks.push(tagged.split_off(tagged.len() - take));
-        }
-
-        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        // Each item and each result slot is claimed by exactly one worker
+        // (the atomic cursor hands out each index once), so the per-slot
+        // mutexes are never contended — they exist to make the sharing safe.
+        let work: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
         let f = &self.f;
         std::thread::scope(|scope| {
-            for chunk in chunks {
-                scope.spawn(|| {
-                    let done: Vec<(usize, R)> =
-                        chunk.into_iter().map(|(i, item)| (i, f(item))).collect();
-                    let mut guard = slots.lock().unwrap();
-                    for (i, r) in done {
-                        guard[i] = Some(r);
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
+                    let item = work[i].lock().unwrap().take().expect("item claimed twice");
+                    let r = f(item);
+                    *slots[i].lock().unwrap() = Some(r);
                 });
             }
         });
         let results = slots
-            .into_inner()
-            .unwrap()
             .into_iter()
-            .map(|r| r.expect("worker thread panicked"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("worker thread panicked before storing result")
+            })
             .collect();
         C::from_ordered(results)
     }
@@ -181,6 +204,10 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -224,7 +251,6 @@ mod tests {
 
     #[test]
     fn parallel_actually_runs_closures_once_each() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let hits = AtomicUsize::new(0);
         let v: Vec<usize> = (0..100).collect();
         let out: Vec<usize> = v
@@ -236,5 +262,99 @@ mod tests {
             .collect();
         assert_eq!(out.len(), 100);
         assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    /// Spins for roughly `units` cost units and returns a checksum so the
+    /// loop cannot be optimised away.
+    fn busy(units: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..units * 400 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc | 1
+    }
+
+    /// Scheduler stress test: items whose cost grows as index² (the NW/matmul
+    /// sweep shape). Dynamic claiming must (a) still collect in input order
+    /// and (b) spread the *cost* across workers within a bounded factor of
+    /// the ideal even split — static contiguous chunking fails this badly
+    /// (the last chunk of an index²-cost list carries ~87% of the total on
+    /// two threads).
+    #[test]
+    fn skewed_costs_balance_across_threads_and_preserve_order() {
+        let n: u64 = 64;
+        let items: Vec<u64> = (0..n).collect();
+        let per_thread: Mutex<HashMap<ThreadId, u64>> = Mutex::new(HashMap::new());
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&i| {
+                let cost = i * i;
+                let sink = busy(cost);
+                *per_thread
+                    .lock()
+                    .unwrap()
+                    .entry(std::thread::current().id())
+                    .or_insert(0) += cost;
+                // Deterministic value; folding in `sink` (always-odd, so
+                // `min(1)` is 1) keeps busy() from being elided.
+                i * 10 + sink.min(1) - 1
+            })
+            .collect();
+
+        // Order preserved regardless of which worker ran which item.
+        assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+
+        let threads = super::thread_count(items.len());
+        if threads < 2 {
+            return; // single-core host: nothing to balance
+        }
+        let loads = per_thread.into_inner().unwrap();
+        let total: u64 = (0..n).map(|i| i * i).sum();
+        let max_item = (n - 1) * (n - 1);
+        let ideal = total / threads as u64;
+        let worst = loads.values().copied().max().unwrap();
+        // Greedy dynamic scheduling bounds the busiest worker by roughly
+        // ideal + max_item; allow 2x ideal of slack for OS scheduling noise.
+        assert!(
+            worst <= 2 * ideal + max_item,
+            "worst thread carried {worst} of {total} cost units \
+             (ideal {ideal}, {threads} threads, {} workers used)",
+            loads.len()
+        );
+    }
+
+    /// With `threads` workers and `threads - 1` items that block until the
+    /// final item completes, dynamic claiming always leaves a worker free to
+    /// drain the rest of the queue. Static chunk dealing deadlocks here,
+    /// because the quick items are locked inside the blocked workers' chunks.
+    #[test]
+    fn free_workers_drain_the_queue_while_others_are_stuck() {
+        let threads = super::thread_count(usize::MAX);
+        if threads < 2 {
+            return; // needs at least two workers to demonstrate
+        }
+        let n_quick = 100usize;
+        let n = (threads - 1) + n_quick;
+        let quick_done = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if i < threads - 1 {
+                    // "Stuck" item: waits until every quick item has run.
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                    while quick_done.load(Ordering::SeqCst) < n_quick {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "quick items starved: scheduler is not dynamic"
+                        );
+                        std::thread::yield_now();
+                    }
+                } else {
+                    quick_done.fetch_add(1, Ordering::SeqCst);
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
     }
 }
