@@ -11,12 +11,12 @@
 //! * `predict --workload W --size N [--gpu NAME]` — problem-scaling
 //!   prediction for an unseen size.
 
-use bf_kernels::reduce::ReduceVariant;
+use bf_serve::{ModelBundle, PredictServer, ServeConfig};
 use blackforest::collect::CollectOptions;
 use blackforest::model::ModelConfig;
 use blackforest::{BlackForest, SplitStrategy, Workload};
 use gpu_sim::GpuConfig;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,8 +30,9 @@ COMMANDS:
     counters [--gpu NAME]        list hardware performance counters
     collect  --workload W [--gpu NAME] [--out FILE] [--quick]
     analyze  --workload W [--gpu NAME] [--quick]
-    train    --workload W --out MODEL.json [--gpu NAME] [--quick]
-    predict  --workload W --size N [--model MODEL.json] [--gpu NAME] [--quick]
+    train    --workload W --save BUNDLE.json [--gpu NAME] [--quick]
+    serve    --model BUNDLE.json [--addr HOST:PORT] [--threads N] [--cache-size N]
+    predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
     hwscale  --workload W --target NAME [--gpu NAME] [--quick]
 
 WORKLOADS:
@@ -40,18 +41,34 @@ WORKLOADS:
 OPTIONS:
     --gpu NAME      gtx580 (default), gtx480, gtx680, or k20m
     --target NAME   target GPU for hardware scaling (hwscale)
-    --out FILE      output path (collect: CSV; train: model JSON)
+    --out FILE      output path (collect: CSV; train: alias of --save)
+    --save FILE     where train writes the model bundle (versioned JSON)
     --size N        problem size to predict (predict)
-    --model FILE    reuse a trained model instead of re-collecting (predict)
+    --model FILE    a bundle from `train --save`: predict answers offline
+                    from it (no re-profiling), serve exposes it over HTTP
+    --addr H:P      serve listen address (default 127.0.0.1:7878)
+    --cache-size N  serve prediction-LRU capacity in entries (default 4096)
     --quick         smaller sweep and forest (faster)
     --split-strategy S   forest split search: histogram (default) or exact
     --max-bins N    histogram bin ceiling per feature, 2..=65536 (default 256)
-    --threads N     simulation worker threads (default: all cores; 1 = sequential)
+    --threads N     worker threads: simulation workers during collection,
+                    HTTP workers for serve (default: all cores)
     --no-sim-cache  disable the launch-memoization cache (always re-simulate)
 
+SERVING:
+    train writes a self-contained model bundle (forest + counter models +
+    GPU fingerprint + sweep metadata). serve answers POST /predict,
+    GET /bottleneck, GET /healthz and GET /metrics from it; predictions
+    are bit-identical to the in-process chain. Example:
+
+        blackforest train --workload reduce1 --quick --save reduce1.json
+        blackforest serve --model reduce1.json --addr 127.0.0.1:7878 &
+        curl -s -X POST 127.0.0.1:7878/predict -d '{\"size\": 65536}'
+
 Launch simulation is deterministic: --threads and --no-sim-cache change
-wall-clock time only, never a collected value. The flags are shorthands for
-the RAYON_NUM_THREADS and BF_SIM_CACHE=0 environment variables.
+wall-clock time only, never a collected value. During collection the flags
+are shorthands for the RAYON_NUM_THREADS and BF_SIM_CACHE=0 environment
+variables.
 ";
 
 struct Args {
@@ -59,9 +76,12 @@ struct Args {
     workload: Option<String>,
     gpu: String,
     out: Option<PathBuf>,
+    save: Option<PathBuf>,
     model: Option<PathBuf>,
     size: Option<f64>,
     target: Option<String>,
+    addr: Option<String>,
+    cache_size: Option<usize>,
     quick: bool,
     split_strategy: Option<String>,
     max_bins: Option<usize>,
@@ -95,9 +115,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workload: None,
         gpu: "gtx580".into(),
         out: None,
+        save: None,
         model: None,
         size: None,
         target: None,
+        addr: None,
+        cache_size: None,
         quick: false,
         split_strategy: None,
         max_bins: None,
@@ -112,6 +135,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--gpu" => args.gpu = it.next().ok_or("--gpu needs a value")?.clone(),
             "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--save" => args.save = Some(PathBuf::from(it.next().ok_or("--save needs a value")?)),
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--cache-size" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--cache-size needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-size: {e}"))?;
+                if n == 0 {
+                    return Err("--cache-size must be at least 1".into());
+                }
+                args.cache_size = Some(n);
+            }
             "--model" => {
                 args.model = Some(PathBuf::from(it.next().ok_or("--model needs a value")?))
             }
@@ -160,19 +196,14 @@ fn gpu_by_name(name: &str) -> Result<GpuConfig, String> {
 }
 
 fn workload_by_name(name: &str) -> Result<Workload, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "reduce0" => Ok(Workload::Reduce(ReduceVariant::Reduce0)),
-        "reduce1" => Ok(Workload::Reduce(ReduceVariant::Reduce1)),
-        "reduce2" => Ok(Workload::Reduce(ReduceVariant::Reduce2)),
-        "reduce3" => Ok(Workload::Reduce(ReduceVariant::Reduce3)),
-        "reduce4" => Ok(Workload::Reduce(ReduceVariant::Reduce4)),
-        "reduce5" => Ok(Workload::Reduce(ReduceVariant::Reduce5)),
-        "reduce6" => Ok(Workload::Reduce(ReduceVariant::Reduce6)),
-        "matmul" => Ok(Workload::MatMul),
-        "nw" | "needle" => Ok(Workload::Nw),
-        "stencil" | "jacobi2d" => Ok(Workload::Stencil),
-        other => Err(format!("unknown workload {other}")),
-    }
+    Workload::from_name(name).ok_or_else(|| format!("unknown workload {name}"))
+}
+
+/// Loads a bundle, rendering loader failures as CLI errors (missing file,
+/// not-a-bundle, version mismatch each get their own message; all exit
+/// non-zero).
+fn load_bundle(path: &Path) -> Result<ModelBundle, String> {
+    ModelBundle::load(path).map_err(|e| format!("--model {}: {e}", path.display()))
 }
 
 /// Default sweep of the primary problem characteristic per workload.
@@ -291,50 +322,118 @@ fn run() -> Result<(), String> {
         "train" => {
             let workload =
                 workload_by_name(args.workload.as_deref().ok_or("train needs --workload")?)?;
-            let out = args.out.clone().ok_or("train needs --out MODEL.json")?;
+            let save = args
+                .save
+                .clone()
+                .or_else(|| args.out.clone())
+                .ok_or("train needs --save BUNDLE.json")?;
+            let gpu = gpu_by_name(&args.gpu)?;
             let bf = toolchain(&args)?;
             let sizes = default_sizes(workload, args.quick);
             let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
-            report.predictor.save(&out).map_err(|e| e.to_string())?;
+            let bundle = ModelBundle::from_report(&report, &gpu, &sizes, args.quick);
+            bundle.save(&save).map_err(|e| e.to_string())?;
             println!(
-                "trained {} on {} ({} runs); model written to {}",
+                "trained {} on {} ({} runs, {} features); bundle v{} ({:016x}) written to {}",
                 workload.name(),
                 args.gpu,
                 report.dataset.len(),
-                out.display()
+                report.dataset.n_features(),
+                bundle.schema_version,
+                bundle.content_id(),
+                save.display()
             );
             Ok(())
         }
+        "serve" => {
+            let path = args
+                .model
+                .clone()
+                .ok_or("serve needs --model BUNDLE.json")?;
+            let bundle = load_bundle(&path)?;
+            let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
+            // Validate eagerly so a bad --addr fails before we advertise.
+            bf_serve::parse_addr(&addr)?;
+            let config = ServeConfig {
+                threads: args.threads.unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                }),
+                cache_capacity: args.cache_size.unwrap_or(4096),
+                ..ServeConfig::default()
+            };
+            let (workload_name, gpu_name) = (bundle.workload.clone(), bundle.gpu_name.clone());
+            let server = PredictServer::bind(&addr, bundle, config.clone())?;
+            let local = server.local_addr();
+            println!(
+                "serving {workload_name} ({gpu_name}) bundle {} on http://{local}  \
+                 [{} workers, cache {}]",
+                path.display(),
+                config.threads,
+                config.cache_capacity
+            );
+            println!("routes: POST /predict, GET /bottleneck, GET /healthz, GET /metrics");
+            server.run();
+            Ok(())
+        }
         "predict" => {
-            let workload =
-                workload_by_name(args.workload.as_deref().ok_or("predict needs --workload")?)?;
             let size = args.size.ok_or("predict needs --size")?;
-            let predictor = match &args.model {
-                Some(path) => blackforest::predict::ProblemScalingPredictor::load(path)
-                    .map_err(|e| e.to_string())?,
+            let (predictor, characteristics, label) = match &args.model {
+                Some(path) => {
+                    let bundle = load_bundle(path)?;
+                    if let Some(w) = args.workload.as_deref() {
+                        let requested = workload_by_name(w)?;
+                        if bundle.workload() != Some(requested) {
+                            return Err(format!(
+                                "--model {} was trained for workload {}, not {w}",
+                                path.display(),
+                                bundle.workload
+                            ));
+                        }
+                    }
+                    let chars = bundle
+                        .characteristics_for(size, None, None)
+                        .map_err(|e| e.to_string())?;
+                    let label = format!("{} on {}", bundle.workload, bundle.gpu_name);
+                    (bundle.predictor, chars, label)
+                }
                 None => {
+                    let workload = workload_by_name(
+                        args.workload
+                            .as_deref()
+                            .ok_or("predict needs --workload (or --model)")?,
+                    )?;
                     let bf = toolchain(&args)?;
                     let sizes = default_sizes(workload, args.quick);
-                    bf.analyze(workload, &sizes)
+                    let predictor = bf
+                        .analyze(workload, &sizes)
                         .map_err(|e| e.to_string())?
-                        .predictor
+                        .predictor;
+                    let chars: Vec<f64> = workload
+                        .characteristics()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| {
+                            if i == 0 {
+                                Ok(size)
+                            } else {
+                                Workload::default_characteristic(name)
+                                    .ok_or_else(|| format!("no default for characteristic {name}"))
+                            }
+                        })
+                        .collect::<Result<_, String>>()?;
+                    (
+                        predictor,
+                        chars,
+                        format!("{} on {}", workload.name(), args.gpu),
+                    )
                 }
             };
-            // Reduce kernels have a second characteristic (block size);
-            // use 256 threads, the SDK default.
-            let chars: Vec<f64> = match workload {
-                Workload::Reduce(_) => vec![size, 256.0],
-                Workload::Stencil => vec![size, 1.0],
-                _ => vec![size],
-            };
-            let t = predictor.predict(&chars).map_err(|e| e.to_string())?;
-            println!(
-                "{} on {}, size {}: predicted execution time {:.4} ms",
-                workload.name(),
-                args.gpu,
-                size,
-                t
-            );
+            let t = predictor
+                .predict(&characteristics)
+                .map_err(|e| e.to_string())?;
+            println!("{label}, size {size}: predicted execution time {t:.4} ms");
             Ok(())
         }
         "hwscale" => {

@@ -58,7 +58,7 @@ pub fn summarize(points: &[PredictionPoint]) -> PredictionSummary {
 
 /// Predicts execution time for unseen problem characteristics on the
 /// training GPU.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProblemScalingPredictor {
     /// The underlying BlackForest model.
     pub model: BlackForestModel,

@@ -36,6 +36,38 @@ impl Workload {
         }
     }
 
+    /// Parses a workload from a (case-insensitive) name. Accepts both the
+    /// CLI spellings (`matmul`, `nw`, `stencil`) and the report names
+    /// produced by [`Workload::name`] (`matrixMul`, `needle`, `jacobi2d`),
+    /// so names written into saved model bundles always parse back.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        match name.to_ascii_lowercase().as_str() {
+            "reduce0" => Some(Workload::Reduce(ReduceVariant::Reduce0)),
+            "reduce1" => Some(Workload::Reduce(ReduceVariant::Reduce1)),
+            "reduce2" => Some(Workload::Reduce(ReduceVariant::Reduce2)),
+            "reduce3" => Some(Workload::Reduce(ReduceVariant::Reduce3)),
+            "reduce4" => Some(Workload::Reduce(ReduceVariant::Reduce4)),
+            "reduce5" => Some(Workload::Reduce(ReduceVariant::Reduce5)),
+            "reduce6" => Some(Workload::Reduce(ReduceVariant::Reduce6)),
+            "matmul" | "matrixmul" => Some(Workload::MatMul),
+            "nw" | "needle" => Some(Workload::Nw),
+            "stencil" | "jacobi2d" => Some(Workload::Stencil),
+            _ => None,
+        }
+    }
+
+    /// Default value of a secondary problem characteristic when a query
+    /// supplies only the primary size: 256 threads per block (the SDK
+    /// default used throughout the paper's reduce sweeps) and a single
+    /// stencil sweep.
+    pub fn default_characteristic(name: &str) -> Option<f64> {
+        match name {
+            "threads" => Some(256.0),
+            "sweeps" => Some(1.0),
+            _ => None,
+        }
+    }
+
     /// The problem-characteristic columns this workload's sweeps produce.
     pub fn characteristics(&self) -> Vec<&'static str> {
         match self {

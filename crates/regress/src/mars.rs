@@ -67,7 +67,7 @@ impl BasisFunction {
 }
 
 /// MARS hyperparameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MarsParams {
     /// Maximum number of basis functions grown in the forward pass
     /// (including the intercept). `earth` default is 21 for small problems.

@@ -13,7 +13,7 @@ use crate::{RegressError, Result};
 use serde::{Deserialize, Serialize};
 
 /// MLP hyperparameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MlpParams {
     /// Hidden-layer width.
     pub hidden: usize,

@@ -14,7 +14,7 @@ use crate::{RegressError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Options for the stepwise search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StepwiseParams {
     /// Maximum number of selected predictors (besides the intercept).
     pub max_terms: usize,

@@ -1,0 +1,350 @@
+//! A minimal HTTP/1.1 layer on `std` I/O: just enough request parsing and
+//! response writing for the prediction server. Supports persistent
+//! connections (`keep-alive`), `Content-Length` bodies, and bounded header
+//! and body sizes; anything exotic (chunked uploads, continuations) is
+//! rejected rather than guessed at.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request-body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parse/read failure, mapped to the HTTP status the server should send.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to answer with (400, 413, 431, ...).
+    pub status: u16,
+    /// Human-readable reason included in the response body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path portion of the target, without the query string.
+    pub path: String,
+    /// Raw query string (without `?`), if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// A query parameter's (URL-decoded-enough) value: `?k=5` → `"5"`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Reads one request off a buffered stream. Returns `Ok(None)` on a
+    /// clean EOF before any bytes (client closed a kept-alive connection).
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+        let mut head = Vec::new();
+        // Read up to the blank line, byte-capped.
+        loop {
+            let mut line = Vec::new();
+            let n = read_line(reader, &mut line, MAX_HEAD_BYTES - head.len())?;
+            if n == 0 {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::new(400, "connection closed mid-request"));
+            }
+            if line == b"\r\n" || line == b"\n" {
+                if head.is_empty() {
+                    continue; // tolerate leading blank lines (RFC 9112 §2.2)
+                }
+                break;
+            }
+            head.extend_from_slice(&line);
+            if head.len() >= MAX_HEAD_BYTES {
+                return Err(HttpError::new(431, "request head too large"));
+            }
+        }
+        let head = String::from_utf8(head)
+            .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+        let mut lines = head.lines();
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::new(400, "empty request"))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing method"))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::new(505, format!("unsupported {version}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+        {
+            return Err(HttpError::new(501, "chunked request bodies not supported"));
+        }
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))?,
+            None => 0,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::new(413, "request body too large"));
+        }
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 {
+            std::io::Read::read_exact(reader, &mut body)
+                .map_err(|e| HttpError::new(400, format!("short body read: {e}")))?;
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Reads one `\n`-terminated line (CR retained), capped at `max` bytes.
+/// Returns the number of bytes read (0 on EOF).
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    out: &mut Vec<u8>,
+    max: usize,
+) -> Result<usize, HttpError> {
+    let mut taken = 0usize;
+    loop {
+        let available = reader
+            .fill_buf()
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if available.is_empty() {
+            return Ok(taken);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                out.extend_from_slice(&available[..=i]);
+                reader.consume(i + 1);
+                return Ok(taken + i + 1);
+            }
+            None => {
+                let n = available.len();
+                out.extend_from_slice(available);
+                reader.consume(n);
+                taken += n;
+                if taken > max {
+                    return Err(HttpError::new(431, "header line too long"));
+                }
+            }
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let payload = serde_json::to_string(&ErrorBody {
+            error: message.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Response::json(status, payload)
+    }
+
+    /// Writes the response; `close` controls the `Connection` header.
+    pub fn write_to<W: Write>(&self, writer: &mut W, close: bool) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(
+            "POST /predict?debug=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query_param("debug"), Some("1"));
+        assert_eq!(req.body, b"{\"a\": 1}\n");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_any_bytes_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_length() {
+        let big = format!(
+            "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&big).unwrap_err().status, 413);
+        let bad = "POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert_eq!(parse(bad).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn response_writes_wire_format() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let r = Response::error(422, "gpu mismatch");
+        assert_eq!(r.status, 422);
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            "{\"error\":\"gpu mismatch\"}"
+        );
+    }
+}

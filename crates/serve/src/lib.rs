@@ -1,0 +1,41 @@
+//! # bf-serve
+//!
+//! The serving layer of the BlackForest toolchain: durable model-artifact
+//! bundles plus a dependency-free multi-threaded HTTP prediction server.
+//!
+//! The paper's end product is a *predictor* — a trained random forest
+//! chained with per-counter GLM/MARS models that answers "what will this
+//! kernel's execution time be at size N on GPU G" — but the training
+//! pipeline is expensive (a full profiling sweep plus forest fits). This
+//! crate splits train-time from query-time:
+//!
+//! * [`bundle`] — a versioned JSON [`bundle::ModelBundle`] persisting the
+//!   fitted prediction chain, feature schema, training-GPU fingerprint, and
+//!   sweep provenance, with a loader that rejects foreign files and
+//!   mismatched schema versions up front.
+//! * [`server`] — a `std::net` HTTP/1.1 server with a bounded worker pool
+//!   serving `POST /predict`, `GET /bottleneck`, `GET /healthz`, and
+//!   `GET /metrics` from a loaded bundle. No new dependencies: the whole
+//!   stack is `std` + the already-vendored serde.
+//! * [`lru`] — the O(1) LRU cache memoizing whole query → prediction
+//!   results.
+//! * [`metrics`] — lock-free request/latency/cache counters with a
+//!   Prometheus-style text exposition (including the process-wide
+//!   [`gpu_sim::memo`] simulation-cache counters).
+//! * [`http`] — the minimal request parser / response writer underneath.
+//!
+//! Bundle predictions are bit-identical to in-memory
+//! [`blackforest::predict::ProblemScalingPredictor::predict`] calls: the
+//! bundle stores the same structs the trainer produced, serialized through
+//! exact round-trip float encoding.
+
+pub mod bundle;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod server;
+
+pub use bundle::{BundleError, ModelBundle, Prediction, SweepMeta, SCHEMA_VERSION};
+pub use lru::LruCache;
+pub use metrics::Metrics;
+pub use server::{parse_addr, PredictServer, ServeConfig, ServerHandle};

@@ -1,0 +1,219 @@
+//! A small, dependency-free O(1) LRU cache.
+//!
+//! Implemented as a slab-backed doubly-linked list plus a `HashMap` from
+//! key to slab slot: `get` promotes to the front, `insert` evicts the back
+//! when full. Used by the prediction server to memoize whole query →
+//! prediction results (the launch-level [`gpu_sim::memo`] cache memoizes a
+//! different layer: simulations during *training*).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the front (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks a key up, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slab[i].value)
+    }
+
+    /// Inserts (or replaces) a key, evicting the least-recently-used entry
+    /// when at capacity. Returns the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if i != self.head {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let i = self.tail;
+            self.unlink(i);
+            let slot = &mut self.slab[i];
+            let old_key = slot.key.clone();
+            self.map.remove(&old_key);
+            let old_value = std::mem::replace(&mut slot.value, value);
+            slot.key = key.clone();
+            self.map.insert(key, i);
+            self.link_front(i);
+            return Some((old_key, old_value));
+        } else {
+            None
+        };
+        let i = if let Some(i) = self.free.pop() {
+            self.slab[i] = Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+        evicted
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, &'static str> = LruCache::new(2);
+        assert!(c.insert(1, "one").is_none());
+        assert!(c.insert(2, "two").is_none());
+        assert_eq!(c.get(&1), Some(&"one")); // promote 1; 2 is now LRU
+        let evicted = c.insert(3, "three").unwrap();
+        assert_eq!(evicted.0, 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_promotes_without_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none());
+        assert_eq!(c.get(&1), Some(&11));
+        // 2 was LRU, so inserting a third key evicts it.
+        assert_eq!(c.insert(3, 30).unwrap().0, 2);
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_newest() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * 2);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c: LruCache<u64, u64> = LruCache::new(16);
+        for i in 0..10_000u64 {
+            c.insert(i % 37, i);
+            let probe = (i * 7) % 37;
+            if let Some(&v) = c.get(&probe) {
+                // Values stored under key k are always ≡ k (mod 37).
+                assert_eq!(v % 37, probe);
+            }
+            assert!(c.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(&3));
+    }
+}

@@ -1,0 +1,283 @@
+//! Lock-free request metrics with a Prometheus-style text exposition.
+//!
+//! Every worker thread records into shared atomics; `GET /metrics` renders
+//! them together with the process-wide launch-memoization counters from
+//! [`gpu_sim::memo`], so one scrape covers both the serving layer and the
+//! simulation substrate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Upper bounds (microseconds) of the latency histogram buckets; a final
+/// implicit `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000];
+
+/// The routes the server distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /predict`
+    Predict,
+    /// `GET /bottleneck`
+    Bottleneck,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404/405/parse failures).
+    Other,
+}
+
+impl Route {
+    const ALL: [Route; 5] = [
+        Route::Predict,
+        Route::Bottleneck,
+        Route::Healthz,
+        Route::Metrics,
+        Route::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Route::Predict => 0,
+            Route::Bottleneck => 1,
+            Route::Healthz => 2,
+            Route::Metrics => 3,
+            Route::Other => 4,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Route::Predict => "predict",
+            Route::Bottleneck => "bottleneck",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+}
+
+struct AtomicArray<const N: usize>([AtomicU64; N]);
+
+impl<const N: usize> Default for AtomicArray<N> {
+    fn default() -> Self {
+        AtomicArray(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+impl<const N: usize> AtomicArray<N> {
+    fn add(&self, i: usize, n: u64) {
+        self.0[i].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        self.0[i].load(Ordering::Relaxed)
+    }
+}
+
+/// Shared counters for one server instance.
+pub struct Metrics {
+    started: Instant,
+    requests: AtomicArray<5>,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    // Per-bucket (non-cumulative) counts; bucket 8 is +Inf.
+    latency_buckets: AtomicArray<9>,
+    latency_sum_us: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicArray::default(),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            latency_buckets: AtomicArray::default(),
+            latency_sum_us: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one served request.
+    pub fn observe(&self, route: Route, status: u16, latency_us: u64) {
+        self.requests.add(route.index(), 1);
+        match status {
+            200..=299 => self.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| latency_us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets.add(bucket, 1);
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records a prediction-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a prediction-cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all routes.
+    pub fn total_requests(&self) -> u64 {
+        Route::ALL
+            .iter()
+            .map(|r| self.requests.get(r.index()))
+            .sum()
+    }
+
+    /// Requests seen on one route.
+    pub fn requests_on(&self, route: Route) -> u64 {
+        self.requests.get(route.index())
+    }
+
+    /// `(hits, misses)` of the prediction cache.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Renders the text exposition (Prometheus format).
+    pub fn render(&self, cache_len: usize, cache_capacity: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# HELP bf_uptime_seconds Seconds since the server started.\n");
+        out.push_str("# TYPE bf_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "bf_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+
+        out.push_str("# HELP bf_requests_total Requests received, by route.\n");
+        out.push_str("# TYPE bf_requests_total counter\n");
+        for route in Route::ALL {
+            out.push_str(&format!(
+                "bf_requests_total{{route=\"{}\"}} {}\n",
+                route.label(),
+                self.requests.get(route.index())
+            ));
+        }
+
+        out.push_str("# HELP bf_responses_total Responses sent, by status class.\n");
+        out.push_str("# TYPE bf_responses_total counter\n");
+        for (class, v) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            out.push_str(&format!(
+                "bf_responses_total{{class=\"{class}\"}} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str("# HELP bf_request_latency_us Request latency histogram (microseconds).\n");
+        out.push_str("# TYPE bf_request_latency_us histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_buckets.get(i);
+            out.push_str(&format!(
+                "bf_request_latency_us_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets.get(LATENCY_BUCKETS_US.len());
+        out.push_str(&format!(
+            "bf_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "bf_request_latency_us_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("bf_request_latency_us_count {cumulative}\n"));
+
+        let (hits, misses) = self.cache_counts();
+        out.push_str("# HELP bf_prediction_cache Prediction LRU cache statistics.\n");
+        out.push_str("# TYPE bf_prediction_cache_hits_total counter\n");
+        out.push_str(&format!("bf_prediction_cache_hits_total {hits}\n"));
+        out.push_str("# TYPE bf_prediction_cache_misses_total counter\n");
+        out.push_str(&format!("bf_prediction_cache_misses_total {misses}\n"));
+        out.push_str("# TYPE bf_prediction_cache_entries gauge\n");
+        out.push_str(&format!("bf_prediction_cache_entries {cache_len}\n"));
+        out.push_str("# TYPE bf_prediction_cache_capacity gauge\n");
+        out.push_str(&format!("bf_prediction_cache_capacity {cache_capacity}\n"));
+
+        // The training-time launch-memoization cache (process-wide). Idle
+        // on a pure serving process, but a `serve` run that trained in the
+        // same process (or future on-line refits) shows up here.
+        let sim = gpu_sim::memo::global_cache_stats();
+        out.push_str("# HELP bf_sim_cache Launch-memoization cache (gpu_sim::memo).\n");
+        out.push_str("# TYPE bf_sim_cache_hits_total counter\n");
+        out.push_str(&format!("bf_sim_cache_hits_total {}\n", sim.hits));
+        out.push_str("# TYPE bf_sim_cache_misses_total counter\n");
+        out.push_str(&format!("bf_sim_cache_misses_total {}\n", sim.misses));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_route_and_class() {
+        let m = Metrics::new();
+        m.observe(Route::Predict, 200, 10);
+        m.observe(Route::Predict, 422, 80);
+        m.observe(Route::Healthz, 200, 5);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.requests_on(Route::Predict), 2);
+        let text = m.render(0, 128);
+        assert!(text.contains("bf_requests_total{route=\"predict\"} 2"));
+        assert!(text.contains("bf_responses_total{class=\"2xx\"} 2"));
+        assert!(text.contains("bf_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("bf_request_latency_us_count 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe(Route::Predict, 200, 10); // le=50
+        m.observe(Route::Predict, 200, 90); // le=100
+        m.observe(Route::Predict, 200, 1_000_000); // +Inf
+        let text = m.render(0, 0);
+        assert!(text.contains("bf_request_latency_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("bf_request_latency_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("bf_request_latency_us_bucket{le=\"100000\"} 2"));
+        assert!(text.contains("bf_request_latency_us_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn cache_and_sim_counters_render() {
+        let m = Metrics::new();
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        assert_eq!(m.cache_counts(), (2, 1));
+        let text = m.render(1, 1024);
+        assert!(text.contains("bf_prediction_cache_hits_total 2"));
+        assert!(text.contains("bf_prediction_cache_misses_total 1"));
+        assert!(text.contains("bf_prediction_cache_entries 1"));
+        assert!(text.contains("bf_sim_cache_hits_total"));
+        assert!(text.contains("bf_sim_cache_misses_total"));
+    }
+}

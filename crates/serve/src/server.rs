@@ -1,0 +1,468 @@
+//! The prediction server: a bounded worker-thread pool over
+//! `std::net::TcpListener`, serving a loaded [`ModelBundle`].
+//!
+//! Accepted connections are dispatched to workers over a bounded channel
+//! (the acceptor blocks when all workers are busy and the backlog is full —
+//! natural backpressure instead of unbounded queueing). Each worker owns a
+//! connection until it closes, serving any number of kept-alive requests.
+//!
+//! Routes:
+//!
+//! * `POST /predict` — JSON query → predicted time + per-counter predictions.
+//! * `GET /bottleneck[?k=N]` — top-k permutation-importance findings.
+//! * `GET /healthz` — liveness + bundle identity.
+//! * `GET /metrics` — Prometheus-style text exposition.
+//!
+//! Repeated queries are answered from an LRU cache keyed on
+//! `(bundle content id, exact query bits)` so a busy client never re-walks
+//! the forest for a size it already asked about.
+
+use crate::bundle::{ModelBundle, Prediction};
+use crate::http::{HttpError, Request, Response};
+use crate::lru::LruCache;
+use crate::metrics::{Metrics, Route};
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`PredictServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Capacity of the prediction LRU cache (entries).
+    pub cache_capacity: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_capacity: 4096,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Parses and validates a `host:port` listen address, resolving hostnames
+/// like `localhost`. Errors spell out what was wrong.
+pub fn parse_addr(addr: &str) -> Result<SocketAddr, String> {
+    if let Ok(sa) = addr.parse::<SocketAddr>() {
+        return Ok(sa);
+    }
+    if !addr.contains(':') {
+        return Err(format!(
+            "invalid --addr {addr:?}: expected host:port (e.g. 127.0.0.1:7878)"
+        ));
+    }
+    match addr.to_socket_addrs() {
+        Ok(mut it) => it
+            .next()
+            .ok_or_else(|| format!("invalid --addr {addr:?}: resolved to no addresses")),
+        Err(e) => Err(format!(
+            "invalid --addr {addr:?}: {e} (expected host:port, e.g. 127.0.0.1:7878)"
+        )),
+    }
+}
+
+/// Shared state every worker sees.
+struct ServerState {
+    bundle: ModelBundle,
+    bundle_id: u64,
+    metrics: Metrics,
+    cache: Mutex<LruCache<(u64, Vec<u64>), Prediction>>,
+    cache_capacity: usize,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running server.
+pub struct PredictServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServeConfig,
+}
+
+/// A remote control for a running server: its address and a `stop` switch.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to exit, unblocking it with a dummy connection.
+    pub fn stop(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor; any error just means it is already gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+impl PredictServer {
+    /// Binds the listener and prepares shared state.
+    pub fn bind(addr: &str, bundle: ModelBundle, config: ServeConfig) -> Result<Self, String> {
+        let sock_addr = parse_addr(addr)?;
+        let listener =
+            TcpListener::bind(sock_addr).map_err(|e| format!("bind {sock_addr}: {e}"))?;
+        let bundle_id = bundle.content_id();
+        let cache_capacity = config.cache_capacity.max(1);
+        Ok(PredictServer {
+            listener,
+            state: Arc::new(ServerState {
+                bundle,
+                bundle_id,
+                metrics: Metrics::new(),
+                cache: Mutex::new(LruCache::new(cache_capacity)),
+                cache_capacity,
+                shutdown: AtomicBool::new(false),
+            }),
+            config,
+        })
+    }
+
+    /// The actual bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// A handle usable to stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`]; returns once all
+    /// workers have drained.
+    pub fn run(self) {
+        let threads = self.config.threads.max(1);
+        // Bounded dispatch: at most 2 connections queued per worker.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(threads * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            let timeout = self.config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bf-serve-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => break, // acceptor dropped the sender
+                        };
+                        serve_connection(stream, &state, timeout);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Runs the server on a background thread; the returned handle stops it.
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("bf-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept loop");
+        (handle, join)
+    }
+}
+
+/// Serves every request on one connection.
+fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let started = Instant::now();
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // client closed between requests
+            Err(HttpError { status, message }) => {
+                state
+                    .metrics
+                    .observe(Route::Other, status, elapsed_us(started));
+                let _ = Response::error(status, &message).write_to(&mut writer, true);
+                return;
+            }
+        };
+        let close = request.wants_close();
+        let (route, response) = handle_request(&request, state);
+        state
+            .metrics
+            .observe(route, response.status, elapsed_us(started));
+        if response.write_to(&mut writer, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// A `POST /predict` body. Either `characteristics` (exact vector, bundle
+/// order) or `size` (+ optional secondaries) must be given.
+#[derive(Debug, Deserialize)]
+struct PredictRequest {
+    /// Workload name, validated against the bundle when present.
+    workload: Option<String>,
+    /// Target GPU name, validated against the bundle when present.
+    gpu: Option<String>,
+    /// Primary problem size.
+    size: Option<f64>,
+    /// Threads per block (reduce workloads).
+    threads: Option<f64>,
+    /// Stencil sweep count.
+    sweeps: Option<f64>,
+    /// Full characteristic vector, bypassing the named fields.
+    characteristics: Option<Vec<f64>>,
+}
+
+/// A `POST /predict` answer.
+#[derive(Debug, Serialize)]
+struct PredictResponse {
+    workload: String,
+    gpu: String,
+    characteristics: Vec<f64>,
+    predicted_ms: f64,
+    /// `(counter, predicted value)` pairs in retained-feature order.
+    counters: Vec<(String, f64)>,
+    /// Whether the answer came from the prediction cache.
+    cached: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct HealthResponse {
+    status: String,
+    workload: String,
+    gpu: String,
+    schema_version: u32,
+    bundle_id: String,
+    trees: usize,
+    selected: Vec<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct BottleneckResponse {
+    workload: String,
+    gpu: String,
+    findings: Vec<blackforest::bottleneck::BottleneckFinding>,
+}
+
+/// Routes one request. Returns the route label for metrics plus the answer.
+fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => (Route::Predict, handle_predict(request, state)),
+        ("GET", "/bottleneck") => (Route::Bottleneck, handle_bottleneck(request, state)),
+        ("GET", "/healthz") => (Route::Healthz, handle_healthz(state)),
+        ("GET", "/metrics") => {
+            let body = state
+                .metrics
+                .render(state.cache.lock().unwrap().len(), state.cache_capacity);
+            (Route::Metrics, Response::text(200, body))
+        }
+        (_, "/predict" | "/bottleneck" | "/healthz" | "/metrics") => (
+            Route::Other,
+            Response::error(405, "method not allowed for this path"),
+        ),
+        _ => (
+            Route::Other,
+            Response::error(404, &format!("no such route {}", request.path)),
+        ),
+    }
+}
+
+fn handle_predict(request: &Request, state: &ServerState) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let query: PredictRequest = match serde_json::from_str(body) {
+        Ok(q) => q,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let bundle = &state.bundle;
+
+    if let Some(w) = &query.workload {
+        let matches = match (blackforest::Workload::from_name(w), bundle.workload()) {
+            (Some(a), Some(b)) => a == b,
+            _ => w.eq_ignore_ascii_case(&bundle.workload),
+        };
+        if !matches {
+            return Response::error(
+                422,
+                &format!(
+                    "bundle was trained for workload {:?}, not {w:?}",
+                    bundle.workload
+                ),
+            );
+        }
+    }
+    if let Some(g) = &query.gpu {
+        if !g.eq_ignore_ascii_case(&bundle.gpu_name) {
+            return Response::error(
+                422,
+                &format!(
+                    "bundle was trained on {} (fingerprint {:#x}); predictions for {g:?} \
+                     need a bundle trained on that GPU",
+                    bundle.gpu_name, bundle.gpu_fingerprint
+                ),
+            );
+        }
+    }
+
+    let chars = if let Some(chars) = query.characteristics {
+        if chars.len() != bundle.characteristics.len() {
+            return Response::error(
+                422,
+                &format!(
+                    "expected {} characteristics {:?}, got {}",
+                    bundle.characteristics.len(),
+                    bundle.characteristics,
+                    chars.len()
+                ),
+            );
+        }
+        chars
+    } else {
+        let size = match query.size {
+            Some(s) if s.is_finite() && s > 0.0 => s,
+            Some(_) => return Response::error(422, "size must be a positive finite number"),
+            None => return Response::error(400, "body needs either size or characteristics"),
+        };
+        match bundle.characteristics_for(size, query.threads, query.sweeps) {
+            Ok(c) => c,
+            Err(msg) => return Response::error(422, &msg),
+        }
+    };
+
+    let key = (
+        state.bundle_id,
+        chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+    );
+    let cached = state.cache.lock().unwrap().get(&key).cloned();
+    let (prediction, was_cached) = match cached {
+        Some(p) => {
+            state.metrics.cache_hit();
+            (p, true)
+        }
+        None => {
+            state.metrics.cache_miss();
+            match bundle.predict(&chars) {
+                Ok(p) => {
+                    state.cache.lock().unwrap().insert(key, p.clone());
+                    (p, false)
+                }
+                Err(msg) => return Response::error(500, &format!("prediction failed: {msg}")),
+            }
+        }
+    };
+
+    let payload = PredictResponse {
+        workload: bundle.workload.clone(),
+        gpu: bundle.gpu_name.clone(),
+        characteristics: chars,
+        predicted_ms: prediction.predicted_ms,
+        counters: prediction.counters,
+        cached: was_cached,
+    };
+    match serde_json::to_string(&payload) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+fn handle_bottleneck(request: &Request, state: &ServerState) -> Response {
+    let findings = &state.bundle.bottlenecks.findings;
+    let k = match request.query_param("k") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => return Response::error(400, &format!("bad k={raw:?}: expected integer >= 1")),
+        },
+        None => findings.len(),
+    };
+    let payload = BottleneckResponse {
+        workload: state.bundle.workload.clone(),
+        gpu: state.bundle.gpu_name.clone(),
+        findings: findings.iter().take(k).cloned().collect(),
+    };
+    match serde_json::to_string(&payload) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+fn handle_healthz(state: &ServerState) -> Response {
+    let payload = HealthResponse {
+        status: "ok".into(),
+        workload: state.bundle.workload.clone(),
+        gpu: state.bundle.gpu_name.clone(),
+        schema_version: state.bundle.schema_version,
+        bundle_id: format!("{:016x}", state.bundle_id),
+        trees: state.bundle.predictor.model.reduced_forest.n_trees(),
+        selected: state.bundle.selected.clone(),
+    };
+    match serde_json::to_string(&payload) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_addr_accepts_sockets_and_hostnames() {
+        assert_eq!(
+            parse_addr("127.0.0.1:7878").unwrap(),
+            "127.0.0.1:7878".parse::<SocketAddr>().unwrap()
+        );
+        assert!(parse_addr("localhost:0").is_ok());
+        let e = parse_addr("not-an-addr").unwrap_err();
+        assert!(e.contains("host:port"), "{e}");
+        assert!(parse_addr("127.0.0.1:notaport").is_err());
+    }
+}

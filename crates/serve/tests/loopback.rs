@@ -1,0 +1,218 @@
+//! End-to-end serving test: train a quick reduce sweep, save a bundle,
+//! serve it on an ephemeral loopback port, and check that the HTTP answers
+//! agree with in-memory predictions to the last bit while the metrics
+//! counters track every request.
+
+use bf_serve::{ModelBundle, PredictServer, ServeConfig};
+use blackforest::{BlackForest, ModelConfig, Workload};
+use gpu_sim::GpuConfig;
+use serde::Deserialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+#[derive(Debug, Deserialize)]
+struct PredictBody {
+    predicted_ms: f64,
+    characteristics: Vec<f64>,
+    counters: Vec<(String, f64)>,
+    cached: bool,
+}
+
+/// A one-shot HTTP client: sends one request on a fresh connection with
+/// `Connection: close` and returns `(status, body)`.
+fn roundtrip(addr: SocketAddr, request_head: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let raw = format!(
+        "{request_head}\r\nHost: loopback\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn post_predict(addr: SocketAddr, body: &str) -> (u16, String) {
+    roundtrip(addr, "POST /predict HTTP/1.1", body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1"), "")
+}
+
+/// Pulls `name{labels} value` or `name value` out of a metrics exposition.
+fn metric(text: &str, needle: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(needle))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {needle} missing"))
+}
+
+#[test]
+fn loopback_predictions_match_in_memory_bit_for_bit() {
+    // Train a quick reduce sweep and bundle it.
+    let gpu = GpuConfig::gtx580();
+    let bf = BlackForest::new(gpu.clone()).with_config(ModelConfig::quick(77));
+    let sizes: Vec<usize> = (12..=15).map(|e| 1usize << e).collect();
+    let report = bf
+        .analyze(
+            Workload::Reduce(bf_kernels::reduce::ReduceVariant::Reduce1),
+            &sizes,
+        )
+        .expect("train quick reduce sweep");
+    let bundle = ModelBundle::from_report(&report, &gpu, &sizes, true);
+
+    let dir = std::env::temp_dir().join("bf_serve_loopback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reduce1.bundle.json");
+    bundle.save(&path).expect("save bundle");
+    let loaded = ModelBundle::load(&path).expect("load bundle");
+
+    // Serve the loaded bundle on an ephemeral port.
+    let server = PredictServer::bind(
+        "127.0.0.1:0",
+        loaded.clone(),
+        ServeConfig {
+            threads: 4,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let (handle, join) = server.spawn();
+    let addr = handle.addr();
+
+    // Health first.
+    let (status, health) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"workload\":\"reduce1\""), "{health}");
+
+    // Served predictions agree with the in-memory chain bit-for-bit.
+    for (size, threads) in [(4096.0, 64.0), (8192.0, 256.0), (20000.0, 512.0)] {
+        let (status, body) = post_predict(
+            addr,
+            &format!("{{\"workload\": \"reduce1\", \"size\": {size}, \"threads\": {threads}}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        let parsed: PredictBody = serde_json::from_str(&body).expect("predict body json");
+        assert_eq!(parsed.characteristics, vec![size, threads]);
+        let expected = report.predictor.predict(&[size, threads]).unwrap();
+        assert_eq!(
+            parsed.predicted_ms.to_bits(),
+            expected.to_bits(),
+            "served {} vs in-memory {expected}",
+            parsed.predicted_ms
+        );
+        assert!(!parsed.counters.is_empty());
+        assert!(!parsed.cached);
+    }
+
+    // The same query again is a cache hit with an identical answer.
+    let (_, first) = post_predict(addr, "{\"size\": 4096, \"threads\": 64}");
+    let parsed: PredictBody = serde_json::from_str(&first).unwrap();
+    assert!(parsed.cached, "repeat query should hit the LRU");
+    let expected = report.predictor.predict(&[4096.0, 64.0]).unwrap();
+    assert_eq!(parsed.predicted_ms.to_bits(), expected.to_bits());
+
+    // Bottleneck endpoint serves the bundled findings.
+    let (status, bn) = get(addr, "/bottleneck?k=3");
+    assert_eq!(status, 200);
+    assert!(bn.contains("\"findings\""), "{bn}");
+
+    // Bad queries are 4xx, not crashes.
+    assert_eq!(post_predict(addr, "{not json").0, 400);
+    assert_eq!(post_predict(addr, "{}").0, 400);
+    assert_eq!(post_predict(addr, "{\"size\": -1}").0, 422);
+    assert_eq!(
+        post_predict(addr, "{\"size\": 4096, \"workload\": \"matmul\"}").0,
+        422
+    );
+    assert_eq!(
+        post_predict(addr, "{\"size\": 4096, \"gpu\": \"k20m\"}").0,
+        422
+    );
+    assert_eq!(get(addr, "/nope").0, 404);
+
+    // Metrics advanced and the counters are consistent: 3 fresh predicts +
+    // 1 cached repeat + 5 rejected bodies all hit the predict route.
+    let (status, m) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let predict_requests = metric(&m, "bf_requests_total{route=\"predict\"}");
+    assert_eq!(predict_requests, 9, "{m}");
+    let hits = metric(&m, "bf_prediction_cache_hits_total");
+    let misses = metric(&m, "bf_prediction_cache_misses_total");
+    assert_eq!(hits, 1);
+    assert_eq!(misses, 3);
+    // 2xx so far: healthz + 4 successful predicts + bottleneck.
+    assert_eq!(metric(&m, "bf_responses_total{class=\"2xx\"}"), 6);
+    assert_eq!(metric(&m, "bf_responses_total{class=\"4xx\"}"), 6); // 5 bodies + 404
+    assert!(metric(&m, "bf_request_latency_us_bucket{le=\"+Inf\"}") >= 9);
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn sustains_a_thousand_sequential_predictions_with_zero_errors() {
+    let gpu = GpuConfig::gtx580();
+    let bf = BlackForest::new(gpu.clone()).with_config(ModelConfig::quick(78));
+    let sizes: Vec<usize> = (2..=12).map(|k| k * 16).collect();
+    let report = bf.analyze(Workload::MatMul, &sizes).expect("train matmul");
+    let bundle = ModelBundle::from_report(&report, &gpu, &sizes, true);
+
+    let server = PredictServer::bind(
+        "127.0.0.1:0",
+        bundle,
+        ServeConfig {
+            threads: 2,
+            cache_capacity: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let (handle, join) = server.spawn();
+    let addr = handle.addr();
+
+    const N: usize = 1000;
+    let mut errors = 0usize;
+    for i in 0..N {
+        // 128 distinct sizes, so most queries are LRU hits.
+        let size = 32 + (i % 128) * 2;
+        let (status, body) = post_predict(addr, &format!("{{\"size\": {size}}}"));
+        if status != 200 {
+            errors += 1;
+            eprintln!("request {i} failed: {status} {body}");
+        }
+    }
+    assert_eq!(errors, 0, "all {N} sequential predictions must succeed");
+
+    let (status, m) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(metric(&m, "bf_requests_total{route=\"predict\"}"), N as u64);
+    let hits = metric(&m, "bf_prediction_cache_hits_total");
+    let misses = metric(&m, "bf_prediction_cache_misses_total");
+    assert_eq!(hits + misses, N as u64, "every predict hits the cache path");
+    assert_eq!(misses, 128, "one miss per distinct size");
+    // A scrape is counted only after its body has rendered, so this
+    // exposition covers exactly the N predictions plus nothing else.
+    assert_eq!(metric(&m, "bf_responses_total{class=\"2xx\"}"), N as u64);
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
