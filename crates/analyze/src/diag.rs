@@ -1,0 +1,344 @@
+//! Clippy-style diagnostics derived from a static launch analysis.
+//!
+//! Each diagnostic carries a stable code (the BF-Wxxx catalogue in
+//! `DESIGN.md`), a severity, a span pointing into the kernel, a message, and
+//! a suggestion. Codes:
+//!
+//! | code    | severity | fires when |
+//! |---------|----------|------------|
+//! | BF-W001 | warning  | shared-memory access with bank-conflict degree >= 2 |
+//! | BF-W002 | warning  | global load or store coalescing efficiency < 50%   |
+//! | BF-W003 | warning  | theoretical occupancy < 50%                        |
+//! | BF-W004 | warning  | >= 20% of branches diverge                         |
+//! | BF-I101 | info     | roofline classification (always, one per launch)   |
+//! | BF-E001 | error    | malformed trace or impossible launch               |
+//! | BF-E002 | error    | differential-oracle divergence                     |
+
+use crate::walk::StaticLaunchAnalysis;
+use gpu_sim::occupancy::OccupancyLimiter;
+use gpu_sim::{GpuConfig, SimError};
+use serde::{Deserialize, Serialize, Value};
+
+/// Bank-conflict warning.
+pub const BANK_CONFLICT: &str = "BF-W001";
+/// Uncoalesced-access warning.
+pub const UNCOALESCED: &str = "BF-W002";
+/// Low-occupancy warning.
+pub const LOW_OCCUPANCY: &str = "BF-W003";
+/// Branch-divergence warning.
+pub const DIVERGENCE: &str = "BF-W004";
+/// Roofline classification note.
+pub const ROOFLINE: &str = "BF-I101";
+/// Malformed trace / impossible launch.
+pub const MALFORMED: &str = "BF-E001";
+/// Static-vs-dynamic oracle divergence.
+pub const ORACLE_DIVERGENCE: &str = "BF-E002";
+
+/// Coalescing efficiency below this fraction raises [`UNCOALESCED`].
+pub const COALESCING_THRESHOLD: f64 = 0.5;
+/// Theoretical occupancy below this fraction raises [`LOW_OCCUPANCY`].
+pub const OCCUPANCY_THRESHOLD: f64 = 0.5;
+/// Divergent-branch fraction at or above this raises [`DIVERGENCE`].
+pub const DIVERGENCE_THRESHOLD: f64 = 0.2;
+
+/// How bad a diagnostic is; orders `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// A likely performance problem.
+    Warning,
+    /// A correctness problem (malformed input, oracle divergence).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports and the JSON schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the lower-case label.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Severity {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(s) => {
+                Severity::parse(s).ok_or_else(|| serde::Error(format!("unknown severity `{s}`")))
+            }
+            other => Err(serde::Error(format!(
+                "expected severity string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points: kernel, launch position, and (when the finding
+/// is tied to a concrete instruction) block/warp/instruction indices.
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launch index within the application.
+    pub launch: usize,
+    /// Block id of the offending access, if instruction-level.
+    pub block: Option<usize>,
+    /// Warp index, if instruction-level.
+    pub warp: Option<usize>,
+    /// Instruction index within the warp stream, if instruction-level.
+    pub instruction: Option<usize>,
+}
+
+impl Span {
+    /// A launch-level span (no instruction attached).
+    pub fn launch(kernel: &str, launch: usize) -> Span {
+        Span {
+            kernel: kernel.to_string(),
+            launch,
+            block: None,
+            warp: None,
+            instruction: None,
+        }
+    }
+
+    /// Attaches an instruction location.
+    pub fn at(mut self, loc: crate::walk::Location) -> Span {
+        self.block = Some(loc.block);
+        self.warp = Some(loc.warp);
+        self.instruction = Some(loc.instruction);
+        self
+    }
+
+    /// Renders `kernel[launch]` or `kernel[launch] b/w/i` for display.
+    pub fn render(&self) -> String {
+        match (self.block, self.warp, self.instruction) {
+            (Some(b), Some(w), Some(i)) => {
+                format!(
+                    "{}[{}] block {} warp {} instr {}",
+                    self.kernel, self.launch, b, w, i
+                )
+            }
+            _ => format!("{}[{}]", self.kernel, self.launch),
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, where it is, what it means, and
+/// what to do about it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Stable code (BF-Wxxx catalogue).
+    pub code: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested fix.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the clippy-like single-finding format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}\n  = help: {}",
+            self.severity,
+            self.code,
+            self.message,
+            self.span.render(),
+            self.suggestion
+        )
+    }
+}
+
+/// Builds a [`MALFORMED`] error diagnostic from a simulator error.
+pub fn malformed(kernel: &str, launch: usize, err: &SimError) -> Diagnostic {
+    Diagnostic {
+        code: MALFORMED.to_string(),
+        severity: Severity::Error,
+        span: Span::launch(kernel, launch),
+        message: format!("launch cannot be analyzed: {err}"),
+        suggestion: "fix the kernel trace or launch configuration; see the error detail".into(),
+    }
+}
+
+/// Runs every launch-level check over one static analysis.
+pub fn diagnose(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let span = || Span::launch(&a.kernel, launch);
+
+    if a.shared.max_degree >= 2 {
+        let worst = a.shared.worst.expect("conflicted access has a location");
+        out.push(Diagnostic {
+            code: BANK_CONFLICT.to_string(),
+            severity: Severity::Warning,
+            span: span().at(worst),
+            message: format!(
+                "{}-way shared-memory bank conflict ({} of {} shared accesses conflicted)",
+                a.shared.max_degree, a.shared.conflicted, a.shared.accesses
+            ),
+            suggestion: "use sequential addressing or pad the shared array so consecutive \
+                         lanes hit distinct banks"
+                .into(),
+        });
+    }
+
+    for (what, summary, hint) in [
+        (
+            "load",
+            &a.loads,
+            "make consecutive lanes read consecutive addresses (structure-of-arrays layout)",
+        ),
+        (
+            "store",
+            &a.stores,
+            "write full warps to contiguous addresses, or stage results through shared memory",
+        ),
+    ] {
+        if summary.requests > 0 && summary.efficiency() < COALESCING_THRESHOLD {
+            let worst = summary.worst.expect("accesses recorded imply a worst span");
+            out.push(Diagnostic {
+                code: UNCOALESCED.to_string(),
+                severity: Severity::Warning,
+                span: span().at(worst),
+                message: format!(
+                    "uncoalesced global {}s: {:.1}% efficiency ({} transactions for {} requests)",
+                    what,
+                    summary.efficiency() * 100.0,
+                    summary.transactions,
+                    summary.requests
+                ),
+                suggestion: hint.into(),
+            });
+        }
+    }
+
+    if a.occupancy.theoretical < OCCUPANCY_THRESHOLD {
+        let limiter = a.occupancy.limiter;
+        let hint = match limiter {
+            OccupancyLimiter::BlockSlots => {
+                "increase the block size so fewer, larger blocks fill the warp slots"
+            }
+            OccupancyLimiter::WarpSlots => "reduce the block size or rebalance warps per block",
+            OccupancyLimiter::Registers => {
+                "reduce per-thread register use (or cap it with launch bounds)"
+            }
+            OccupancyLimiter::SharedMemory => "reduce per-block shared-memory allocation",
+            OccupancyLimiter::GridSize => "launch more blocks to fill the machine",
+        };
+        out.push(Diagnostic {
+            code: LOW_OCCUPANCY.to_string(),
+            severity: Severity::Warning,
+            span: span(),
+            message: format!(
+                "theoretical occupancy limited to {:.1}% by {} ({} blocks/SM, {} warps of {})",
+                a.occupancy.theoretical * 100.0,
+                limiter.name(),
+                a.occupancy.blocks_per_sm,
+                a.occupancy.warps_per_sm,
+                gpu.max_warps_per_sm
+            ),
+            suggestion: hint.into(),
+        });
+    }
+
+    if a.divergence.branches > 0 {
+        let frac = a.divergence.divergent as f64 / a.divergence.branches as f64;
+        if frac >= DIVERGENCE_THRESHOLD {
+            let first = a.divergence.first.expect("divergent branch has a location");
+            out.push(Diagnostic {
+                code: DIVERGENCE.to_string(),
+                severity: Severity::Warning,
+                span: span().at(first),
+                message: format!(
+                    "{:.0}% of branches diverge ({} of {}); diverged paths serialise",
+                    frac * 100.0,
+                    a.divergence.divergent,
+                    a.divergence.branches
+                ),
+                suggestion: "restructure thread->work mapping so whole warps take the same \
+                             path (e.g. strided reduction indexing)"
+                    .into(),
+            });
+        }
+    }
+
+    let roofline = a.roofline(gpu);
+    out.push(Diagnostic {
+        code: ROOFLINE.to_string(),
+        severity: Severity::Info,
+        span: span(),
+        message: format!(
+            "{} (arithmetic intensity {:.2} ops/byte; est. compute {:.2}us vs memory {:.2}us)",
+            roofline.bound.label(),
+            roofline.arithmetic_intensity,
+            roofline.compute_seconds * 1e6,
+            roofline.memory_seconds * 1e6
+        ),
+        suggestion: "informational; optimise the dominating side first".into(),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_roundtrips() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn severity_serializes_lowercase() {
+        let v = serde_json::to_string(&Severity::Warning).unwrap();
+        assert_eq!(v, "\"warning\"");
+        let back: Severity = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, Severity::Warning);
+    }
+
+    #[test]
+    fn span_renders_with_and_without_instruction() {
+        let s = Span::launch("reduce1", 2);
+        assert_eq!(s.render(), "reduce1[2]");
+        let s = s.at(crate::walk::Location {
+            block: 5,
+            warp: 1,
+            instruction: 7,
+        });
+        assert_eq!(s.render(), "reduce1[2] block 5 warp 1 instr 7");
+    }
+}

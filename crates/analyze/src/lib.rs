@@ -1,0 +1,37 @@
+//! Static kernel-launch analysis for the BlackForest toolchain.
+//!
+//! The paper's bottleneck analysis is *dynamic*: it infers bank conflicts,
+//! uncoalesced access, and occupancy limits from hardware-performance-counter
+//! values after running the kernel. Much of that signal, however, is already
+//! present in the program structure — the launch configuration fixes
+//! occupancy, and the per-lane address streams fix coalescing and
+//! bank-conflict behaviour. This crate extracts it without running the cycle
+//! engine, three ways:
+//!
+//! * **Static walk** ([`walk`]) — [`analyze_launch`] visits the same sampled
+//!   block traces the simulator would and applies the same counting rules,
+//!   producing full-grid event counts, coalescing/bank-conflict/divergence
+//!   profiles, theoretical occupancy with its limiter, arithmetic intensity,
+//!   and a roofline compute-vs-memory classification — in microseconds
+//!   instead of a full simulation.
+//! * **Diagnostics** ([`diag`]) — clippy-style findings with stable codes
+//!   (`BF-W001` bank conflicts, `BF-W002` uncoalesced access, `BF-W003` low
+//!   occupancy, `BF-W004` divergence, `BF-I101` roofline note, `BF-E00x`
+//!   errors), severities, spans, and fix suggestions; driven over whole
+//!   workload sweeps by [`lint`] (the engine behind the `bf lint`
+//!   subcommand, with a stable JSON schema).
+//! * **Differential oracle** ([`oracle`]) — every statically derivable
+//!   counter is diffed against the dynamic simulator across the paper's
+//!   sweeps; divergence beyond float noise means one side has a bug. This is
+//!   the sanitizer that keeps the simulator's causal structure honest as it
+//!   grows.
+
+pub mod diag;
+pub mod lint;
+pub mod oracle;
+pub mod walk;
+
+pub use diag::{diagnose, Diagnostic, Severity, Span};
+pub use lint::{lint_applications, lint_workload, render_text, LintOptions, LintReport, WORKLOADS};
+pub use oracle::{check_application, check_launch, compare, OracleReport, REL_TOLERANCE};
+pub use walk::{analyze_launch, BoundKind, Roofline, StaticCounts, StaticLaunchAnalysis};

@@ -1,0 +1,523 @@
+//! The `bf lint` driver: sweep a workload, collect diagnostics, optionally
+//! run the differential oracle, and render the report.
+//!
+//! The JSON schema (version 1, documented in `DESIGN.md`) is stable: fields
+//! are only added, never renamed or removed, and `schema_version` is bumped
+//! on any breaking change.
+
+use crate::diag::{self, Diagnostic, Severity};
+use crate::oracle::{self, OracleReport};
+use crate::walk::analyze_launch;
+use bf_kernels::matmul::matmul_application;
+use bf_kernels::nw::nw_application;
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
+use bf_kernels::stencil::stencil_application;
+use bf_kernels::Application;
+use gpu_sim::GpuConfig;
+use serde::Serialize;
+
+/// Options for a lint run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Use the small quick sweep instead of the full one.
+    pub quick: bool,
+    /// Also run the static-vs-dynamic differential oracle (costs a dynamic
+    /// simulation per launch).
+    pub oracle: bool,
+}
+
+/// A diagnostic plus how many launches it fired on (duplicates across a
+/// sweep are folded; the span points at the first occurrence).
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregatedDiagnostic {
+    /// The representative diagnostic (first occurrence).
+    pub diagnostic: Diagnostic,
+    /// Number of launches across the sweep that raised it.
+    pub occurrences: usize,
+}
+
+/// Per-kernel rollup across every launch of the sweep that used the kernel.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launches analyzed.
+    pub launches: usize,
+    /// Minimum theoretical occupancy across launches, percent.
+    pub min_occupancy_pct: f64,
+    /// Worst (lowest) global-load efficiency across launches, percent.
+    pub min_load_efficiency_pct: f64,
+    /// Worst global-store efficiency across launches, percent.
+    pub min_store_efficiency_pct: f64,
+    /// Worst shared-memory bank-conflict degree across launches.
+    pub max_bank_conflict_degree: u32,
+    /// Roofline bound label of the largest launch ("compute-bound",
+    /// "memory-bound", "balanced").
+    pub bound: String,
+}
+
+/// Oracle rollup for the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleSummary {
+    /// Launches checked.
+    pub launches_checked: usize,
+    /// Counter pairs compared.
+    pub counters_checked: usize,
+    /// Largest relative error seen across all pairs.
+    pub max_rel_error: f64,
+    /// Number of divergent launches (non-zero means BF-E002 errors fired).
+    pub divergent_launches: usize,
+}
+
+/// Severity tallies.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SeveritySummary {
+    /// Info diagnostics.
+    pub info: usize,
+    /// Warning diagnostics.
+    pub warnings: usize,
+    /// Error diagnostics.
+    pub errors: usize,
+}
+
+/// The full lint report: the unit of the `--format json` output.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// Schema version; bumped on breaking changes.
+    pub schema_version: u32,
+    /// GPU preset name.
+    pub gpu: String,
+    /// Workload name.
+    pub workload: String,
+    /// Applications in the sweep.
+    pub applications: usize,
+    /// Kernel launches analyzed.
+    pub launches: usize,
+    /// Aggregated diagnostics, errors first.
+    pub diagnostics: Vec<AggregatedDiagnostic>,
+    /// Per-kernel rollups.
+    pub kernels: Vec<KernelSummary>,
+    /// Oracle rollup, when the oracle ran.
+    pub oracle: Option<OracleSummary>,
+    /// Severity tallies over all (pre-aggregation) diagnostics.
+    pub summary: SeveritySummary,
+}
+
+impl LintReport {
+    /// The highest severity present, if any diagnostic fired.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.diagnostic.severity).max()
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lint report serializes")
+    }
+}
+
+/// The workloads `bf lint` knows how to sweep.
+pub const WORKLOADS: &[&str] = &[
+    "reduce0", "reduce1", "reduce2", "reduce3", "reduce4", "reduce5", "reduce6", "matmul", "nw",
+    "stencil",
+];
+
+/// Builds the sweep of applications for a named workload, mirroring the
+/// paper's parameter ranges (`--quick` trims them for CI).
+pub fn workload_sweep(workload: &str, quick: bool) -> Option<Vec<Application>> {
+    let apps = match workload {
+        "matmul" => {
+            let sizes: &[usize] = if quick {
+                &[64, 128]
+            } else {
+                &[64, 128, 256, 512]
+            };
+            sizes.iter().map(|&n| matmul_application(n)).collect()
+        }
+        "nw" => {
+            let lengths: &[usize] = if quick {
+                &[256, 512]
+            } else {
+                &[256, 512, 1024, 2048]
+            };
+            lengths.iter().map(|&n| nw_application(n, 10)).collect()
+        }
+        "stencil" => {
+            let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256] };
+            let sweeps: &[usize] = if quick { &[1] } else { &[1, 2, 4] };
+            let mut apps = Vec::new();
+            for &n in sizes {
+                for &s in sweeps {
+                    apps.push(stencil_application(n, s));
+                }
+            }
+            apps
+        }
+        name => {
+            let variant = *ReduceVariant::ALL.iter().find(|v| v.name() == name)?;
+            let sizes: &[usize] = if quick {
+                &[1 << 14, 1 << 16]
+            } else {
+                &[1 << 14, 1 << 16, 1 << 18, 1 << 20]
+            };
+            let threads: &[usize] = if quick {
+                &[128, 256]
+            } else {
+                &[64, 128, 256, 512]
+            };
+            let mut apps = Vec::new();
+            for &n in sizes {
+                for &t in threads {
+                    apps.push(reduce_application(variant, n, t));
+                }
+            }
+            apps
+        }
+    };
+    Some(apps)
+}
+
+/// Lints one workload sweep on a GPU: static analysis + diagnostics over
+/// every launch of every application, plus the oracle when requested.
+///
+/// Launches that cannot be analyzed (malformed trace, impossible launch)
+/// produce a `BF-E001` error diagnostic instead of aborting the run.
+pub fn lint_workload(gpu: &GpuConfig, workload: &str, opts: LintOptions) -> Option<LintReport> {
+    let apps = workload_sweep(workload, opts.quick)?;
+    Some(lint_applications(gpu, workload, &apps, opts))
+}
+
+/// Lints an explicit set of applications (the engine behind
+/// [`lint_workload`]; exposed for custom sweeps and tests).
+pub fn lint_applications(
+    gpu: &GpuConfig,
+    workload: &str,
+    apps: &[Application],
+    opts: LintOptions,
+) -> LintReport {
+    let mut all: Vec<Diagnostic> = Vec::new();
+    let mut launches = 0usize;
+    let mut kernels: Vec<KernelSummary> = Vec::new();
+    let mut oracle_reports: Vec<OracleReport> = Vec::new();
+
+    for app in apps {
+        for (i, kernel) in app.launches.iter().enumerate() {
+            launches += 1;
+            let a = match analyze_launch(gpu, kernel.as_ref()) {
+                Ok(a) => a,
+                Err(e) => {
+                    all.push(diag::malformed(&kernel.name(), i, &e));
+                    continue;
+                }
+            };
+            all.extend(diag::diagnose(gpu, &a, i));
+
+            let entry = match kernels.iter_mut().find(|k| k.kernel == a.kernel) {
+                Some(e) => e,
+                None => {
+                    kernels.push(KernelSummary {
+                        kernel: a.kernel.clone(),
+                        launches: 0,
+                        min_occupancy_pct: 100.0,
+                        min_load_efficiency_pct: 100.0,
+                        min_store_efficiency_pct: 100.0,
+                        max_bank_conflict_degree: 1,
+                        bound: String::new(),
+                    });
+                    kernels.last_mut().expect("just pushed")
+                }
+            };
+            entry.launches += 1;
+            entry.min_occupancy_pct = entry.min_occupancy_pct.min(a.occupancy.theoretical * 100.0);
+            entry.min_load_efficiency_pct = entry
+                .min_load_efficiency_pct
+                .min(a.load_efficiency() * 100.0);
+            entry.min_store_efficiency_pct = entry
+                .min_store_efficiency_pct
+                .min(a.store_efficiency() * 100.0);
+            entry.max_bank_conflict_degree =
+                entry.max_bank_conflict_degree.max(a.shared.max_degree);
+            // Successive launches shrink (reduce passes); keep the first
+            // (largest) launch's classification as the kernel's character.
+            if entry.bound.is_empty() {
+                entry.bound = a.roofline(gpu).bound.label().to_string();
+            }
+
+            if opts.oracle {
+                match oracle::check_launch(gpu, kernel.as_ref(), i) {
+                    Ok(r) => {
+                        if r.divergent() {
+                            let detail: Vec<String> = r
+                                .failures()
+                                .iter()
+                                .map(|c| {
+                                    format!(
+                                        "{}: static {} vs dynamic {} (rel {:.2e})",
+                                        c.counter, c.static_value, c.dynamic_value, c.rel_error
+                                    )
+                                })
+                                .collect();
+                            all.push(Diagnostic {
+                                code: diag::ORACLE_DIVERGENCE.to_string(),
+                                severity: Severity::Error,
+                                span: diag::Span::launch(&r.kernel, i),
+                                message: format!(
+                                    "static prediction diverges from dynamic counters: {}",
+                                    if detail.is_empty() {
+                                        "occupancy mismatch".to_string()
+                                    } else {
+                                        detail.join("; ")
+                                    }
+                                ),
+                                suggestion: "static walk and simulator disagree — one of them \
+                                             has a bug; bisect against gpu-sim's counting rules"
+                                    .into(),
+                            });
+                        }
+                        oracle_reports.push(r);
+                    }
+                    Err(e) => all.push(diag::malformed(&kernel.name(), i, &e)),
+                }
+            }
+        }
+    }
+
+    let mut summary = SeveritySummary::default();
+    for d in &all {
+        match d.severity {
+            Severity::Info => summary.info += 1,
+            Severity::Warning => summary.warnings += 1,
+            Severity::Error => summary.errors += 1,
+        }
+    }
+
+    // Fold duplicates: one entry per (code, kernel), errors first.
+    let mut aggregated: Vec<AggregatedDiagnostic> = Vec::new();
+    for d in all {
+        match aggregated
+            .iter_mut()
+            .find(|a| a.diagnostic.code == d.code && a.diagnostic.span.kernel == d.span.kernel)
+        {
+            Some(a) => a.occurrences += 1,
+            None => aggregated.push(AggregatedDiagnostic {
+                diagnostic: d,
+                occurrences: 1,
+            }),
+        }
+    }
+    aggregated.sort_by(|a, b| {
+        b.diagnostic
+            .severity
+            .cmp(&a.diagnostic.severity)
+            .then_with(|| a.diagnostic.code.cmp(&b.diagnostic.code))
+            .then_with(|| a.diagnostic.span.kernel.cmp(&b.diagnostic.span.kernel))
+    });
+
+    let oracle = opts.oracle.then(|| OracleSummary {
+        launches_checked: oracle_reports.len(),
+        counters_checked: oracle_reports.iter().map(|r| r.checks.len()).sum(),
+        max_rel_error: oracle_reports
+            .iter()
+            .map(|r| r.max_rel_error())
+            .fold(0.0, f64::max),
+        divergent_launches: oracle_reports.iter().filter(|r| r.divergent()).count(),
+    });
+
+    LintReport {
+        schema_version: 1,
+        gpu: gpu.name.clone(),
+        workload: workload.to_string(),
+        applications: apps.len(),
+        launches,
+        diagnostics: aggregated,
+        kernels,
+        oracle,
+        summary,
+    }
+}
+
+/// Renders the report for terminals, clippy-style.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bf lint: {} on {} — {} applications, {} launches\n\n",
+        report.workload, report.gpu, report.applications, report.launches
+    ));
+    for a in &report.diagnostics {
+        out.push_str(&a.diagnostic.render());
+        if a.occurrences > 1 {
+            out.push_str(&format!("\n  = note: fired on {} launches", a.occurrences));
+        }
+        out.push_str("\n\n");
+    }
+    if !report.kernels.is_empty() {
+        out.push_str("kernel summary:\n");
+        for k in &report.kernels {
+            out.push_str(&format!(
+                "  {:<28} {:>3} launches  occ {:>5.1}%  ld eff {:>5.1}%  st eff {:>5.1}%  \
+                 bank x{}  {}\n",
+                k.kernel,
+                k.launches,
+                k.min_occupancy_pct,
+                k.min_load_efficiency_pct,
+                k.min_store_efficiency_pct,
+                k.max_bank_conflict_degree,
+                k.bound
+            ));
+        }
+    }
+    if let Some(o) = &report.oracle {
+        out.push_str(&format!(
+            "\noracle: {} launches, {} counter pairs, max rel error {:.2e}, {} divergent\n",
+            o.launches_checked, o.counters_checked, o.max_rel_error, o.divergent_launches
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} errors, {} warnings, {} notes\n",
+        report.summary.errors, report.summary.warnings, report.summary.info
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fermi() -> GpuConfig {
+        GpuConfig::gtx580()
+    }
+
+    fn codes(report: &LintReport) -> Vec<&str> {
+        report
+            .diagnostics
+            .iter()
+            .map(|a| a.diagnostic.code.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn reduce1_fires_bank_conflict_warning() {
+        let report = lint_workload(
+            &fermi(),
+            "reduce1",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        assert!(
+            codes(&report).contains(&diag::BANK_CONFLICT),
+            "{:?}",
+            codes(&report)
+        );
+        let k = report
+            .kernels
+            .iter()
+            .find(|k| k.kernel.contains("reduce1"))
+            .unwrap();
+        assert!(k.max_bank_conflict_degree >= 2);
+    }
+
+    #[test]
+    fn reduce2_fires_uncoalesced_warning() {
+        // reduce2's block-result store writes one lane per block: 12.5%
+        // store efficiency against 32B sectors.
+        let report = lint_workload(
+            &fermi(),
+            "reduce2",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        assert!(
+            codes(&report).contains(&diag::UNCOALESCED),
+            "{:?}",
+            codes(&report)
+        );
+    }
+
+    #[test]
+    fn nw_fires_low_occupancy_and_uncoalesced_warnings() {
+        let report = lint_workload(
+            &fermi(),
+            "nw",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        let c = codes(&report);
+        assert!(c.contains(&diag::LOW_OCCUPANCY), "{c:?}");
+        assert!(c.contains(&diag::UNCOALESCED), "{c:?}");
+    }
+
+    #[test]
+    fn stencil_sweep_is_free_of_errors() {
+        let report = lint_workload(
+            &fermi(),
+            "stencil",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.summary.errors, 0);
+        assert!(report.launches > 0);
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        assert!(lint_workload(&fermi(), "fft", LintOptions::default()).is_none());
+        assert!(lint_workload(&fermi(), "reduce9", LintOptions::default()).is_none());
+    }
+
+    #[test]
+    fn json_report_has_stable_top_level_schema() {
+        let report = lint_workload(
+            &fermi(),
+            "reduce6",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        let json = report.to_json();
+        let v = report.serialize_value();
+        for key in [
+            "schema_version",
+            "gpu",
+            "workload",
+            "applications",
+            "launches",
+            "diagnostics",
+            "kernels",
+            "oracle",
+            "summary",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+        assert_eq!(v.field("schema_version").as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_code() {
+        let report = lint_workload(
+            &fermi(),
+            "nw",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        let text = render_text(&report);
+        for a in &report.diagnostics {
+            assert!(text.contains(&a.diagnostic.code));
+        }
+    }
+}

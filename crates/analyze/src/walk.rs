@@ -1,0 +1,599 @@
+//! The static instruction walk: event counts and bottleneck metrics derived
+//! from a kernel's traces without running the cycle engine.
+//!
+//! The walk visits exactly the blocks the dynamic engine would sample
+//! ([`gpu_sim::sample_block_ids`] with the occupancy-derived resident count)
+//! and applies the *same counting rules* as `gpu_sim::sm::simulate_sm`, then
+//! scales to the full grid by the same `grid_blocks / sampled_blocks` factor.
+//! Every counter produced here is therefore expected to match the dynamic
+//! simulator bit-for-bit — the differential oracle ([`crate::oracle`]) pins
+//! that equivalence as an executable check.
+//!
+//! Counters that depend on cache state or timing (L1/L2 read hits, DRAM
+//! reads, cycles, seconds) are *not* derivable statically and are excluded;
+//! the roofline classification instead uses a documented no-cache upper bound
+//! on DRAM read traffic.
+
+use gpu_sim::occupancy::{occupancy, Occupancy};
+use gpu_sim::trace::{BlockTrace, KernelTrace, LaunchConfig, WarpInstruction};
+use gpu_sim::{banks, coalesce, sample_block_ids, GpuConfig, Result};
+use serde::Serialize;
+
+/// Where in a kernel an interesting access lives: sampled block id, warp
+/// index within the block, and instruction index within the warp stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Location {
+    /// Block id (a real grid block id, one of the sampled representatives).
+    pub block: usize,
+    /// Warp index within the block.
+    pub warp: usize,
+    /// Instruction index within the warp's stream.
+    pub instruction: usize,
+}
+
+/// Statically derived event counts, scaled to the full grid. Field names
+/// match [`gpu_sim::RawEvents`] where a dynamic counterpart exists.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StaticCounts {
+    /// Warp instructions executed.
+    pub inst_executed: f64,
+    /// Issue slots consumed (replays and per-transaction issues included).
+    pub inst_issued: f64,
+    /// Thread-level instructions (warp instructions x active lanes).
+    pub thread_inst_executed: f64,
+    /// Branch instructions.
+    pub branch: f64,
+    /// Divergent branch instructions.
+    pub divergent_branch: f64,
+    /// Shared-memory load instructions.
+    pub shared_load: f64,
+    /// Shared-memory store instructions.
+    pub shared_store: f64,
+    /// Shared load replays from bank conflicts.
+    pub shared_load_replay: f64,
+    /// Shared store replays from bank conflicts.
+    pub shared_store_replay: f64,
+    /// Global load requests (one per load instruction).
+    pub gld_request: f64,
+    /// Global store requests.
+    pub gst_request: f64,
+    /// Bytes requested by global loads (active lanes x width).
+    pub gld_requested_bytes: f64,
+    /// Bytes requested by global stores.
+    pub gst_requested_bytes: f64,
+    /// Global load transactions (128B L1 lines on Fermi, 32B sectors on
+    /// Kepler — the architecture's natural granularity).
+    pub global_load_transactions: f64,
+    /// Global store transactions (reported at up-to-128B granularity).
+    pub global_store_transactions: f64,
+    /// L2 write-transaction sectors (32B; write-through on both archs).
+    pub l2_write_transactions: f64,
+    /// DRAM write-transaction sectors (32B; mirrors L2 writes).
+    pub dram_write_transactions: f64,
+    /// Warps launched across the grid.
+    pub warps_launched: f64,
+    /// Blocks launched (= grid size).
+    pub blocks_launched: f64,
+    /// Barriers executed (static-only; folded into `inst_executed`).
+    pub barriers: f64,
+    /// Warp-level ALU+SFU instructions (static-only; drives the roofline
+    /// compute estimate).
+    pub alu_warp_instructions: f64,
+    /// Thread-level ALU+SFU operations (static-only; the "flops" numerator
+    /// of arithmetic intensity).
+    pub alu_thread_ops: f64,
+    /// Global-load traffic at the architecture's transaction granularity
+    /// (static-only; denominator of load efficiency).
+    pub load_traffic_bytes: f64,
+    /// Global-store traffic in 32B sectors (static-only).
+    pub store_traffic_bytes: f64,
+    /// No-cache upper bound on DRAM read traffic: 32B sectors per load
+    /// (static-only; feeds the roofline memory-time estimate).
+    pub dram_read_bytes_bound: f64,
+}
+
+impl StaticCounts {
+    fn scaled(&self, factor: f64) -> StaticCounts {
+        let mut s = *self;
+        for f in [
+            &mut s.inst_executed,
+            &mut s.inst_issued,
+            &mut s.thread_inst_executed,
+            &mut s.branch,
+            &mut s.divergent_branch,
+            &mut s.shared_load,
+            &mut s.shared_store,
+            &mut s.shared_load_replay,
+            &mut s.shared_store_replay,
+            &mut s.gld_request,
+            &mut s.gst_request,
+            &mut s.gld_requested_bytes,
+            &mut s.gst_requested_bytes,
+            &mut s.global_load_transactions,
+            &mut s.global_store_transactions,
+            &mut s.l2_write_transactions,
+            &mut s.dram_write_transactions,
+            &mut s.warps_launched,
+            &mut s.blocks_launched,
+            &mut s.barriers,
+            &mut s.alu_warp_instructions,
+            &mut s.alu_thread_ops,
+            &mut s.load_traffic_bytes,
+            &mut s.store_traffic_bytes,
+            &mut s.dram_read_bytes_bound,
+        ] {
+            *f *= factor;
+        }
+        s
+    }
+}
+
+/// Shared-memory bank-conflict profile of the sampled blocks (unscaled —
+/// spans point at concrete instructions, counts are per sampled set).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SharedConflictSummary {
+    /// Shared-memory access instructions walked.
+    pub accesses: u64,
+    /// Accesses with at least one bank conflict (degree >= 2).
+    pub conflicted: u64,
+    /// Worst conflict degree seen (1 = conflict-free).
+    pub max_degree: u32,
+    /// Location of the worst-degree access.
+    pub worst: Option<Location>,
+}
+
+/// Global-memory coalescing profile of the sampled blocks (unscaled counts;
+/// the ratios are scale-invariant).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CoalescingSummary {
+    /// Memory-request instructions walked.
+    pub requests: u64,
+    /// Transactions generated at the architecture's granularity.
+    pub transactions: u64,
+    /// Bytes the active lanes asked for.
+    pub requested_bytes: u64,
+    /// Bytes the transactions move.
+    pub traffic_bytes: u64,
+    /// Location of the least-efficient access.
+    pub worst: Option<Location>,
+    /// Efficiency of the least-efficient access (requested/traffic).
+    pub worst_efficiency: f64,
+}
+
+impl CoalescingSummary {
+    /// Requested bytes over moved bytes (1.0 when there is no traffic).
+    pub fn efficiency(&self) -> f64 {
+        if self.traffic_bytes == 0 {
+            1.0
+        } else {
+            self.requested_bytes as f64 / self.traffic_bytes as f64
+        }
+    }
+}
+
+/// Branch-divergence profile of the sampled blocks.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct DivergenceSummary {
+    /// Branch instructions walked.
+    pub branches: u64,
+    /// Divergent branches.
+    pub divergent: u64,
+    /// Location of the first divergent branch.
+    pub first: Option<Location>,
+}
+
+/// Which side of the roofline a launch sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BoundKind {
+    /// Estimated compute time dominates memory time.
+    ComputeBound,
+    /// Estimated memory time dominates compute time.
+    MemoryBound,
+    /// Within a factor of 1.5 of each other.
+    Balanced,
+}
+
+impl BoundKind {
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoundKind::ComputeBound => "compute-bound",
+            BoundKind::MemoryBound => "memory-bound",
+            BoundKind::Balanced => "balanced",
+        }
+    }
+}
+
+/// Roofline-style classification of one launch.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Roofline {
+    /// Estimated time to issue the ALU/SFU work, seconds.
+    pub compute_seconds: f64,
+    /// Estimated time to move the no-cache-bound DRAM traffic, seconds.
+    pub memory_seconds: f64,
+    /// Thread-level ALU+SFU ops per byte of DRAM traffic bound.
+    pub arithmetic_intensity: f64,
+    /// The classification.
+    pub bound: BoundKind,
+}
+
+/// Full static analysis of one kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticLaunchAnalysis {
+    /// Kernel name.
+    pub kernel: String,
+    /// The launch configuration analyzed.
+    pub launch: LaunchConfig,
+    /// Theoretical occupancy and its limiter.
+    pub occupancy: Occupancy,
+    /// The representative block ids that were walked.
+    pub sampled_blocks: Vec<usize>,
+    /// Grid scaling factor applied to `counts`.
+    pub scale: f64,
+    /// Event counts scaled to the full grid.
+    pub counts: StaticCounts,
+    /// Bank-conflict profile (sampled blocks).
+    pub shared: SharedConflictSummary,
+    /// Load-coalescing profile (sampled blocks).
+    pub loads: CoalescingSummary,
+    /// Store-coalescing profile (sampled blocks).
+    pub stores: CoalescingSummary,
+    /// Branch-divergence profile (sampled blocks).
+    pub divergence: DivergenceSummary,
+}
+
+impl StaticLaunchAnalysis {
+    /// Global-load efficiency: requested bytes / transaction bytes.
+    pub fn load_efficiency(&self) -> f64 {
+        self.loads.efficiency()
+    }
+
+    /// Global-store efficiency (measured against 32B sectors).
+    pub fn store_efficiency(&self) -> f64 {
+        self.stores.efficiency()
+    }
+
+    /// Roofline classification against a GPU's throughput and bandwidth.
+    ///
+    /// Compute time assumes perfect occupancy of the ALU pipelines across all
+    /// SMs; memory time charges the no-cache DRAM traffic bound against peak
+    /// bandwidth. Both are optimistic lower bounds, which is what a roofline
+    /// compares.
+    pub fn roofline(&self, gpu: &GpuConfig) -> Roofline {
+        let clock_hz = gpu.clock_ghz * 1e9;
+        let compute_seconds = self.counts.alu_warp_instructions
+            / (gpu.num_sms as f64 * gpu.alu_throughput * clock_hz);
+        let dram_bytes = self.counts.dram_read_bytes_bound + self.counts.store_traffic_bytes;
+        let memory_seconds = dram_bytes / (gpu.mem_bandwidth_gbps * 1e9);
+        let arithmetic_intensity = if dram_bytes > 0.0 {
+            self.counts.alu_thread_ops / dram_bytes
+        } else {
+            f64::INFINITY
+        };
+        let bound = if memory_seconds > compute_seconds * 1.5 {
+            BoundKind::MemoryBound
+        } else if compute_seconds > memory_seconds * 1.5 {
+            BoundKind::ComputeBound
+        } else {
+            BoundKind::Balanced
+        };
+        Roofline {
+            compute_seconds,
+            memory_seconds,
+            arithmetic_intensity,
+            bound,
+        }
+    }
+}
+
+/// Statically analyzes one kernel launch: occupancy, a counting walk over the
+/// sampled block traces, and coalescing/bank-conflict/divergence profiles.
+///
+/// Traces are validated before walking, so malformed kernels fail with the
+/// same `BadTrace` errors the simulator raises.
+pub fn analyze_launch(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<StaticLaunchAnalysis> {
+    let lc = kernel.launch_config();
+    let occ = occupancy(gpu, &lc)?;
+    let ids = sample_block_ids(lc.grid_blocks, occ.blocks_per_sm);
+    let traces: Vec<BlockTrace> = ids.iter().map(|&b| kernel.block_trace(b, gpu)).collect();
+    for t in &traces {
+        t.validate()?;
+    }
+
+    let mut counts = StaticCounts::default();
+    let mut shared = SharedConflictSummary::default();
+    let mut loads = CoalescingSummary::default();
+    let mut stores = CoalescingSummary::default();
+    let mut divergence = DivergenceSummary::default();
+    loads.worst_efficiency = 1.0;
+    stores.worst_efficiency = 1.0;
+
+    counts.blocks_launched = traces.len() as f64;
+    for (trace, &block) in traces.iter().zip(&ids) {
+        counts.warps_launched += trace.warps.len() as f64;
+        for (warp, stream) in trace.warps.iter().enumerate() {
+            for (i, instr) in stream.iter().enumerate() {
+                let loc = Location {
+                    block,
+                    warp,
+                    instruction: i,
+                };
+                walk_instruction(
+                    gpu,
+                    instr,
+                    loc,
+                    &mut counts,
+                    &mut shared,
+                    &mut loads,
+                    &mut stores,
+                    &mut divergence,
+                );
+            }
+        }
+    }
+
+    let scale = lc.grid_blocks as f64 / traces.len() as f64;
+    Ok(StaticLaunchAnalysis {
+        kernel: kernel.name(),
+        launch: lc,
+        occupancy: occ,
+        sampled_blocks: ids,
+        scale,
+        counts: counts.scaled(scale),
+        shared,
+        loads,
+        stores,
+        divergence,
+    })
+}
+
+/// Applies the `simulate_sm` counting rules to one instruction. Kept in one
+/// match so a drift against `gpu_sim::sm` is a one-screen diff (and the
+/// differential oracle catches it anyway).
+#[allow(clippy::too_many_arguments)]
+fn walk_instruction(
+    gpu: &GpuConfig,
+    instr: &WarpInstruction,
+    loc: Location,
+    counts: &mut StaticCounts,
+    shared: &mut SharedConflictSummary,
+    loads: &mut CoalescingSummary,
+    stores: &mut CoalescingSummary,
+    divergence: &mut DivergenceSummary,
+) {
+    let lanes = instr.active_lanes() as f64;
+    match instr {
+        WarpInstruction::Alu { count, mask: _ } => {
+            let c = *count as f64;
+            counts.inst_executed += c;
+            counts.inst_issued += c;
+            counts.thread_inst_executed += c * lanes;
+            counts.alu_warp_instructions += c;
+            counts.alu_thread_ops += c * lanes;
+        }
+        WarpInstruction::Sfu { .. } => {
+            counts.inst_executed += 1.0;
+            counts.inst_issued += 1.0;
+            counts.thread_inst_executed += lanes;
+            counts.alu_warp_instructions += 1.0;
+            counts.alu_thread_ops += lanes;
+        }
+        WarpInstruction::Branch { divergent, .. } => {
+            counts.inst_executed += 1.0;
+            counts.branch += 1.0;
+            counts.thread_inst_executed += lanes;
+            divergence.branches += 1;
+            if *divergent {
+                counts.divergent_branch += 1.0;
+                counts.inst_issued += 2.0;
+                divergence.divergent += 1;
+                if divergence.first.is_none() {
+                    divergence.first = Some(loc);
+                }
+            } else {
+                counts.inst_issued += 1.0;
+            }
+        }
+        WarpInstruction::LoadShared {
+            offsets,
+            width,
+            mask,
+        }
+        | WarpInstruction::StoreShared {
+            offsets,
+            width,
+            mask,
+        } => {
+            let degree = banks::conflict_degree(
+                offsets,
+                *width,
+                *mask,
+                gpu.shared_banks as u32,
+                gpu.bank_width as u32,
+            );
+            let r = (degree - 1) as f64;
+            counts.inst_executed += 1.0;
+            counts.inst_issued += 1.0 + r;
+            counts.thread_inst_executed += lanes;
+            if matches!(instr, WarpInstruction::LoadShared { .. }) {
+                counts.shared_load += 1.0;
+                counts.shared_load_replay += r;
+            } else {
+                counts.shared_store += 1.0;
+                counts.shared_store_replay += r;
+            }
+            shared.accesses += 1;
+            if degree >= 2 {
+                shared.conflicted += 1;
+            }
+            if degree > shared.max_degree {
+                shared.max_degree = degree;
+                shared.worst = Some(loc);
+            }
+        }
+        WarpInstruction::LoadGlobal { addrs, width, mask } => {
+            let requested = coalesce::requested_bytes(*width, *mask);
+            counts.gld_request += 1.0;
+            counts.gld_requested_bytes += requested as f64;
+            counts.inst_executed += 1.0;
+            counts.thread_inst_executed += lanes;
+            // Fermi coalesces into L1 lines; Kepler goes straight to 32B L2
+            // sectors (matching the dynamic transaction counter).
+            let segment = if gpu.l1_caches_globals {
+                gpu.l1_line as u32
+            } else {
+                32
+            };
+            let ntrans = coalesce::coalesce(addrs, *width, *mask, segment).len();
+            counts.global_load_transactions += ntrans as f64;
+            counts.inst_issued += (ntrans as f64).max(1.0);
+            counts.load_traffic_bytes += (ntrans as u64 * segment as u64) as f64;
+            let sectors = coalesce::coalesce(addrs, *width, *mask, 32).len();
+            counts.dram_read_bytes_bound += (sectors * 32) as f64;
+            record_access(loads, loc, requested, ntrans as u64, segment as u64);
+        }
+        WarpInstruction::StoreGlobal { addrs, width, mask } => {
+            let requested = coalesce::requested_bytes(*width, *mask);
+            counts.gst_request += 1.0;
+            counts.gst_requested_bytes += requested as f64;
+            counts.inst_executed += 1.0;
+            counts.thread_inst_executed += lanes;
+            let sectors = coalesce::coalesce(addrs, *width, *mask, 32).len();
+            counts.l2_write_transactions += sectors as f64;
+            counts.dram_write_transactions += sectors as f64;
+            counts.store_traffic_bytes += (sectors * 32) as f64;
+            let store_trans = coalesce::coalesce(addrs, *width, *mask, 128).len();
+            counts.global_store_transactions += store_trans as f64;
+            counts.inst_issued += (store_trans as f64).max(1.0);
+            record_access(stores, loc, requested, sectors as u64, 32);
+        }
+        WarpInstruction::Barrier => {
+            counts.inst_executed += 1.0;
+            counts.inst_issued += 1.0;
+            counts.barriers += 1.0;
+        }
+    }
+}
+
+fn record_access(
+    summary: &mut CoalescingSummary,
+    loc: Location,
+    requested: u64,
+    transactions: u64,
+    segment: u64,
+) {
+    summary.requests += 1;
+    summary.transactions += transactions;
+    summary.requested_bytes += requested;
+    let traffic = transactions * segment;
+    summary.traffic_bytes += traffic;
+    if traffic > 0 {
+        let eff = requested as f64 / traffic as f64;
+        if eff < summary.worst_efficiency || summary.worst.is_none() {
+            summary.worst_efficiency = eff;
+            summary.worst = Some(loc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::trace::FULL_MASK;
+
+    /// A tiny homogeneous kernel with one of everything.
+    struct OneOfEach;
+
+    impl KernelTrace for OneOfEach {
+        fn name(&self) -> String {
+            "one_of_each".into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid_blocks: 64,
+                threads_per_block: 32,
+                regs_per_thread: 16,
+                shared_mem_per_block: 256,
+            }
+        }
+
+        fn block_trace(&self, block_id: usize, _gpu: &GpuConfig) -> BlockTrace {
+            let mut t = BlockTrace::with_warps(1);
+            let base = 0x1000_0000u64 + block_id as u64 * 128;
+            t.warps[0] = vec![
+                WarpInstruction::LoadGlobal {
+                    addrs: (0..32).map(|i| base + i * 4).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                },
+                WarpInstruction::Alu {
+                    count: 3,
+                    mask: FULL_MASK,
+                },
+                // All lanes hit word 0: broadcast, conflict-free.
+                WarpInstruction::StoreShared {
+                    offsets: vec![0; 32],
+                    width: 4,
+                    mask: FULL_MASK,
+                },
+                WarpInstruction::Barrier,
+                // Stride-2 word access: two distinct words per bank -> the
+                // classic 2-way conflict.
+                WarpInstruction::LoadShared {
+                    offsets: (0..32).map(|i| i * 2 * 4).collect(),
+                    width: 4,
+                    mask: FULL_MASK,
+                },
+                WarpInstruction::Branch {
+                    divergent: true,
+                    mask: FULL_MASK,
+                },
+                WarpInstruction::StoreGlobal {
+                    addrs: (0..32).map(|_| 0x9000_0000 + block_id as u64 * 4).collect(),
+                    width: 4,
+                    mask: 1,
+                },
+            ];
+            t
+        }
+    }
+
+    #[test]
+    fn walk_counts_one_of_each() {
+        let gpu = GpuConfig::gtx580();
+        let a = analyze_launch(&gpu, &OneOfEach).unwrap();
+        assert!(!a.sampled_blocks.is_empty());
+        // Every count below is (per-block count) x 64 grid blocks.
+        let grid = 64.0;
+        assert_eq!(a.counts.blocks_launched, 64.0);
+        assert_eq!(a.counts.warps_launched, 64.0);
+        // 1 load + 3 alu + 1 store.sh + 1 barrier + 1 load.sh + 1 br + 1 st
+        assert_eq!(a.counts.inst_executed, 9.0 * grid);
+        assert_eq!(a.counts.gld_request, grid);
+        // Fully coalesced load: one 128B line.
+        assert_eq!(a.counts.global_load_transactions, grid);
+        assert_eq!(a.counts.gld_requested_bytes, 128.0 * grid);
+        // Conflicted shared load: degree 2 -> one replay.
+        assert_eq!(a.counts.shared_load_replay, grid);
+        assert_eq!(a.counts.shared_store_replay, 0.0);
+        assert_eq!(a.shared.max_degree, 2);
+        assert_eq!(a.counts.divergent_branch, grid);
+        // Single-lane store: 4 bytes requested, one 32B sector.
+        assert_eq!(a.counts.gst_requested_bytes, 4.0 * grid);
+        assert_eq!(a.counts.l2_write_transactions, grid);
+        assert!((a.store_efficiency() - 4.0 / 32.0).abs() < 1e-12);
+        assert!((a.load_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_classifies_streaming_kernel_as_memory_bound() {
+        let gpu = GpuConfig::gtx580();
+        let a = analyze_launch(&gpu, &OneOfEach).unwrap();
+        let r = a.roofline(&gpu);
+        // 3 ALU warp-instructions vs 160B of DRAM traffic per block: memory
+        // wins by a wide margin on any real ratio of clock to bandwidth.
+        assert_eq!(r.bound, BoundKind::MemoryBound);
+        assert!(r.arithmetic_intensity < 1.0);
+    }
+}

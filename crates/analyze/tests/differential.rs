@@ -1,0 +1,141 @@
+//! The differential oracle as an integration suite: static predictions must
+//! match dynamic counters across the paper's workload sweeps, on both GPU
+//! generations, for every launch of every application.
+//!
+//! Tolerances (see `DESIGN.md`): occupancy exact; counters within
+//! `REL_TOLERANCE` (float noise only). A failure here means the static walk
+//! and the cycle engine disagree about the machine's causal structure —
+//! i.e. somebody introduced a bug.
+
+use bf_analyze::oracle::{check_application, compare, OracleReport};
+use bf_analyze::walk::analyze_launch;
+use bf_kernels::nw::nw_application;
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
+use bf_kernels::stencil::stencil_application;
+use bf_kernels::Application;
+use gpu_sim::{simulate_launch, GpuConfig};
+
+fn gpus() -> Vec<GpuConfig> {
+    vec![GpuConfig::gtx580(), GpuConfig::k20m()]
+}
+
+fn assert_agrees(gpu: &GpuConfig, app: &Application) {
+    let reports: Vec<OracleReport> =
+        check_application(gpu, app).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    for r in &reports {
+        assert!(
+            r.occupancy_ok,
+            "{} launch {} ({}): occupancy mismatch on {}",
+            app.name, r.launch, r.kernel, gpu.name
+        );
+        if let Some(c) = r.failures().into_iter().next() {
+            panic!(
+                "{} launch {} ({}) on {}: {} diverged — static {} vs dynamic {} (rel {:.3e})",
+                app.name,
+                r.launch,
+                r.kernel,
+                gpu.name,
+                c.counter,
+                c.static_value,
+                c.dynamic_value,
+                c.rel_error
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_sweep_agrees_on_both_gpus() {
+    // A representative slice of the paper's sweep (§5): every variant at one
+    // size, plus the analysed variants (1, 2, 6) across sizes and block
+    // sizes.
+    for gpu in gpus() {
+        for variant in ReduceVariant::ALL {
+            assert_agrees(&gpu, &reduce_application(variant, 1 << 14, 128));
+        }
+        for variant in [
+            ReduceVariant::Reduce1,
+            ReduceVariant::Reduce2,
+            ReduceVariant::Reduce6,
+        ] {
+            for n in [1 << 16, 1 << 18, 1 << 20] {
+                for threads in [64, 128, 256, 512] {
+                    assert_agrees(&gpu, &reduce_application(variant, n, threads));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nw_sweep_agrees_on_both_gpus() {
+    for gpu in gpus() {
+        for n in [64, 256, 1024, 2048] {
+            assert_agrees(&gpu, &nw_application(n, 10));
+        }
+    }
+}
+
+#[test]
+fn stencil_sweep_agrees_on_both_gpus() {
+    for gpu in gpus() {
+        for n in [64, 128, 256] {
+            for sweeps in [1, 2] {
+                assert_agrees(&gpu, &stencil_application(n, sweeps));
+            }
+        }
+    }
+}
+
+/// The oracle must have teeth: perturb genuine dynamic results one counter
+/// at a time and check it flags exactly the counter that was broken.
+#[test]
+fn oracle_flags_each_injected_counter_bug() {
+    let gpu = GpuConfig::gtx580();
+    let app = reduce_application(ReduceVariant::Reduce1, 1 << 16, 256);
+    let kernel = app.launches[0].as_ref();
+    let a = analyze_launch(&gpu, kernel).unwrap();
+    let clean = simulate_launch(&gpu, kernel).unwrap();
+    assert!(
+        !compare(&a, &clean, 0).divergent(),
+        "baseline must be clean"
+    );
+
+    // (mutator, counter the oracle must blame)
+    type Mutator = fn(&mut gpu_sim::RawEvents);
+    let cases: Vec<(Mutator, &str)> = vec![
+        (
+            |ev| ev.global_load_transactions *= 0.9,
+            "global_load_transactions",
+        ),
+        (|ev| ev.shared_load_replay += 1.0, "shared_load_replay"),
+        (|ev| ev.inst_issued *= 1.01, "inst_issued"),
+        (|ev| ev.gst_requested_bytes += 32.0, "gst_requested_bytes"),
+        (
+            |ev| ev.dram_write_transactions = 0.0,
+            "dram_write_transactions",
+        ),
+    ];
+    for (mutate, counter) in cases {
+        let mut broken = clean.clone();
+        mutate(&mut broken.events);
+        let report = compare(&a, &broken, 0);
+        assert!(report.divergent(), "oracle missed a broken {counter}");
+        let blamed: Vec<&str> = report.failures().iter().map(|c| c.counter).collect();
+        assert_eq!(blamed, vec![counter], "wrong counter blamed");
+    }
+}
+
+/// An injected occupancy bug (wrong limiter or block count) is also caught.
+#[test]
+fn oracle_flags_injected_occupancy_bug() {
+    let gpu = GpuConfig::gtx580();
+    let app = nw_application(256, 10);
+    let kernel = app.launches[0].as_ref();
+    let a = analyze_launch(&gpu, kernel).unwrap();
+    let mut d = simulate_launch(&gpu, kernel).unwrap();
+    d.occupancy.blocks_per_sm += 1;
+    let report = compare(&a, &d, 0);
+    assert!(!report.occupancy_ok);
+    assert!(report.divergent());
+}

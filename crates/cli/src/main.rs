@@ -10,7 +10,10 @@
 //!   bottleneck report.
 //! * `predict --workload W --size N [--gpu NAME]` — problem-scaling
 //!   prediction for an unseen size.
+//! * `lint --workload W [--format json] [--oracle]` — static analysis with
+//!   clippy-style diagnostics; no simulation unless `--oracle` is given.
 
+use bf_analyze::{LintOptions, Severity};
 use bf_serve::{ModelBundle, PredictServer, ServeConfig};
 use blackforest::collect::CollectOptions;
 use blackforest::model::ModelConfig;
@@ -34,6 +37,8 @@ COMMANDS:
     serve    --model BUNDLE.json [--addr HOST:PORT] [--threads N] [--cache-size N]
     predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
     hwscale  --workload W --target NAME [--gpu NAME] [--quick]
+    lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
+             [--fail-on SEV] [--out FILE] [--quick]
 
 WORKLOADS:
     reduce0..reduce6, matmul, nw, stencil
@@ -49,6 +54,14 @@ OPTIONS:
     --addr H:P      serve listen address (default 127.0.0.1:7878)
     --cache-size N  serve prediction-LRU capacity in entries (default 4096)
     --quick         smaller sweep and forest (faster)
+    --format F      lint output format: text (default) or json
+    --oracle        lint also diffs static predictions against the dynamic
+                    simulator (differential oracle; costs one simulation
+                    per launch, divergence is a BF-E002 error)
+    --fail-on SEV   lowest severity that makes lint exit non-zero:
+                    info, warning, or error (default). Errors always fail.
+    --static-features   collect also appends static_* predictor columns
+                    (occupancy, conflict degree, coalescing, intensity)
     --split-strategy S   forest split search: histogram (default) or exact
     --max-bins N    histogram bin ceiling per feature, 2..=65536 (default 256)
     --threads N     worker threads: simulation workers during collection,
@@ -87,6 +100,10 @@ struct Args {
     max_bins: Option<usize>,
     threads: Option<usize>,
     no_sim_cache: bool,
+    format: Option<String>,
+    oracle: bool,
+    fail_on: Option<String>,
+    static_features: bool,
 }
 
 impl Args {
@@ -126,6 +143,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_bins: None,
         threads: None,
         no_sim_cache: false,
+        format: None,
+        oracle: false,
+        fail_on: None,
+        static_features: false,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -185,6 +206,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--no-sim-cache" => args.no_sim_cache = true,
+            "--format" => args.format = Some(it.next().ok_or("--format needs a value")?.clone()),
+            "--oracle" => args.oracle = true,
+            "--fail-on" => args.fail_on = Some(it.next().ok_or("--fail-on needs a value")?.clone()),
+            "--static-features" => args.static_features = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -249,11 +274,11 @@ fn toolchain(args: &Args) -> Result<BlackForest, String> {
     Ok(bf)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         print!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let args = parse_args(&argv)?;
     // The simulator reads these per collection pass, so setting them here
@@ -277,7 +302,7 @@ fn run() -> Result<(), String> {
                     gpu.mem_bandwidth_gbps
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "counters" => {
             let gpu = gpu_by_name(&args.gpu)?;
@@ -285,12 +310,13 @@ fn run() -> Result<(), String> {
                 let info = gpu_sim::counters::counter_info(name).unwrap();
                 println!("{:<28} {}", info.name, info.meaning);
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "collect" => {
             let workload =
                 workload_by_name(args.workload.as_deref().ok_or("collect needs --workload")?)?;
-            let bf = toolchain(&args)?;
+            let mut bf = toolchain(&args)?;
+            bf.collect.include_static_features = args.static_features;
             let sizes = default_sizes(workload, args.quick);
             let ds = bf.collect(workload, &sizes).map_err(|e| e.to_string())?;
             let out = args
@@ -303,7 +329,7 @@ fn run() -> Result<(), String> {
                 ds.n_features(),
                 out.display()
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "analyze" => {
             let workload =
@@ -317,7 +343,7 @@ fn run() -> Result<(), String> {
                 std::fs::write(out, md).map_err(|e| e.to_string())?;
                 println!("markdown report written to {}", out.display());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "train" => {
             let workload =
@@ -343,7 +369,7 @@ fn run() -> Result<(), String> {
                 bundle.content_id(),
                 save.display()
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "serve" => {
             let path = args
@@ -375,7 +401,7 @@ fn run() -> Result<(), String> {
             );
             println!("routes: POST /predict, GET /bottleneck, GET /healthz, GET /metrics");
             server.run();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "predict" => {
             let size = args.size.ok_or("predict needs --size")?;
@@ -434,7 +460,7 @@ fn run() -> Result<(), String> {
                 .predict(&characteristics)
                 .map_err(|e| e.to_string())?;
             println!("{label}, size {size}: predicted execution time {t:.4} ms");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "hwscale" => {
             let workload =
@@ -498,11 +524,56 @@ fn run() -> Result<(), String> {
             );
             let points = hw.evaluate(&tgt_test, "size").map_err(|e| e.to_string())?;
             println!("{}", blackforest::report::prediction_table(&points, "size"));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
+        }
+        "lint" => {
+            let workload = args.workload.as_deref().ok_or("lint needs --workload")?;
+            let gpu = gpu_by_name(&args.gpu)?;
+            let fail_on = match args.fail_on.as_deref() {
+                None => Severity::Error,
+                Some(s) => Severity::parse(s)
+                    .ok_or_else(|| format!("bad --fail-on {s}; use info, warning, or error"))?,
+            };
+            let opts = LintOptions {
+                quick: args.quick,
+                oracle: args.oracle,
+            };
+            let report = bf_analyze::lint_workload(&gpu, workload, opts).ok_or_else(|| {
+                format!(
+                    "unknown lint workload {workload}; one of: {}",
+                    bf_analyze::WORKLOADS.join(", ")
+                )
+            })?;
+            let rendered = match args.format.as_deref() {
+                None | Some("text") => bf_analyze::render_text(&report),
+                Some("json") => report.to_json(),
+                Some(other) => return Err(format!("unknown format {other}; use text or json")),
+            };
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+                    println!(
+                        "lint report written to {} ({} errors, {} warnings, {} notes)",
+                        path.display(),
+                        report.summary.errors,
+                        report.summary.warnings,
+                        report.summary.info
+                    );
+                }
+                None => print!("{rendered}"),
+            }
+            // Exit-code contract (documented in DESIGN.md): 3 for errors,
+            // 2 when --fail-on pulls warnings/notes in, 0 otherwise; 1 is
+            // reserved for usage/internal failures via main().
+            Ok(match report.max_severity() {
+                Some(Severity::Error) => ExitCode::from(3),
+                Some(sev) if sev >= fail_on => ExitCode::from(2),
+                _ => ExitCode::SUCCESS,
+            })
         }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -510,7 +581,7 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE

@@ -28,6 +28,14 @@ pub struct CollectOptions {
     pub include_machine_metrics: bool,
     /// Drop counters that are constant across the sweep.
     pub drop_constant: bool,
+    /// Append statically derived feature columns (`static_*`: theoretical
+    /// occupancy, bank-conflict degree, transaction counts, coalescing
+    /// efficiency, arithmetic intensity) from `bf-analyze` alongside the
+    /// problem characteristics. They cost a trace walk instead of a
+    /// simulation and give models access to the same structural signal the
+    /// static analyzer sees. Rides the characteristics columns, so it
+    /// requires `include_characteristics`.
+    pub include_static_features: bool,
     /// Profiler repetitions per configuration. Real `nvprof` collection
     /// repeats every run; the paper's datasets have up to ~100 samples from
     /// tens of distinct sizes.
@@ -77,6 +85,7 @@ impl Default for CollectOptions {
             include_characteristics: true,
             include_machine_metrics: false,
             drop_constant: true,
+            include_static_features: false,
             repetitions: 1,
             noise_frac: 0.0,
             noise_seed: 0xC0_11EC7,
@@ -164,11 +173,77 @@ pub fn dataset_from_observations(
 /// grids) simulate once. Observation order — and, by order-preserving
 /// accumulation, every profiled value — is identical to the sequential
 /// path.
+/// Statically derived per-application feature columns (see
+/// [`CollectOptions::include_static_features`]): launch-level analyses are
+/// aggregated over the application — sums for counts, totals-ratio for
+/// efficiencies, warp-weighted mean for occupancy, max for conflict degree.
+fn static_features(gpu: &GpuConfig, app: &Application) -> Result<Vec<(String, f64)>> {
+    let mut occ_weighted = 0.0f64;
+    let mut warps = 0.0f64;
+    let mut max_degree = 0u32;
+    let mut gld_trans = 0.0f64;
+    let mut gst_trans = 0.0f64;
+    let mut requested = 0.0f64;
+    let mut traffic = 0.0f64;
+    let mut alu_ops = 0.0f64;
+    let mut dram_bytes = 0.0f64;
+    let mut inst = 0.0f64;
+    for (i, kernel) in app.launches.iter().enumerate() {
+        let a = bf_analyze::analyze_launch(gpu, kernel.as_ref())
+            .map_err(|e| e.in_kernel(&kernel.name(), i))?;
+        occ_weighted += a.occupancy.theoretical * a.counts.warps_launched;
+        warps += a.counts.warps_launched;
+        max_degree = max_degree.max(a.shared.max_degree);
+        gld_trans += a.counts.global_load_transactions;
+        gst_trans += a.counts.global_store_transactions;
+        requested += a.counts.gld_requested_bytes + a.counts.gst_requested_bytes;
+        traffic += a.counts.load_traffic_bytes + a.counts.store_traffic_bytes;
+        alu_ops += a.counts.alu_thread_ops;
+        dram_bytes += a.counts.dram_read_bytes_bound + a.counts.store_traffic_bytes;
+        inst += a.counts.inst_executed;
+    }
+    Ok(vec![
+        (
+            "static_occupancy".to_string(),
+            if warps > 0.0 {
+                occ_weighted / warps
+            } else {
+                0.0
+            },
+        ),
+        ("static_bank_conflict_degree".to_string(), max_degree as f64),
+        ("static_gld_transactions".to_string(), gld_trans),
+        ("static_gst_transactions".to_string(), gst_trans),
+        (
+            "static_coalescing_efficiency".to_string(),
+            if traffic > 0.0 {
+                requested / traffic
+            } else {
+                1.0
+            },
+        ),
+        (
+            "static_arith_intensity".to_string(),
+            if dram_bytes > 0.0 {
+                alu_ops / dram_bytes
+            } else {
+                0.0
+            },
+        ),
+        ("static_inst_executed".to_string(), inst),
+    ])
+}
+
 fn profile_batch(
     gpu: &GpuConfig,
-    jobs: Vec<(Application, Vec<(String, f64)>)>,
+    mut jobs: Vec<(Application, Vec<(String, f64)>)>,
     opts: &CollectOptions,
 ) -> Result<Vec<Observation>> {
+    if opts.include_static_features {
+        for (app, characteristics) in &mut jobs {
+            characteristics.extend(static_features(gpu, app)?);
+        }
+    }
     let cache = SimCache::new();
     let cache = gpu_sim::cache_enabled().then_some(&cache);
     let apps: Vec<(&str, &[Box<dyn KernelTrace>])> = jobs
@@ -391,6 +466,52 @@ mod tests {
         assert!(ds.feature_index("threads").is_some());
         assert!(ds.feature_index("shared_replay_overhead").is_some());
         assert!(ds.response.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn static_feature_columns_join_the_dataset_when_enabled() {
+        let gpu = GpuConfig::gtx580();
+        let opts = CollectOptions {
+            include_static_features: true,
+            drop_constant: false,
+            ..CollectOptions::default()
+        };
+        let ds = collect_reduce(
+            &gpu,
+            ReduceVariant::Reduce1,
+            &[1 << 12, 1 << 13],
+            &[128],
+            &opts,
+        )
+        .unwrap();
+        for col in [
+            "static_occupancy",
+            "static_bank_conflict_degree",
+            "static_gld_transactions",
+            "static_gst_transactions",
+            "static_coalescing_efficiency",
+            "static_arith_intensity",
+            "static_inst_executed",
+        ] {
+            assert!(ds.feature_index(col).is_some(), "missing column {col}");
+        }
+        for occ in ds.column("static_occupancy").unwrap() {
+            assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        }
+        // reduce1's strided shared addressing is the textbook conflict.
+        for degree in ds.column("static_bank_conflict_degree").unwrap() {
+            assert!(degree >= 2.0, "degree {degree}");
+        }
+        // Off by default: the plain path is unchanged.
+        let plain = collect_reduce(
+            &gpu,
+            ReduceVariant::Reduce1,
+            &[1 << 12, 1 << 13],
+            &[128],
+            &CollectOptions::default(),
+        )
+        .unwrap();
+        assert!(plain.feature_index("static_occupancy").is_none());
     }
 
     #[test]

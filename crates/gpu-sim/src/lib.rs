@@ -65,12 +65,12 @@ pub mod trace;
 pub use arch::{GpuArchitecture, GpuConfig};
 pub use builder::TraceBuilder;
 pub use counters::{CounterSet, RawEvents};
-pub use engine::{simulate_launch, LaunchResult};
+pub use engine::{sample_block_ids, simulate_launch, LaunchResult};
 pub use memo::{
     cache_enabled, global_cache_stats, reset_global_cache_stats, simulate_launch_cached,
     CacheStats, SimCache,
 };
-pub use occupancy::Occupancy;
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use power::{estimate_power, PowerEstimate, PowerModel};
 pub use profiler::{
     profile_application, profile_application_with, profile_applications, profile_kernel,
@@ -85,6 +85,19 @@ pub enum SimError {
     BadLaunch(String),
     /// A kernel trace is malformed (e.g. mismatched barrier counts).
     BadTrace(String),
+}
+
+impl SimError {
+    /// Prefixes the error message with the kernel (and launch position) it
+    /// came from, so a malformed trace deep inside a thousand-launch batch
+    /// points straight at the offender.
+    pub fn in_kernel(self, kernel: &str, launch_index: usize) -> SimError {
+        let tag = format!("kernel `{kernel}` (launch {launch_index}): ");
+        match self {
+            SimError::BadLaunch(msg) => SimError::BadLaunch(format!("{tag}{msg}")),
+            SimError::BadTrace(msg) => SimError::BadTrace(format!("{tag}{msg}")),
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {

@@ -38,6 +38,19 @@ pub enum OccupancyLimiter {
     GridSize,
 }
 
+impl OccupancyLimiter {
+    /// Human-readable limiter name, as printed in reports and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OccupancyLimiter::BlockSlots => "block slots",
+            OccupancyLimiter::WarpSlots => "warp slots",
+            OccupancyLimiter::Registers => "registers",
+            OccupancyLimiter::SharedMemory => "shared memory",
+            OccupancyLimiter::GridSize => "grid size",
+        }
+    }
+}
+
 /// Computes occupancy for a launch on a GPU.
 ///
 /// Errors if the block is impossible (too many threads, too much shared

@@ -122,11 +122,22 @@ pub fn simulate_launches(
     launches: &[Box<dyn KernelTrace>],
     cache: Option<&SimCache>,
 ) -> Result<Vec<LaunchResult>> {
-    launches
-        .par_iter()
-        .map(|k| match cache {
-            Some(c) => memo::simulate_launch_cached(gpu, k.as_ref(), c),
-            None => simulate_launch(gpu, k.as_ref()),
+    let indexed: Vec<(usize, &dyn KernelTrace)> = launches
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (i, k.as_ref()))
+        .collect();
+    indexed
+        .into_par_iter()
+        .map(|(i, k)| {
+            match cache {
+                Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                None => simulate_launch(gpu, k),
+            }
+            // A bad launch config or malformed trace (mismatched barriers)
+            // surfaces here with the kernel named, instead of an anonymous
+            // message from deep inside the batch.
+            .map_err(|e| e.in_kernel(&k.name(), i))
         })
         .collect::<Result<Vec<_>>>()
 }
@@ -188,15 +199,18 @@ pub fn profile_applications(
     apps: &[(&str, &[Box<dyn KernelTrace>])],
     cache: Option<&SimCache>,
 ) -> Result<Vec<ProfiledRun>> {
-    let flat: Vec<&dyn KernelTrace> = apps
+    let flat: Vec<(usize, &dyn KernelTrace)> = apps
         .iter()
-        .flat_map(|(_, launches)| launches.iter().map(|k| k.as_ref()))
+        .flat_map(|(_, launches)| launches.iter().enumerate().map(|(i, k)| (i, k.as_ref())))
         .collect();
     let results: Vec<LaunchResult> = flat
         .into_par_iter()
-        .map(|k| match cache {
-            Some(c) => memo::simulate_launch_cached(gpu, k, c),
-            None => simulate_launch(gpu, k),
+        .map(|(i, k)| {
+            match cache {
+                Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                None => simulate_launch(gpu, k),
+            }
+            .map_err(|e| e.in_kernel(&k.name(), i))
         })
         .collect::<Result<Vec<_>>>()?;
     let mut runs = Vec::with_capacity(apps.len());
@@ -386,6 +400,48 @@ mod tests {
         let req = run.counters.get("gld_requested_throughput").unwrap();
         let ach = run.counters.get("gld_throughput").unwrap();
         assert!((req - ach).abs() / ach.max(1e-12) < 1e-9);
+    }
+
+    /// A kernel whose trace deadlocks: warp 0 hits a barrier no other warp
+    /// ever reaches.
+    struct Malformed;
+
+    impl KernelTrace for Malformed {
+        fn name(&self) -> String {
+            "deadlock".into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid_blocks: 8,
+                threads_per_block: 64,
+                regs_per_thread: 16,
+                shared_mem_per_block: 0,
+            }
+        }
+
+        fn block_trace(&self, _block_id: usize, _gpu: &GpuConfig) -> BlockTrace {
+            let mut t = BlockTrace::with_warps(2);
+            t.warps[0].push(WarpInstruction::Barrier);
+            t
+        }
+    }
+
+    #[test]
+    fn malformed_trace_fails_with_kernel_named() {
+        let gpu = GpuConfig::gtx580();
+        let launches: Vec<Box<dyn KernelTrace>> =
+            vec![Box::new(Mini { conflict: false }), Box::new(Malformed)];
+        let apps: [(&str, &[Box<dyn KernelTrace>]); 1] = [("bad_app", &launches)];
+        let err = profile_applications(&gpu, &apps, None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "error lacks kernel name: {msg}");
+        assert!(msg.contains("launch 1"), "error lacks launch index: {msg}");
+        assert!(msg.contains("barrier"), "error lacks the cause: {msg}");
+
+        // The single-application entry point annotates identically.
+        let err = profile_application(&gpu, "bad_app", &launches).unwrap_err();
+        assert!(err.to_string().contains("deadlock"));
     }
 
     #[test]

@@ -60,11 +60,41 @@ impl Application {
     pub fn profile(&self, gpu: &GpuConfig) -> gpu_sim::Result<ProfiledRun> {
         profile_application(gpu, &self.name, &self.launches)
     }
+
+    /// The distinct kernel names launched by this application, in first-seen
+    /// order — e.g. NW yields its two diagonal kernels, a multi-pass
+    /// reduction yields one name. Static-analysis reports aggregate by these.
+    pub fn kernel_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for launch in &self.launches {
+            let n = launch.name();
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        names
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_names_dedup_in_first_seen_order() {
+        let app = crate::nw::nw_application(256, 10);
+        let names = app.kernel_names();
+        assert!(
+            names.len() >= 2,
+            "NW launches two diagonal kernels: {names:?}"
+        );
+        assert!(names.len() < app.launches.len(), "names must be deduped");
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[i + 1..].contains(n), "duplicate kernel name {n}");
+        }
+        // First-seen order: the first name is the first launch's kernel.
+        assert_eq!(names[0], app.launches[0].name());
+    }
 
     #[test]
     fn address_regions_do_not_overlap_for_gigabyte_arrays() {

@@ -8,8 +8,11 @@
 //!   modeling, bottleneck analysis, problem/hardware-scaling prediction).
 //! * [`gpu_sim`] — the GPU microarchitecture simulator substrate.
 //! * [`kernels`] — CUDA-SDK/Rodinia workloads (reduce0..6, matmul, NW).
+//! * [`analyze`] — the static analyzer (`bf lint`): occupancy/coalescing/
+//!   bank-conflict metrics and diagnostics without running the cycle engine.
 //! * [`forest`], [`pca`], [`regress`], [`linalg`] — the statistical substrates.
 
+pub use bf_analyze as analyze;
 pub use bf_forest as forest;
 pub use bf_kernels as kernels;
 pub use bf_linalg as linalg;
