@@ -32,6 +32,44 @@ struct SweepPoint {
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    /// Spans this sweep would record with tracing on (counted off the clock).
+    trace_spans: u64,
+    /// Counter increments this sweep would record with tracing on.
+    trace_counter_incs: u64,
+    /// Estimated fraction of the sequential wall-clock spent on *disabled*
+    /// tracing probes: `ops x per-op cost / sequential_seconds`. Must stay
+    /// under 1% — the instrumentation is free when off.
+    disabled_trace_overhead: f64,
+}
+
+/// Measured per-operation cost of tracing probes while the recorder is off.
+struct ProbeCosts {
+    span_ns: f64,
+    counter_ns: f64,
+}
+
+/// Times a disabled `span!` and a disabled `counter!` — each should be one
+/// relaxed atomic load. `black_box` keeps the loop from being deleted.
+fn measure_probe_costs() -> ProbeCosts {
+    assert!(
+        !bf_trace::enabled(),
+        "probes must be timed with tracing off"
+    );
+    const ITERS: u64 = 2_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(bf_trace::span!("overhead_probe"));
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        bf_trace::counter!("overhead_probe", std::hint::black_box(i % 2));
+    }
+    let counter_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    ProbeCosts {
+        span_ns,
+        counter_ns,
+    }
 }
 
 #[derive(Debug, Serialize)]
@@ -48,7 +86,7 @@ fn timed(f: &dyn Fn() -> usize) -> (f64, usize) {
     (t0.elapsed().as_secs_f64(), rows)
 }
 
-fn run_sweep(name: &str, collect: &dyn Fn() -> usize) -> SweepPoint {
+fn run_sweep(name: &str, collect: &dyn Fn() -> usize, probes: &ProbeCosts) -> SweepPoint {
     // Sequential baseline: one worker, no memoization.
     std::env::set_var("RAYON_NUM_THREADS", "1");
     std::env::set_var("BF_SIM_CACHE", "0");
@@ -64,6 +102,24 @@ fn run_sweep(name: &str, collect: &dyn Fn() -> usize) -> SweepPoint {
     let (cached_seconds, _) = timed(collect);
     let stats = gpu_sim::global_cache_stats();
 
+    // Count (off the clock) what the sweep would record with tracing on,
+    // then price the disabled probes against the sequential baseline.
+    let (_, trace) = bf_trace::capture(collect);
+    let trace_spans = trace.spans.len() as u64;
+    let trace_counter_incs: u64 = trace.counters.values().sum();
+    let probe_ns =
+        trace_spans as f64 * probes.span_ns + trace_counter_incs as f64 * probes.counter_ns;
+    let disabled_trace_overhead = probe_ns / (sequential_seconds * 1e9);
+    assert!(
+        disabled_trace_overhead < 0.01,
+        "disabled tracing must cost < 1% of the {name} sweep: \
+         {trace_spans} spans x {:.2}ns + {trace_counter_incs} counters x {:.2}ns \
+         = {:.4}% of {sequential_seconds:.3}s",
+        probes.span_ns,
+        probes.counter_ns,
+        disabled_trace_overhead * 100.0,
+    );
+
     let point = SweepPoint {
         sweep: name.to_string(),
         rows,
@@ -75,16 +131,20 @@ fn run_sweep(name: &str, collect: &dyn Fn() -> usize) -> SweepPoint {
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         cache_hit_rate: stats.hit_rate(),
+        trace_spans,
+        trace_counter_incs,
+        disabled_trace_overhead,
     };
     println!(
         "{name:>9}: seq {sequential_seconds:>7.3}s  par {parallel_seconds:>7.3}s \
          ({:>5.2}x)  cached {cached_seconds:>7.3}s ({:>5.2}x)  \
-         hits {}/{} ({:.1}%)",
+         hits {}/{} ({:.1}%)  trace-off overhead {:.4}%",
         point.parallel_speedup,
         point.cached_speedup,
         stats.hits,
         stats.hits + stats.misses,
         point.cache_hit_rate * 100.0,
+        point.disabled_trace_overhead * 100.0,
     );
     point
 }
@@ -122,40 +182,58 @@ fn main() {
         (vec![64, 128, 256, 512], vec![1, 2, 4, 8])
     };
 
+    let probes = measure_probe_costs();
+    println!(
+        "disabled probe costs: span {:.2}ns  counter {:.2}ns",
+        probes.span_ns, probes.counter_ns
+    );
+
     let points = vec![
-        run_sweep("nw", &{
-            let gpu = gpu.clone();
-            let opts = opts.clone();
-            move || {
-                collect_nw(&gpu, &nw_lengths, &opts)
-                    .expect("collect_nw")
+        run_sweep(
+            "nw",
+            &{
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || {
+                    collect_nw(&gpu, &nw_lengths, &opts)
+                        .expect("collect_nw")
+                        .len()
+                }
+            },
+            &probes,
+        ),
+        run_sweep(
+            "reduce",
+            &{
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || {
+                    collect_reduce(
+                        &gpu,
+                        ReduceVariant::Reduce6,
+                        &reduce_sizes,
+                        &reduce_threads,
+                        &opts,
+                    )
+                    .expect("collect_reduce")
                     .len()
-            }
-        }),
-        run_sweep("reduce", &{
-            let gpu = gpu.clone();
-            let opts = opts.clone();
-            move || {
-                collect_reduce(
-                    &gpu,
-                    ReduceVariant::Reduce6,
-                    &reduce_sizes,
-                    &reduce_threads,
-                    &opts,
-                )
-                .expect("collect_reduce")
-                .len()
-            }
-        }),
-        run_sweep("stencil", &{
-            let gpu = gpu.clone();
-            let opts = opts.clone();
-            move || {
-                collect_stencil(&gpu, &stencil_sizes, &stencil_sweeps, &opts)
-                    .expect("collect_stencil")
-                    .len()
-            }
-        }),
+                }
+            },
+            &probes,
+        ),
+        run_sweep(
+            "stencil",
+            &{
+                let gpu = gpu.clone();
+                let opts = opts.clone();
+                move || {
+                    collect_stencil(&gpu, &stencil_sizes, &stencil_sweeps, &opts)
+                        .expect("collect_stencil")
+                        .len()
+                }
+            },
+            &probes,
+        ),
     ];
 
     let report = BenchReport {

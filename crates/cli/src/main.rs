@@ -40,6 +40,8 @@ COMMANDS:
     lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
              [--fail-on SEV] [--out FILE] [--quick]
 
+    Every command also accepts --timing and --trace-out FILE.
+
 WORKLOADS:
     reduce0..reduce6, matmul, nw, stencil
 
@@ -67,6 +69,10 @@ OPTIONS:
     --threads N     worker threads: simulation workers during collection,
                     HTTP workers for serve (default: all cores)
     --no-sim-cache  disable the launch-memoization cache (always re-simulate)
+    --timing        print a per-phase timing summary (span count/total/
+                    mean/max plus counters) after the command finishes
+    --trace-out F   write a Chrome-tracing JSON trace of the run to F
+                    (open in chrome://tracing or https://ui.perfetto.dev)
 
 SERVING:
     train writes a self-contained model bundle (forest + counter models +
@@ -104,6 +110,8 @@ struct Args {
     oracle: bool,
     fail_on: Option<String>,
     static_features: bool,
+    timing: bool,
+    trace_out: Option<PathBuf>,
 }
 
 impl Args {
@@ -147,6 +155,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         oracle: false,
         fail_on: None,
         static_features: false,
+        timing: false,
+        trace_out: None,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -210,10 +220,55 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--oracle" => args.oracle = true,
             "--fail-on" => args.fail_on = Some(it.next().ok_or("--fail-on needs a value")?.clone()),
             "--static-features" => args.static_features = true,
+            "--timing" => args.timing = true,
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?))
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(args)
+}
+
+/// Validates an artifact output path up front: the parent directory must
+/// exist and the path must not name a directory. Every artifact writer
+/// (`collect --out`, `analyze --out`, `train --save`, `lint --out`,
+/// `--trace-out`) routes through this, so a typo'd directory fails with a
+/// clear message *before* minutes of simulation, not with a bare OS error
+/// after them.
+fn resolve_out_path(path: &Path) -> Result<PathBuf, String> {
+    let parent = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    if !parent.exists() {
+        return Err(format!(
+            "output directory {} does not exist (for {})",
+            parent.display(),
+            path.display()
+        ));
+    }
+    if !parent.is_dir() {
+        return Err(format!(
+            "output location {} is not a directory (for {})",
+            parent.display(),
+            path.display()
+        ));
+    }
+    if path.is_dir() {
+        return Err(format!(
+            "output path {} is a directory, not a file",
+            path.display()
+        ));
+    }
+    Ok(path.to_path_buf())
+}
+
+/// Writes an artifact through [`resolve_out_path`], wrapping any filesystem
+/// failure (permissions, disk full) in a message naming the path.
+fn write_artifact(path: &Path, contents: &str) -> Result<(), String> {
+    let path = resolve_out_path(path)?;
+    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn gpu_by_name(name: &str) -> Result<GpuConfig, String> {
@@ -274,6 +329,24 @@ fn toolchain(args: &Args) -> Result<BlackForest, String> {
     Ok(bf)
 }
 
+/// The static span name a command runs under when tracing is on (span
+/// names aggregate by pointer-free `&'static str`, so the dynamic command
+/// string maps onto a fixed vocabulary).
+fn command_span_name(command: &str) -> &'static str {
+    match command {
+        "gpus" => "gpus",
+        "counters" => "counters",
+        "collect" => "collect_cmd",
+        "analyze" => "analyze_cmd",
+        "train" => "train",
+        "serve" => "serve",
+        "predict" => "predict_cmd",
+        "hwscale" => "hwscale",
+        "lint" => "lint",
+        _ => "command",
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -289,6 +362,38 @@ fn run() -> Result<ExitCode, String> {
     if args.no_sim_cache {
         std::env::set_var("BF_SIM_CACHE", "0");
     }
+    if !args.timing && args.trace_out.is_none() {
+        return run_command(&args);
+    }
+    // Validate the trace destination before the (possibly long) run.
+    let trace_out = args
+        .trace_out
+        .as_deref()
+        .map(resolve_out_path)
+        .transpose()?;
+    bf_trace::enable();
+    let result = {
+        let _top = bf_trace::Span::enter(command_span_name(&args.command));
+        run_command(&args)
+    };
+    bf_trace::disable();
+    let trace = bf_trace::drain();
+    if args.timing {
+        print!("{}", trace.summary_table());
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.chrome_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "trace: {} spans written to {} (open in chrome://tracing)",
+            trace.spans.len(),
+            path.display()
+        );
+    }
+    result
+}
+
+fn run_command(args: &Args) -> Result<ExitCode, String> {
     match args.command.as_str() {
         "gpus" => {
             for gpu in GpuConfig::presets() {
@@ -315,13 +420,15 @@ fn run() -> Result<ExitCode, String> {
         "collect" => {
             let workload =
                 workload_by_name(args.workload.as_deref().ok_or("collect needs --workload")?)?;
-            let mut bf = toolchain(&args)?;
+            let mut bf = toolchain(args)?;
             bf.collect.include_static_features = args.static_features;
             let sizes = default_sizes(workload, args.quick);
             let ds = bf.collect(workload, &sizes).map_err(|e| e.to_string())?;
             let out = args
                 .out
+                .clone()
                 .unwrap_or_else(|| PathBuf::from(format!("{}_{}.csv", workload.name(), args.gpu)));
+            let out = resolve_out_path(&out)?;
             ds.write_csv(&out).map_err(|e| e.to_string())?;
             println!(
                 "wrote {} runs x {} predictors to {}",
@@ -334,13 +441,13 @@ fn run() -> Result<ExitCode, String> {
         "analyze" => {
             let workload =
                 workload_by_name(args.workload.as_deref().ok_or("analyze needs --workload")?)?;
-            let bf = toolchain(&args)?;
+            let bf = toolchain(args)?;
             let sizes = default_sizes(workload, args.quick);
             let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
             println!("{}", report.render());
             if let Some(out) = &args.out {
                 let md = blackforest::markdown::analysis_markdown(&report);
-                std::fs::write(out, md).map_err(|e| e.to_string())?;
+                write_artifact(out, &md)?;
                 println!("markdown report written to {}", out.display());
             }
             Ok(ExitCode::SUCCESS)
@@ -353,12 +460,16 @@ fn run() -> Result<ExitCode, String> {
                 .clone()
                 .or_else(|| args.out.clone())
                 .ok_or("train needs --save BUNDLE.json")?;
+            let save = resolve_out_path(&save)?;
             let gpu = gpu_by_name(&args.gpu)?;
-            let bf = toolchain(&args)?;
+            let bf = toolchain(args)?;
             let sizes = default_sizes(workload, args.quick);
             let report = bf.analyze(workload, &sizes).map_err(|e| e.to_string())?;
             let bundle = ModelBundle::from_report(&report, &gpu, &sizes, args.quick);
-            bundle.save(&save).map_err(|e| e.to_string())?;
+            {
+                let _span = bf_trace::span!("save_bundle");
+                bundle.save(&save).map_err(|e| e.to_string())?;
+            }
             println!(
                 "trained {} on {} ({} runs, {} features); bundle v{} ({:016x}) written to {}",
                 workload.name(),
@@ -430,7 +541,7 @@ fn run() -> Result<ExitCode, String> {
                             .as_deref()
                             .ok_or("predict needs --workload (or --model)")?,
                     )?;
-                    let bf = toolchain(&args)?;
+                    let bf = toolchain(args)?;
                     let sizes = default_sizes(workload, args.quick);
                     let predictor = bf
                         .analyze(workload, &sizes)
@@ -474,13 +585,13 @@ fn run() -> Result<ExitCode, String> {
                 ..blackforest::collect::CollectOptions::default()
             };
             let sizes = default_sizes(workload, args.quick);
-            let mut bf_src = toolchain(&args)?;
+            let mut bf_src = toolchain(args)?;
             bf_src.gpu = src_gpu;
             bf_src.collect = opts.clone();
             let src = bf_src
                 .collect(workload, &sizes)
                 .map_err(|e| e.to_string())?;
-            let mut bf_tgt = toolchain(&args)?;
+            let mut bf_tgt = toolchain(args)?;
             bf_tgt.gpu = tgt_gpu;
             bf_tgt.collect = opts;
             let tgt = bf_tgt
@@ -551,7 +662,7 @@ fn run() -> Result<ExitCode, String> {
             };
             match &args.out {
                 Some(path) => {
-                    std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+                    write_artifact(path, &rendered)?;
                     println!(
                         "lint report written to {} ({} errors, {} warnings, {} notes)",
                         path.display(),
@@ -586,5 +697,71 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_out_path_accepts_cwd_relative_files() {
+        assert_eq!(
+            resolve_out_path(Path::new("report.json")).unwrap(),
+            PathBuf::from("report.json")
+        );
+    }
+
+    #[test]
+    fn resolve_out_path_accepts_existing_directories() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("bf_cli_resolve_ok.json");
+        assert_eq!(resolve_out_path(&path).unwrap(), path);
+    }
+
+    #[test]
+    fn resolve_out_path_rejects_missing_parent_with_clear_error() {
+        let path = Path::new("/definitely/not/a/real/dir/out.json");
+        let err = resolve_out_path(path).unwrap_err();
+        assert!(
+            err.contains("does not exist") && err.contains("/definitely/not/a/real/dir"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn resolve_out_path_rejects_directory_targets() {
+        let err = resolve_out_path(&std::env::temp_dir()).unwrap_err();
+        assert!(err.contains("is a directory"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn resolve_out_path_rejects_file_as_parent() {
+        let file = std::env::temp_dir().join("bf_cli_parent_probe.txt");
+        std::fs::write(&file, "x").unwrap();
+        let err = resolve_out_path(&file.join("child.json")).unwrap_err();
+        assert!(err.contains("not a directory"), "unhelpful error: {err}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn parse_args_reads_tracing_flags() {
+        let argv: Vec<String> = ["train", "--timing", "--trace-out", "t.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = parse_args(&argv).unwrap();
+        assert!(args.timing);
+        assert_eq!(args.trace_out.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(command_span_name(&args.command), "train");
+    }
+
+    #[test]
+    fn trace_out_requires_a_value() {
+        let argv: Vec<String> = ["train", "--trace-out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&argv).is_err());
     }
 }

@@ -239,7 +239,9 @@ fn profile_batch(
     mut jobs: Vec<(Application, Vec<(String, f64)>)>,
     opts: &CollectOptions,
 ) -> Result<Vec<Observation>> {
+    let _batch_span = bf_trace::span!("profile_batch", apps = jobs.len());
     if opts.include_static_features {
+        let _span = bf_trace::span!("static_features");
         for (app, characteristics) in &mut jobs {
             characteristics.extend(static_features(gpu, app)?);
         }
@@ -262,6 +264,7 @@ fn profile_batch(
     if opts.repetitions <= 1 && opts.noise_frac == 0.0 {
         return Ok(profiled);
     }
+    let _expand_span = bf_trace::span!("expand_repetitions", repetitions = opts.repetitions);
     let repetitions = opts.repetitions.max(1);
     // One GPU => one counter schema; collect the names once for the whole
     // expansion instead of re-collecting them per repetition.

@@ -115,6 +115,7 @@ impl CounterModelSet {
         if characteristics.is_empty() {
             return Err(BfError::Data("no characteristics given".into()));
         }
+        let _span = bf_trace::span!("fit_counter_models", counters = selected.len());
         // Characteristic matrix (inputs to every counter model).
         let char_rows: Vec<Vec<f64>> = {
             let idx: Vec<usize> = characteristics
@@ -144,6 +145,7 @@ impl CounterModelSet {
                 });
                 continue;
             }
+            let _one = bf_trace::span!("fit_counter", counter = name.as_str());
             let y = train
                 .column(name)
                 .ok_or_else(|| BfError::Data(format!("selected feature {name} not in data")))?;

@@ -154,6 +154,12 @@ impl BlackForestModel {
                 data.len()
             )));
         }
+        let _fit_span = bf_trace::span!(
+            "fit_model",
+            rows = data.len(),
+            features = data.n_features(),
+            trees = config.n_trees
+        );
         let (train, test) = data.split(config.train_fraction, config.seed);
         let params = ForestParams {
             n_trees: config.n_trees,
@@ -163,23 +169,38 @@ impl BlackForestModel {
         };
         let forest = RandomForest::fit(&train.rows, &train.response, &params)
             .map_err(|e| BfError::Fit(e.to_string()))?;
-        let validation = validate(&forest, &test)?;
-        let importance = forest.permutation_importance();
-        let ranking: Vec<String> = importance
-            .ranking()
-            .into_iter()
-            .map(|j| data.feature_names[j].clone())
-            .collect();
+        let validation = {
+            let _v = bf_trace::span!("validate");
+            validate(&forest, &test)?
+        };
+        let (importance, ranking) = {
+            let _imp = bf_trace::span!("importance");
+            let importance = forest.permutation_importance();
+            let ranking: Vec<String> = importance
+                .ranking()
+                .into_iter()
+                .map(|j| data.feature_names[j].clone())
+                .collect();
+            (importance, ranking)
+        };
         let k = config.top_k.min(data.n_features()).max(1);
         let selected: Vec<String> = ranking.iter().take(k).cloned().collect();
 
+        let select_span = bf_trace::span!("select_refit", top_k = k);
         let train_sel = train.select(&selected)?;
         let test_sel = test.select(&selected)?;
         let reduced_forest = RandomForest::fit(&train_sel.rows, &train_sel.response, &params)
             .map_err(|e| BfError::Fit(e.to_string()))?;
-        let reduced_validation = validate(&reduced_forest, &test_sel)?;
+        let reduced_validation = {
+            let _v = bf_trace::span!("validate");
+            validate(&reduced_forest, &test_sel)?
+        };
+        drop(select_span);
 
-        let pca = Self::run_pca(&train, config).ok();
+        let pca = {
+            let _pca = bf_trace::span!("pca");
+            Self::run_pca(&train, config).ok()
+        };
 
         Ok(BlackForestModel {
             feature_names: data.feature_names.clone(),

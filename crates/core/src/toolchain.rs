@@ -164,6 +164,7 @@ impl BlackForest {
     /// Collects a dataset for a workload over the given sweep of the
     /// primary problem size (reduction also sweeps block sizes).
     pub fn collect(&self, workload: Workload, sizes: &[usize]) -> Result<Dataset> {
+        let _span = bf_trace::span!("collect", workload = workload.name(), sizes = sizes.len());
         match workload {
             Workload::Reduce(v) => {
                 collect::collect_reduce(&self.gpu, v, sizes, &[64, 128, 256, 512], &self.collect)
@@ -187,7 +188,10 @@ impl BlackForest {
         let chars = workload.characteristics();
         let predictor =
             ProblemScalingPredictor::fit(&dataset, &self.config, &chars, ModelStrategy::Auto)?;
-        let bottlenecks = BottleneckReport::analyze(&predictor.model, 10.min(dataset.n_features()));
+        let bottlenecks = {
+            let _span = bf_trace::span!("bottleneck");
+            BottleneckReport::analyze(&predictor.model, 10.min(dataset.n_features()))
+        };
         Ok(AnalysisReport {
             workload,
             gpu: self.gpu.name.clone(),

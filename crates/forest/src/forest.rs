@@ -144,6 +144,8 @@ impl RandomForest {
                 "min_node_size must be positive".into(),
             ));
         }
+        let fit_span = bf_trace::span!("fit_forest", rows = y.len(), trees = params.n_trees);
+        let fit_id = fit_span.id();
         let n = y.len();
         let columns = rows_to_columns(x);
         let mtry = params.mtry.unwrap_or_else(|| (p / 3).max(1)).min(p);
@@ -163,6 +165,7 @@ impl RandomForest {
                         "max_bins must be in 2..={MAX_BINS_LIMIT}, got {max_bins}"
                     )));
                 }
+                let _bins = bf_trace::span!("build_bins", max_bins = max_bins);
                 Some(BinnedDataset::build(&columns, max_bins))
             }
         };
@@ -174,25 +177,32 @@ impl RandomForest {
         let built: Vec<(RegressionTree, Vec<u32>)> = tree_seeds
             .par_iter()
             .map(|&seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                // Bootstrap sample of size n, with replacement.
-                let mut in_bag = vec![false; n];
-                let mut idx = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let i = rng.random_range(0..n);
-                    idx.push(i as u32);
-                    in_bag[i] = true;
-                }
-                let tree = match &binned {
-                    Some(b) => {
-                        crate::binned::fit_binned_on_indices(b, y, &idx, &tree_params, &mut rng)
+                bf_trace::with_parent(fit_id, || {
+                    let _tree_span = bf_trace::span!("fit_tree");
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    // Bootstrap sample of size n, with replacement.
+                    let mut in_bag = vec![false; n];
+                    let mut idx = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let i = rng.random_range(0..n);
+                        idx.push(i as u32);
+                        in_bag[i] = true;
                     }
-                    None => {
-                        RegressionTree::fit_on_indices(&columns, y, &idx, &tree_params, &mut rng)
-                    }
-                };
-                let oob: Vec<u32> = (0..n as u32).filter(|&i| !in_bag[i as usize]).collect();
-                (tree, oob)
+                    let tree = match &binned {
+                        Some(b) => {
+                            crate::binned::fit_binned_on_indices(b, y, &idx, &tree_params, &mut rng)
+                        }
+                        None => RegressionTree::fit_on_indices(
+                            &columns,
+                            y,
+                            &idx,
+                            &tree_params,
+                            &mut rng,
+                        ),
+                    };
+                    let oob: Vec<u32> = (0..n as u32).filter(|&i| !in_bag[i as usize]).collect();
+                    (tree, oob)
+                })
             })
             .collect();
 

@@ -131,6 +131,7 @@ impl SimCache {
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+            bf_trace::counter!("sim_cache.hits");
         }
         found
     }
@@ -138,6 +139,7 @@ impl SimCache {
     fn put(&self, key: u128, value: LaunchResult) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        bf_trace::counter!("sim_cache.misses");
         self.map.lock().unwrap().insert(key, value);
     }
 }

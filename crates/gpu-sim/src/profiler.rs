@@ -122,6 +122,8 @@ pub fn simulate_launches(
     launches: &[Box<dyn KernelTrace>],
     cache: Option<&SimCache>,
 ) -> Result<Vec<LaunchResult>> {
+    let batch = bf_trace::span!("simulate_launches", launches = launches.len());
+    let batch_id = batch.id();
     let indexed: Vec<(usize, &dyn KernelTrace)> = launches
         .iter()
         .enumerate()
@@ -130,14 +132,19 @@ pub fn simulate_launches(
     indexed
         .into_par_iter()
         .map(|(i, k)| {
-            match cache {
-                Some(c) => memo::simulate_launch_cached(gpu, k, c),
-                None => simulate_launch(gpu, k),
-            }
-            // A bad launch config or malformed trace (mismatched barriers)
-            // surfaces here with the kernel named, instead of an anonymous
-            // message from deep inside the batch.
-            .map_err(|e| e.in_kernel(&k.name(), i))
+            // Workers parent their per-launch spans back to the batch span
+            // on the issuing thread, not to whatever ran last on the worker.
+            bf_trace::with_parent(batch_id, || {
+                let _launch = bf_trace::span!("launch", kernel = k.name(), index = i);
+                match cache {
+                    Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                    None => simulate_launch(gpu, k),
+                }
+                // A bad launch config or malformed trace (mismatched
+                // barriers) surfaces here with the kernel named, instead of
+                // an anonymous message from deep inside the batch.
+                .map_err(|e| e.in_kernel(&k.name(), i))
+            })
         })
         .collect::<Result<Vec<_>>>()
 }
@@ -203,14 +210,23 @@ pub fn profile_applications(
         .iter()
         .flat_map(|(_, launches)| launches.iter().enumerate().map(|(i, k)| (i, k.as_ref())))
         .collect();
+    let batch = bf_trace::span!(
+        "profile_applications",
+        apps = apps.len(),
+        launches = flat.len()
+    );
+    let batch_id = batch.id();
     let results: Vec<LaunchResult> = flat
         .into_par_iter()
         .map(|(i, k)| {
-            match cache {
-                Some(c) => memo::simulate_launch_cached(gpu, k, c),
-                None => simulate_launch(gpu, k),
-            }
-            .map_err(|e| e.in_kernel(&k.name(), i))
+            bf_trace::with_parent(batch_id, || {
+                let _launch = bf_trace::span!("launch", kernel = k.name(), index = i);
+                match cache {
+                    Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                    None => simulate_launch(gpu, k),
+                }
+                .map_err(|e| e.in_kernel(&k.name(), i))
+            })
         })
         .collect::<Result<Vec<_>>>()?;
     let mut runs = Vec::with_capacity(apps.len());

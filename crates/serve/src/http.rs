@@ -215,6 +215,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers as `(name, value)` pairs (e.g. the per-request
+    /// `X-BF-Trace-Id`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -225,6 +228,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -234,8 +238,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Adds a response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
     }
 
     /// A JSON error envelope: `{"error": "..."}`.
@@ -251,13 +262,17 @@ impl Response {
     pub fn write_to<W: Write>(&self, writer: &mut W, close: bool) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
         )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -336,6 +351,20 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}".into())
+            .with_header("X-BF-Trace-Id", "bf-1234".into())
+            .write_to(&mut buf, false)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("X-BF-Trace-Id: bf-1234\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("X-BF-Trace-Id").unwrap() < head_end);
+        assert!(text.ends_with("{}"));
     }
 
     #[test]

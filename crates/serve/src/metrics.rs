@@ -57,6 +57,40 @@ impl Route {
     }
 }
 
+/// The phases of a `/predict` request that get their own latency histogram
+/// (mirroring the `parse`/`predict`/`serialize` trace spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Body decode + JSON parse + query validation.
+    Parse,
+    /// Cache lookup and (on miss) the forest walk.
+    Predict,
+    /// Response serialization.
+    Serialize,
+}
+
+impl Phase {
+    const ALL: [Phase; 3] = [Phase::Parse, Phase::Predict, Phase::Serialize];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Parse => 0,
+            Phase::Predict => 1,
+            Phase::Serialize => 2,
+        }
+    }
+
+    /// The `phase` label used in the Prometheus exposition (and as the trace
+    /// span name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Predict => "predict",
+            Phase::Serialize => "serialize",
+        }
+    }
+}
+
 struct AtomicArray<const N: usize>([AtomicU64; N]);
 
 impl<const N: usize> Default for AtomicArray<N> {
@@ -85,6 +119,9 @@ pub struct Metrics {
     // Per-bucket (non-cumulative) counts; bucket 8 is +Inf.
     latency_buckets: AtomicArray<9>,
     latency_sum_us: AtomicU64,
+    // One 9-bucket histogram per predict phase, same bucket bounds.
+    phase_buckets: [AtomicArray<9>; 3],
+    phase_sum_us: AtomicArray<3>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -106,6 +143,8 @@ impl Metrics {
             responses_5xx: AtomicU64::new(0),
             latency_buckets: AtomicArray::default(),
             latency_sum_us: AtomicU64::new(0),
+            phase_buckets: std::array::from_fn(|_| AtomicArray::default()),
+            phase_sum_us: AtomicArray::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
@@ -125,6 +164,16 @@ impl Metrics {
             .unwrap_or(LATENCY_BUCKETS_US.len());
         self.latency_buckets.add(bucket, 1);
         self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records one phase of a `/predict` request.
+    pub fn observe_phase(&self, phase: Phase, latency_us: u64) {
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| latency_us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.phase_buckets[phase.index()].add(bucket, 1);
+        self.phase_sum_us.add(phase.index(), latency_us);
     }
 
     /// Records a prediction-cache hit.
@@ -210,6 +259,33 @@ impl Metrics {
         ));
         out.push_str(&format!("bf_request_latency_us_count {cumulative}\n"));
 
+        out.push_str(
+            "# HELP bf_phase_latency_us Per-phase /predict latency histogram (microseconds).\n",
+        );
+        out.push_str("# TYPE bf_phase_latency_us histogram\n");
+        for phase in Phase::ALL {
+            let label = phase.label();
+            let buckets = &self.phase_buckets[phase.index()];
+            let mut cumulative = 0u64;
+            for (i, le) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += buckets.get(i);
+                out.push_str(&format!(
+                    "bf_phase_latency_us_bucket{{phase=\"{label}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += buckets.get(LATENCY_BUCKETS_US.len());
+            out.push_str(&format!(
+                "bf_phase_latency_us_bucket{{phase=\"{label}\",le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!(
+                "bf_phase_latency_us_sum{{phase=\"{label}\"}} {}\n",
+                self.phase_sum_us.get(phase.index())
+            ));
+            out.push_str(&format!(
+                "bf_phase_latency_us_count{{phase=\"{label}\"}} {cumulative}\n"
+            ));
+        }
+
         let (hits, misses) = self.cache_counts();
         out.push_str("# HELP bf_prediction_cache Prediction LRU cache statistics.\n");
         out.push_str("# TYPE bf_prediction_cache_hits_total counter\n");
@@ -264,6 +340,21 @@ mod tests {
         assert!(text.contains("bf_request_latency_us_bucket{le=\"100\"} 2"));
         assert!(text.contains("bf_request_latency_us_bucket{le=\"100000\"} 2"));
         assert!(text.contains("bf_request_latency_us_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn phase_histograms_render_per_phase() {
+        let m = Metrics::new();
+        m.observe_phase(Phase::Parse, 10); // le=50
+        m.observe_phase(Phase::Parse, 600); // le=1000
+        m.observe_phase(Phase::Predict, 40_000); // le=100000
+        let text = m.render(0, 0);
+        assert!(text.contains("bf_phase_latency_us_bucket{phase=\"parse\",le=\"50\"} 1"));
+        assert!(text.contains("bf_phase_latency_us_bucket{phase=\"parse\",le=\"+Inf\"} 2"));
+        assert!(text.contains("bf_phase_latency_us_sum{phase=\"parse\"} 610"));
+        assert!(text.contains("bf_phase_latency_us_count{phase=\"parse\"} 2"));
+        assert!(text.contains("bf_phase_latency_us_bucket{phase=\"predict\",le=\"100000\"} 1"));
+        assert!(text.contains("bf_phase_latency_us_count{phase=\"serialize\"} 0"));
     }
 
     #[test]

@@ -20,13 +20,13 @@
 use crate::bundle::{ModelBundle, Prediction};
 use crate::http::{HttpError, Request, Response};
 use crate::lru::LruCache;
-use crate::metrics::{Metrics, Route};
+use crate::metrics::{Metrics, Phase, Route};
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`PredictServer`].
@@ -202,6 +202,22 @@ impl PredictServer {
     }
 }
 
+/// Mints a process-unique request trace id: a boot-time salt (so ids from
+/// different server runs don't collide in aggregated logs) plus a sequence
+/// number. Echoed back to clients as the `X-BF-Trace-Id` response header.
+fn next_trace_id() -> String {
+    static SALT: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let salt = *SALT.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+    });
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("bf-{:08x}-{seq:08x}", (salt ^ (salt >> 32)) as u32)
+}
+
 /// Serves every request on one connection.
 fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
     let _ = stream.set_read_timeout(Some(timeout));
@@ -216,6 +232,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
             return;
         }
         let started = Instant::now();
+        let trace_id = next_trace_id();
         let request = match Request::read_from(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return, // client closed between requests
@@ -223,12 +240,29 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
                 state
                     .metrics
                     .observe(Route::Other, status, elapsed_us(started));
-                let _ = Response::error(status, &message).write_to(&mut writer, true);
+                let response =
+                    Response::error(status, &message).with_header("X-BF-Trace-Id", trace_id);
+                let _ = response.write_to(&mut writer, true);
                 return;
             }
         };
         let close = request.wants_close();
-        let (route, response) = handle_request(&request, state);
+        let (route, response) = {
+            let mut span = bf_trace::span!(
+                "request",
+                method = request.method.as_str(),
+                path = request.path.as_str(),
+            );
+            if span.is_active() {
+                span.attr("trace_id", trace_id.as_str());
+            }
+            let (route, response) = handle_request(&request, state);
+            if span.is_active() {
+                span.attr("status", response.status);
+            }
+            (route, response)
+        };
+        let response = response.with_header("X-BF-Trace-Id", trace_id);
         state
             .metrics
             .observe(route, response.status, elapsed_us(started));
@@ -315,13 +349,96 @@ fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
 }
 
 fn handle_predict(request: &Request, state: &ServerState) -> Response {
+    // Parse phase: body decode, JSON parse, query validation.
+    let parse_started = Instant::now();
+    let parsed = {
+        let _span = bf_trace::span!("parse", body_bytes = request.body.len());
+        parse_predict_chars(request, state)
+    };
+    state
+        .metrics
+        .observe_phase(Phase::Parse, elapsed_us(parse_started));
+    let chars = match parsed {
+        Ok(chars) => chars,
+        Err(response) => return response,
+    };
+
+    // Predict phase: cache lookup, forest walk on a miss.
+    let predict_started = Instant::now();
+    let bundle = &state.bundle;
+    let answered = {
+        let mut span = bf_trace::span!("predict");
+        let key = (
+            state.bundle_id,
+            chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+        );
+        let cached = state.cache.lock().unwrap().get(&key).cloned();
+        let answered = match cached {
+            Some(p) => {
+                state.metrics.cache_hit();
+                bf_trace::counter!("serve.predict_cache.hits");
+                Ok((p, true))
+            }
+            None => {
+                state.metrics.cache_miss();
+                bf_trace::counter!("serve.predict_cache.misses");
+                match bundle.predict(&chars) {
+                    Ok(p) => {
+                        state.cache.lock().unwrap().insert(key, p.clone());
+                        Ok((p, false))
+                    }
+                    Err(msg) => Err(Response::error(500, &format!("prediction failed: {msg}"))),
+                }
+            }
+        };
+        if span.is_active() {
+            if let Ok((_, was_cached)) = &answered {
+                span.attr("cached", *was_cached);
+            }
+        }
+        answered
+    };
+    state
+        .metrics
+        .observe_phase(Phase::Predict, elapsed_us(predict_started));
+    let (prediction, was_cached) = match answered {
+        Ok(hit) => hit,
+        Err(response) => return response,
+    };
+
+    // Serialize phase: building and encoding the answer.
+    let serialize_started = Instant::now();
+    let response = {
+        let _span = bf_trace::span!("serialize");
+        let payload = PredictResponse {
+            workload: bundle.workload.clone(),
+            gpu: bundle.gpu_name.clone(),
+            characteristics: chars,
+            predicted_ms: prediction.predicted_ms,
+            counters: prediction.counters,
+            cached: was_cached,
+        };
+        match serde_json::to_string(&payload) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("serialize response: {e}")),
+        }
+    };
+    state
+        .metrics
+        .observe_phase(Phase::Serialize, elapsed_us(serialize_started));
+    response
+}
+
+/// The parse/validate half of `/predict`: from raw body bytes to the exact
+/// characteristic vector the forest expects, or the error response to send.
+fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64>, Response> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
-        Err(_) => return Response::error(400, "request body is not UTF-8"),
+        Err(_) => return Err(Response::error(400, "request body is not UTF-8")),
     };
     let query: PredictRequest = match serde_json::from_str(body) {
         Ok(q) => q,
-        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+        Err(e) => return Err(Response::error(400, &format!("bad JSON body: {e}"))),
     };
     let bundle = &state.bundle;
 
@@ -331,31 +448,31 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
             _ => w.eq_ignore_ascii_case(&bundle.workload),
         };
         if !matches {
-            return Response::error(
+            return Err(Response::error(
                 422,
                 &format!(
                     "bundle was trained for workload {:?}, not {w:?}",
                     bundle.workload
                 ),
-            );
+            ));
         }
     }
     if let Some(g) = &query.gpu {
         if !g.eq_ignore_ascii_case(&bundle.gpu_name) {
-            return Response::error(
+            return Err(Response::error(
                 422,
                 &format!(
                     "bundle was trained on {} (fingerprint {:#x}); predictions for {g:?} \
                      need a bundle trained on that GPU",
                     bundle.gpu_name, bundle.gpu_fingerprint
                 ),
-            );
+            ));
         }
     }
 
-    let chars = if let Some(chars) = query.characteristics {
+    if let Some(chars) = query.characteristics {
         if chars.len() != bundle.characteristics.len() {
-            return Response::error(
+            return Err(Response::error(
                 422,
                 &format!(
                     "expected {} characteristics {:?}, got {}",
@@ -363,54 +480,28 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
                     bundle.characteristics,
                     chars.len()
                 ),
-            );
+            ));
         }
-        chars
+        Ok(chars)
     } else {
         let size = match query.size {
             Some(s) if s.is_finite() && s > 0.0 => s,
-            Some(_) => return Response::error(422, "size must be a positive finite number"),
-            None => return Response::error(400, "body needs either size or characteristics"),
-        };
-        match bundle.characteristics_for(size, query.threads, query.sweeps) {
-            Ok(c) => c,
-            Err(msg) => return Response::error(422, &msg),
-        }
-    };
-
-    let key = (
-        state.bundle_id,
-        chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
-    );
-    let cached = state.cache.lock().unwrap().get(&key).cloned();
-    let (prediction, was_cached) = match cached {
-        Some(p) => {
-            state.metrics.cache_hit();
-            (p, true)
-        }
-        None => {
-            state.metrics.cache_miss();
-            match bundle.predict(&chars) {
-                Ok(p) => {
-                    state.cache.lock().unwrap().insert(key, p.clone());
-                    (p, false)
-                }
-                Err(msg) => return Response::error(500, &format!("prediction failed: {msg}")),
+            Some(_) => {
+                return Err(Response::error(
+                    422,
+                    "size must be a positive finite number",
+                ))
             }
-        }
-    };
-
-    let payload = PredictResponse {
-        workload: bundle.workload.clone(),
-        gpu: bundle.gpu_name.clone(),
-        characteristics: chars,
-        predicted_ms: prediction.predicted_ms,
-        counters: prediction.counters,
-        cached: was_cached,
-    };
-    match serde_json::to_string(&payload) {
-        Ok(json) => Response::json(200, json),
-        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+            None => {
+                return Err(Response::error(
+                    400,
+                    "body needs either size or characteristics",
+                ))
+            }
+        };
+        bundle
+            .characteristics_for(size, query.threads, query.sweeps)
+            .map_err(|msg| Response::error(422, &msg))
     }
 }
 

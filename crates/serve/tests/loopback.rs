@@ -20,8 +20,8 @@ struct PredictBody {
 }
 
 /// A one-shot HTTP client: sends one request on a fresh connection with
-/// `Connection: close` and returns `(status, body)`.
-fn roundtrip(addr: SocketAddr, request_head: &str, body: &str) -> (u16, String) {
+/// `Connection: close` and returns `(status, head, body)`.
+fn roundtrip_full(addr: SocketAddr, request_head: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -39,11 +39,24 @@ fn roundtrip(addr: SocketAddr, request_head: &str, body: &str) -> (u16, String) 
         .expect("status line")
         .parse()
         .expect("numeric status");
-    let payload = response
+    let (head, payload) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, payload)
+}
+
+fn roundtrip(addr: SocketAddr, request_head: &str, body: &str) -> (u16, String) {
+    let (status, _, payload) = roundtrip_full(addr, request_head, body);
     (status, payload)
+}
+
+/// The `X-BF-Trace-Id` value out of a response head.
+fn trace_id(head: &str) -> String {
+    head.lines()
+        .find_map(|l| l.strip_prefix("X-BF-Trace-Id: "))
+        .unwrap_or_else(|| panic!("response has no X-BF-Trace-Id header:\n{head}"))
+        .to_string()
 }
 
 fn post_predict(addr: SocketAddr, body: &str) -> (u16, String) {
@@ -97,10 +110,15 @@ fn loopback_predictions_match_in_memory_bit_for_bit() {
     let (handle, join) = server.spawn();
     let addr = handle.addr();
 
-    // Health first.
-    let (status, health) = get(addr, "/healthz");
+    // Health first. Every response carries a distinct request trace id.
+    let (status, head, health) = roundtrip_full(addr, "GET /healthz HTTP/1.1", "");
     assert_eq!(status, 200, "{health}");
     assert!(health.contains("\"workload\":\"reduce1\""), "{health}");
+    let first_id = trace_id(&head);
+    assert!(first_id.starts_with("bf-"), "{first_id}");
+    let (_, head2, _) = roundtrip_full(addr, "GET /healthz HTTP/1.1", "");
+    let second_id = trace_id(&head2);
+    assert_ne!(first_id, second_id, "trace ids must be per-request");
 
     // Served predictions agree with the in-memory chain bit-for-bit.
     for (size, threads) in [(4096.0, 64.0), (8192.0, 256.0), (20000.0, 512.0)] {
@@ -134,8 +152,10 @@ fn loopback_predictions_match_in_memory_bit_for_bit() {
     assert_eq!(status, 200);
     assert!(bn.contains("\"findings\""), "{bn}");
 
-    // Bad queries are 4xx, not crashes.
-    assert_eq!(post_predict(addr, "{not json").0, 400);
+    // Bad queries are 4xx, not crashes — and still carry a trace id.
+    let (status, head, _) = roundtrip_full(addr, "POST /predict HTTP/1.1", "{not json");
+    assert_eq!(status, 400);
+    assert!(trace_id(&head).starts_with("bf-"));
     assert_eq!(post_predict(addr, "{}").0, 400);
     assert_eq!(post_predict(addr, "{\"size\": -1}").0, 422);
     assert_eq!(
@@ -158,10 +178,22 @@ fn loopback_predictions_match_in_memory_bit_for_bit() {
     let misses = metric(&m, "bf_prediction_cache_misses_total");
     assert_eq!(hits, 1);
     assert_eq!(misses, 3);
-    // 2xx so far: healthz + 4 successful predicts + bottleneck.
-    assert_eq!(metric(&m, "bf_responses_total{class=\"2xx\"}"), 6);
+    // 2xx so far: 2× healthz + 4 successful predicts + bottleneck.
+    assert_eq!(metric(&m, "bf_responses_total{class=\"2xx\"}"), 7);
     assert_eq!(metric(&m, "bf_responses_total{class=\"4xx\"}"), 6); // 5 bodies + 404
     assert!(metric(&m, "bf_request_latency_us_bucket{le=\"+Inf\"}") >= 9);
+
+    // Per-phase histograms: every predict request is parsed (9), but only
+    // the 4 that validated reach the forest and get serialized.
+    assert_eq!(metric(&m, "bf_phase_latency_us_count{phase=\"parse\"}"), 9);
+    assert_eq!(
+        metric(&m, "bf_phase_latency_us_count{phase=\"predict\"}"),
+        4
+    );
+    assert_eq!(
+        metric(&m, "bf_phase_latency_us_count{phase=\"serialize\"}"),
+        4
+    );
 
     handle.stop();
     join.join().expect("server thread exits cleanly");

@@ -1,0 +1,305 @@
+//! The `--trace-out` sink: Chrome Trace Event Format, loadable in
+//! `chrome://tracing` and Perfetto.
+//!
+//! Emitted by hand — this crate has no dependencies — as duration events:
+//! a `B` (begin) / `E` (end) pair per span, grouped per thread. The format
+//! requires strict nesting within a `(pid, tid)` track; recorded spans
+//! almost always satisfy that (RAII guards), but guards dropped out of
+//! LIFO order or inherited across threads can produce overlapping
+//! intervals on one tid, so children are clamped into their enclosing
+//! interval before emission. Counter totals become one `C` event.
+//!
+//! Times: the format wants microseconds; we print `ns/1000.nnn` exactly,
+//! keeping full nanosecond resolution without floating point.
+
+use crate::{SpanRecord, Trace};
+use std::collections::BTreeMap;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Exact microseconds-with-fraction rendering of a nanosecond count.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    phase: char,
+    name: &str,
+    tid: u64,
+    ts_ns: u64,
+    args_json: Option<&str>,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {\"name\":\"");
+    escape_json(name, out);
+    out.push_str(&format!(
+        "\",\"ph\":\"{phase}\",\"pid\":1,\"tid\":{tid},\"ts\":{}",
+        fmt_us(ts_ns)
+    ));
+    if let Some(args) = args_json {
+        out.push_str(",\"args\":");
+        out.push_str(args);
+    }
+    out.push('}');
+}
+
+fn attrs_json(span: &SpanRecord) -> Option<String> {
+    if span.attrs.is_empty() {
+        return None;
+    }
+    let mut out = String::from("{");
+    for (i, (key, value)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, &mut out);
+        out.push_str("\":");
+        match value {
+            crate::AttrValue::Int(v) => out.push_str(&v.to_string()),
+            crate::AttrValue::UInt(v) => out.push_str(&v.to_string()),
+            crate::AttrValue::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    // JSON has no NaN/inf; stringify to stay loadable.
+                    out.push('"');
+                    out.push_str(&v.to_string());
+                    out.push('"');
+                }
+            }
+            crate::AttrValue::Bool(v) => out.push_str(&v.to_string()),
+            crate::AttrValue::Str(v) => {
+                out.push('"');
+                escape_json(v, &mut out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    Some(out)
+}
+
+impl Trace {
+    /// Serializes the trace as a Chrome Trace Event Format JSON document.
+    pub fn chrome_json(&self) -> String {
+        // Group spans by thread; within each tid sort by (start, -end) so
+        // enclosing spans come first, then emit with a stack, clamping
+        // each span into its enclosing interval. This guarantees the
+        // strictly nested B/E structure the viewer requires regardless of
+        // how guards were dropped.
+        let mut by_tid: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        for span in &self.spans {
+            by_tid.entry(span.thread).or_default().push(span);
+        }
+
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (tid, mut spans) in by_tid {
+            spans.sort_by(|a, b| {
+                a.start_ns
+                    .cmp(&b.start_ns)
+                    .then(b.end_ns.cmp(&a.end_ns))
+                    .then(a.id.cmp(&b.id))
+            });
+            // Stack of end times of currently-open emitted spans.
+            let mut open_ends: Vec<u64> = Vec::new();
+            // Pending E events: (end_ns, name) — emitted when we pass them.
+            let mut pending: Vec<(u64, &'static str)> = Vec::new();
+            for span in spans {
+                let start = span.start_ns;
+                let mut end = span.end_ns;
+                // Clamp into the innermost open interval.
+                while let Some(&enclosing_end) = open_ends.last() {
+                    if start >= enclosing_end {
+                        let (ts, name) = pending.pop().expect("stacks in sync");
+                        push_event(&mut out, &mut first, 'E', name, tid, ts, None);
+                        open_ends.pop();
+                    } else {
+                        if end > enclosing_end {
+                            end = enclosing_end;
+                        }
+                        break;
+                    }
+                }
+                if end < start {
+                    end = start;
+                }
+                push_event(
+                    &mut out,
+                    &mut first,
+                    'B',
+                    span.name,
+                    tid,
+                    start,
+                    attrs_json(span).as_deref(),
+                );
+                open_ends.push(end);
+                pending.push((end, span.name));
+            }
+            while let Some((ts, name)) = pending.pop() {
+                push_event(&mut out, &mut first, 'E', name, tid, ts, None);
+                open_ends.pop();
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let mut args = String::from("{");
+            for (i, (name, value)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                args.push('"');
+                escape_json(name, &mut args);
+                args.push_str(&format!("\":{value}"));
+            }
+            args.push('}');
+            push_event(&mut out, &mut first, 'C', "bf_counters", 0, 0, Some(&args));
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        thread: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns,
+            end_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Minimal structural check: B/E events per tid must balance like
+    /// parentheses. (The serde_json round-trip lives in the integration
+    /// tests; this keeps the unit test dependency-free.)
+    fn assert_balanced(json: &str) {
+        let mut depth_by_tid: BTreeMap<String, i64> = BTreeMap::new();
+        for line in json.lines() {
+            let Some(tid_at) = line.find("\"tid\":") else {
+                continue;
+            };
+            let tid: String = line[tid_at + 6..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            let depth = depth_by_tid.entry(tid).or_insert(0);
+            if line.contains("\"ph\":\"B\"") {
+                *depth += 1;
+            } else if line.contains("\"ph\":\"E\"") {
+                *depth -= 1;
+                assert!(*depth >= 0, "E without matching B: {line}");
+            }
+        }
+        for (tid, depth) in depth_by_tid {
+            assert_eq!(depth, 0, "unbalanced events on tid {tid}");
+        }
+    }
+
+    #[test]
+    fn nested_spans_emit_balanced_pairs() {
+        let trace = Trace {
+            spans: vec![
+                span(1, None, "outer", 0, 0, 100),
+                span(2, Some(1), "inner", 0, 10, 20),
+            ],
+            counters: BTreeMap::new(),
+        };
+        let json = trace.chrome_json();
+        assert_balanced(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // inner must begin after outer begins and end before outer ends.
+        let outer_b = json.find("\"name\":\"outer\",\"ph\":\"B\"").unwrap();
+        let inner_b = json.find("\"name\":\"inner\",\"ph\":\"B\"").unwrap();
+        let inner_e = json.find("\"name\":\"inner\",\"ph\":\"E\"").unwrap();
+        let outer_e = json.find("\"name\":\"outer\",\"ph\":\"E\"").unwrap();
+        assert!(outer_b < inner_b && inner_b < inner_e && inner_e < outer_e);
+    }
+
+    #[test]
+    fn overlapping_spans_on_one_tid_are_clamped() {
+        // Guard dropped out of order: a=[0,50], b=[10,80] on the same tid.
+        let trace = Trace {
+            spans: vec![span(1, None, "a", 0, 0, 50), span(2, None, "b", 0, 10, 80)],
+            counters: BTreeMap::new(),
+        };
+        assert_balanced(&trace.chrome_json());
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(fmt_us(0), "0.000");
+        assert_eq!(fmt_us(1), "0.001");
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn attrs_and_names_are_escaped() {
+        let mut s = span(1, None, "fit", 0, 0, 10);
+        s.attrs
+            .push(("label", crate::AttrValue::Str("a\"b\\c\nd".into())));
+        s.attrs.push(("rows", crate::AttrValue::UInt(42)));
+        let trace = Trace {
+            spans: vec![s],
+            counters: BTreeMap::new(),
+        };
+        let json = trace.chrome_json();
+        assert!(json.contains(r#""label":"a\"b\\c\nd""#), "{json}");
+        assert!(json.contains(r#""rows":42"#));
+    }
+
+    #[test]
+    fn counters_emit_a_counter_event() {
+        let mut counters = BTreeMap::new();
+        counters.insert("sim_cache.hits".to_string(), 9u64);
+        let trace = Trace {
+            spans: Vec::new(),
+            counters,
+        };
+        let json = trace.chrome_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"sim_cache.hits\":9"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_shape() {
+        let trace = Trace::default();
+        let json = trace.chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert_balanced(&json);
+    }
+}

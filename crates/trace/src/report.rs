@@ -1,0 +1,362 @@
+//! Timing-free projections and the human-readable summary sink.
+//!
+//! The golden-trace suite pins [`Trace::topology`] and the concurrency
+//! suite compares [`Trace::multiset`] across thread counts; both must be
+//! deterministic under arbitrary scheduling, so everything here sorts by
+//! name and never looks at timestamps except in [`Trace::summary_table`].
+
+use crate::{SpanId, SpanRecord, Trace};
+use std::collections::BTreeMap;
+
+/// A structural defect found by [`Trace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDefect {
+    /// A span's `parent` id does not occur anywhere in the trace.
+    OrphanParent { span: SpanId, parent: SpanId },
+    /// A span ends before it starts (the recorder clamps, so this means
+    /// corruption, not clock skew).
+    NegativeDuration { span: SpanId },
+    /// A span's interval is not contained in its parent's interval on the
+    /// same thread (cross-thread children may legitimately outlive the
+    /// region where the parent was on-stack, so only same-thread pairs
+    /// are checked).
+    EscapesParent { span: SpanId, parent: SpanId },
+    /// Two spans share an id.
+    DuplicateId { span: SpanId },
+}
+
+impl std::fmt::Display for TraceDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDefect::OrphanParent { span, parent } => {
+                write!(f, "span {span} references missing parent {parent}")
+            }
+            TraceDefect::NegativeDuration { span } => {
+                write!(f, "span {span} ends before it starts")
+            }
+            TraceDefect::EscapesParent { span, parent } => {
+                write!(f, "span {span} escapes the interval of parent {parent}")
+            }
+            TraceDefect::DuplicateId { span } => write!(f, "duplicate span id {span}"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct TopologyNode {
+    count: u64,
+    children: BTreeMap<&'static str, TopologyNode>,
+}
+
+impl TopologyNode {
+    fn render(&self, name: &str, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(name);
+        out.push_str(&format!(" x{}\n", self.count));
+        for (child_name, child) in &self.children {
+            child.render(child_name, depth + 1, out);
+        }
+    }
+}
+
+impl Trace {
+    /// The canonical span topology: the parent/child tree with siblings of
+    /// the same name merged and counted, sorted by name at every level,
+    /// rendered as indented `name xCOUNT` lines. Identical traces modulo
+    /// timing, thread assignment, and sibling order produce identical
+    /// strings — this is what the golden files pin.
+    pub fn topology(&self) -> String {
+        let mut by_parent: BTreeMap<Option<SpanId>, Vec<&SpanRecord>> = BTreeMap::new();
+        let known: std::collections::BTreeSet<SpanId> = self.spans.iter().map(|s| s.id).collect();
+        for span in &self.spans {
+            // A parent that was never recorded (still open at drain, or
+            // from a dead epoch) degrades the span to a root rather than
+            // dropping it silently.
+            let parent = span.parent.filter(|p| known.contains(p));
+            by_parent.entry(parent).or_default().push(span);
+        }
+        let mut root = TopologyNode::default();
+        fn build(
+            node: &mut TopologyNode,
+            parent: Option<SpanId>,
+            by_parent: &BTreeMap<Option<SpanId>, Vec<&SpanRecord>>,
+        ) {
+            if let Some(children) = by_parent.get(&parent) {
+                for span in children {
+                    let child = node.children.entry(span.name).or_default();
+                    child.count += 1;
+                    build(child, Some(span.id), by_parent);
+                }
+            }
+        }
+        build(&mut root, None, &by_parent);
+        let mut out = String::new();
+        for (name, node) in &root.children {
+            node.render(name, 0, &mut out);
+        }
+        out
+    }
+
+    /// Span names with occurrence counts, ignoring structure entirely.
+    /// Two runs of the same work under different thread counts must agree
+    /// on this exactly.
+    pub fn multiset(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for span in &self.spans {
+            *counts.entry(span.name).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Checks structural invariants; an empty vec means the trace is
+    /// well-formed.
+    pub fn validate(&self) -> Vec<TraceDefect> {
+        let mut defects = Vec::new();
+        let mut by_id: BTreeMap<SpanId, &SpanRecord> = BTreeMap::new();
+        for span in &self.spans {
+            if by_id.insert(span.id, span).is_some() {
+                defects.push(TraceDefect::DuplicateId { span: span.id });
+            }
+        }
+        for span in &self.spans {
+            if span.end_ns < span.start_ns {
+                defects.push(TraceDefect::NegativeDuration { span: span.id });
+            }
+            if let Some(parent_id) = span.parent {
+                match by_id.get(&parent_id) {
+                    None => defects.push(TraceDefect::OrphanParent {
+                        span: span.id,
+                        parent: parent_id,
+                    }),
+                    Some(parent) => {
+                        if parent.thread == span.thread
+                            && (span.start_ns < parent.start_ns || span.end_ns > parent.end_ns)
+                        {
+                            defects.push(TraceDefect::EscapesParent {
+                                span: span.id,
+                                parent: parent_id,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        defects
+    }
+
+    /// The `--timing` sink: per-name count, total, mean, and max wall
+    /// time, widest totals first, as an aligned text table.
+    pub fn summary_table(&self) -> String {
+        struct Row {
+            count: u64,
+            total_ns: u64,
+            max_ns: u64,
+        }
+        let mut rows: BTreeMap<&'static str, Row> = BTreeMap::new();
+        for span in &self.spans {
+            let d = span.duration_ns();
+            let row = rows.entry(span.name).or_insert(Row {
+                count: 0,
+                total_ns: 0,
+                max_ns: 0,
+            });
+            row.count += 1;
+            row.total_ns += d;
+            row.max_ns = row.max_ns.max(d);
+        }
+        let mut ordered: Vec<_> = rows.into_iter().collect();
+        ordered.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+
+        let name_w = ordered
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once("span".len()))
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+            "span", "count", "total", "mean", "max"
+        ));
+        for (name, row) in &ordered {
+            let mean_ns = row.total_ns / row.count.max(1);
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+                name,
+                row.count,
+                fmt_ns(row.total_ns),
+                fmt_ns(mean_ns),
+                fmt_ns(row.max_ns),
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            let cname_w = self
+                .counters
+                .keys()
+                .map(|k| k.len())
+                .chain(std::iter::once("counter".len()))
+                .max()
+                .unwrap_or(7);
+            out.push_str(&format!("{:<cname_w$}  {:>12}\n", "counter", "value"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<cname_w$}  {value:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrValue;
+
+    fn span(
+        id: SpanId,
+        parent: Option<SpanId>,
+        name: &'static str,
+        thread: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns,
+            end_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn topology_merges_siblings_and_sorts_by_name() {
+        let trace = Trace {
+            spans: vec![
+                span(1, None, "train", 0, 0, 100),
+                span(3, Some(1), "fit_tree", 1, 10, 20),
+                span(2, Some(1), "fit_tree", 2, 5, 15),
+                span(4, Some(1), "build_bins", 0, 1, 4),
+                span(5, Some(2), "leaf", 2, 6, 7),
+            ],
+            counters: BTreeMap::new(),
+        };
+        let expected = "train x1\n  build_bins x1\n  fit_tree x2\n    leaf x1\n";
+        assert_eq!(trace.topology(), expected);
+    }
+
+    #[test]
+    fn topology_is_order_and_thread_invariant() {
+        let a = Trace {
+            spans: vec![
+                span(1, None, "root", 0, 0, 10),
+                span(2, Some(1), "kid", 0, 1, 2),
+                span(3, Some(1), "kid", 0, 3, 4),
+            ],
+            counters: BTreeMap::new(),
+        };
+        let b = Trace {
+            spans: vec![
+                span(9, Some(7), "kid", 3, 100, 400),
+                span(7, None, "root", 1, 50, 900),
+                span(8, Some(7), "kid", 2, 60, 80),
+            ],
+            counters: BTreeMap::new(),
+        };
+        assert_eq!(a.topology(), b.topology());
+        assert_eq!(a.multiset(), b.multiset());
+    }
+
+    #[test]
+    fn missing_parent_degrades_to_root_not_dropped() {
+        let trace = Trace {
+            spans: vec![span(2, Some(99), "stray", 0, 0, 1)],
+            counters: BTreeMap::new(),
+        };
+        assert_eq!(trace.topology(), "stray x1\n");
+        assert_eq!(
+            trace.validate(),
+            vec![TraceDefect::OrphanParent {
+                span: 2,
+                parent: 99
+            }]
+        );
+    }
+
+    #[test]
+    fn validate_flags_escaping_and_duplicates() {
+        let trace = Trace {
+            spans: vec![
+                span(1, None, "p", 0, 10, 20),
+                span(2, Some(1), "c", 0, 5, 15), // starts before parent, same thread
+                span(2, None, "dup", 1, 0, 1),
+            ],
+            counters: BTreeMap::new(),
+        };
+        let defects = trace.validate();
+        assert!(defects.contains(&TraceDefect::DuplicateId { span: 2 }));
+        assert!(defects.contains(&TraceDefect::EscapesParent { span: 2, parent: 1 }));
+    }
+
+    #[test]
+    fn cross_thread_children_may_outlive_parent_interval() {
+        let trace = Trace {
+            spans: vec![
+                span(1, None, "issue", 0, 0, 5),
+                span(2, Some(1), "work", 1, 3, 50),
+            ],
+            counters: BTreeMap::new(),
+        };
+        assert!(trace.validate().is_empty());
+    }
+
+    #[test]
+    fn summary_table_lists_all_names_and_counters() {
+        let mut counters = BTreeMap::new();
+        counters.insert("sim_cache.hits".to_string(), 7u64);
+        let trace = Trace {
+            spans: vec![
+                span(1, None, "big", 0, 0, 3_000_000),
+                span(2, None, "small", 0, 0, 500),
+                span(3, None, "small", 0, 0, 700),
+            ],
+            counters,
+        };
+        let table = trace.summary_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("span"));
+        assert!(lines[1].starts_with("big"), "biggest total first: {table}");
+        assert!(lines[2].contains("small") && lines[2].contains('2'));
+        assert!(table.contains("sim_cache.hits") && table.contains('7'));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn attr_display_is_plain() {
+        assert_eq!(AttrValue::UInt(4).to_string(), "4");
+        assert_eq!(AttrValue::Str("x".into()).to_string(), "x");
+        assert_eq!(AttrValue::Bool(true).to_string(), "true");
+    }
+}

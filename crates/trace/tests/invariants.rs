@@ -1,0 +1,197 @@
+//! Property-based invariants of the span tree (ISSUE 5, satellite 3).
+//!
+//! Arbitrary interleaved enter/exit/attribute/counter sequences — including
+//! guards dropped out of LIFO order — must never panic, must always yield a
+//! balanced tree (every opened span recorded exactly once, unique ids,
+//! parents present, monotone timestamps), and the Chrome-JSON export must
+//! round-trip through serde_json as strictly balanced `B`/`E` event pairs.
+
+use bf_trace::{capture, counter, span, Span, TraceDefect};
+use proptest::prelude::*;
+use serde::Value;
+
+/// The vendored serde_json only deserializes into `Deserialize` types;
+/// this shim captures the raw value tree so the test can walk it.
+struct RawJson(Value);
+
+impl serde::Deserialize for RawJson {
+    fn deserialize_value(v: &Value) -> Result<RawJson, serde::Error> {
+        Ok(RawJson(v.clone()))
+    }
+}
+
+/// One step of an interleaved tracing session.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a span with the name picked from a fixed pool.
+    Open(usize),
+    /// Close the open guard at this index (mod the number open) — indices
+    /// other than the top exercise non-LIFO drops.
+    Close(usize),
+    /// Attach an attribute to the open guard at this index.
+    Attr(usize),
+    /// Bump a counter picked from a fixed pool.
+    Count(usize),
+}
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+const COUNTERS: [&str; 3] = ["hits", "misses", "rows"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NAMES.len()).prop_map(Op::Open),
+        (0usize..16).prop_map(Op::Close),
+        (0usize..16).prop_map(Op::Attr),
+        (0usize..COUNTERS.len()).prop_map(Op::Count),
+    ]
+}
+
+/// Replays an op sequence inside a capture; returns how many spans were
+/// opened (and therefore closed — leftovers are dropped before drain) and
+/// the per-counter expectations.
+fn replay(ops: &[Op]) -> (u64, [u64; 3], bf_trace::Trace) {
+    let mut opened = 0u64;
+    let mut expected_counts = [0u64; 3];
+    let ((), trace) = capture(|| {
+        let mut open: Vec<Span> = Vec::new();
+        for op in ops {
+            match *op {
+                Op::Open(name) => {
+                    open.push(span!(NAMES[name]));
+                    opened += 1;
+                }
+                Op::Close(idx) => {
+                    if !open.is_empty() {
+                        let idx = idx % open.len();
+                        drop(open.remove(idx));
+                    }
+                }
+                Op::Attr(idx) => {
+                    if !open.is_empty() {
+                        let idx = idx % open.len();
+                        open[idx].attr("tag", idx as u64);
+                    }
+                }
+                Op::Count(idx) => {
+                    counter!(COUNTERS[idx]);
+                    expected_counts[idx] += 1;
+                }
+            }
+        }
+        // Close everything still open so the drain sees the full session.
+        drop(open);
+    });
+    (opened, expected_counts, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every opened span is recorded exactly once with a unique id, a
+    /// parent that exists, and end >= start. Non-LIFO drops may produce
+    /// child intervals extending past the parent's end — that is the only
+    /// defect class `validate` may report for these sequences.
+    #[test]
+    fn interleaved_sessions_yield_balanced_trees(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let (opened, expected_counts, trace) = replay(&ops);
+        prop_assert_eq!(trace.spans.len() as u64, opened);
+        for defect in trace.validate() {
+            match defect {
+                TraceDefect::EscapesParent { .. } => {} // legal under non-LIFO drops
+                other => prop_assert!(false, "structural defect: {}", other),
+            }
+        }
+        for (i, name) in COUNTERS.iter().enumerate() {
+            let got = trace.counters.get(*name).copied().unwrap_or(0);
+            prop_assert_eq!(got, expected_counts[i], "counter {}", name);
+        }
+        // The multiset of names matches what was opened.
+        let opened_by_name = ops.iter().fold([0u64; 5], |mut acc, op| {
+            if let Op::Open(n) = op {
+                acc[*n] += 1;
+            }
+            acc
+        });
+        for (i, name) in NAMES.iter().enumerate() {
+            let got = trace.multiset().get(name).copied().unwrap_or(0);
+            prop_assert_eq!(got, opened_by_name[i], "span {}", name);
+        }
+    }
+
+    /// LIFO-only sessions (plain RAII nesting) are fully defect-free and
+    /// their topology accounts for every span.
+    #[test]
+    fn lifo_sessions_are_defect_free(
+        depths in prop::collection::vec(0usize..NAMES.len(), 1..40),
+    ) {
+        let ((), trace) = capture(|| {
+            fn descend(depths: &[usize]) {
+                if let Some((&first, rest)) = depths.split_first() {
+                    let _guard = span!(NAMES[first]);
+                    descend(rest);
+                }
+            }
+            descend(&depths);
+        });
+        prop_assert_eq!(trace.spans.len(), depths.len());
+        prop_assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        // Strict nesting: topology is a single chain, one name per line.
+        let topo = trace.topology();
+        prop_assert_eq!(topo.lines().count(), depths.len());
+        for line in topo.lines() {
+            prop_assert!(line.trim_end().ends_with("x1"), "chain broken: {}", topo);
+        }
+    }
+
+    /// The Chrome export of any session parses as JSON and its B/E events
+    /// balance like parentheses within every tid, with monotone timestamps.
+    #[test]
+    fn chrome_export_round_trips_as_balanced_event_pairs(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let (_, _, trace) = replay(&ops);
+        let json = trace.chrome_json();
+        let RawJson(value) = serde_json::from_str(&json).expect("chrome export must parse");
+        let Value::Seq(events) = value.field("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        let mut depth_by_tid = std::collections::BTreeMap::new();
+        let mut last_ts_by_tid: std::collections::BTreeMap<u64, f64> =
+            std::collections::BTreeMap::new();
+        let mut duration_events = 0usize;
+        for event in events {
+            let Value::Str(phase) = event.field("ph") else {
+                panic!("event missing ph: {event:?}");
+            };
+            let tid = event.field("tid").as_u64().expect("tid");
+            let ts = event.field("ts").as_f64().expect("ts");
+            if matches!(phase.as_str(), "B" | "E") {
+                // Duration events stream in time order per tid; counter
+                // events ("C") carry their own timestamp and are exempt.
+                if let Some(&prev) = last_ts_by_tid.get(&tid) {
+                    prop_assert!(ts >= prev, "timestamps regress on tid {}", tid);
+                }
+                last_ts_by_tid.insert(tid, ts);
+            }
+            match phase.as_str() {
+                "B" => {
+                    *depth_by_tid.entry(tid).or_insert(0i64) += 1;
+                    duration_events += 1;
+                }
+                "E" => {
+                    let depth = depth_by_tid.entry(tid).or_insert(0i64);
+                    *depth -= 1;
+                    prop_assert!(*depth >= 0, "E without B on tid {}", tid);
+                }
+                "C" => {}
+                other => prop_assert!(false, "unexpected phase {}", other),
+            }
+        }
+        for (tid, depth) in depth_by_tid {
+            prop_assert_eq!(depth, 0, "unbalanced events on tid {}", tid);
+        }
+        prop_assert_eq!(duration_events, trace.spans.len());
+    }
+}

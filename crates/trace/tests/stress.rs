@@ -1,0 +1,119 @@
+//! Stress test: hammer the recorder from many rayon workers at once and
+//! assert zero lost or orphaned spans (ISSUE 5 tentpole harness).
+//!
+//! A single `#[test]` fn on purpose: it mutates `RAYON_NUM_THREADS`, which
+//! is process-global, so it must not race with sibling tests in the same
+//! binary. (Each file under `tests/` is its own process.)
+
+use bf_trace::{capture, counter, span, with_parent};
+use rayon::prelude::*;
+
+#[test]
+fn rayon_hammer_loses_nothing() {
+    // SAFETY: this is the only test in this binary; no other thread is
+    // reading the environment concurrently.
+    unsafe { std::env::set_var("RAYON_NUM_THREADS", "8") };
+
+    const ITEMS: usize = 4_000;
+    const ROUNDS: usize = 3;
+
+    for round in 0..ROUNDS {
+        let (sum, trace) = capture(|| {
+            let root = span!("hammer_root", round = round as u64);
+            let parent = root.id();
+            let partials: Vec<u64> = (0..ITEMS)
+                .into_par_iter()
+                .map(|i| {
+                    with_parent(parent, || {
+                        let _item = span!("item", index = i as u64);
+                        {
+                            let mut leaf = span!("leaf");
+                            leaf.attr("depth", 2u64);
+                        }
+                        counter!("items_processed");
+                        if i % 3 == 0 {
+                            counter!("every_third");
+                        }
+                        i as u64
+                    })
+                })
+                .collect();
+            partials.iter().sum::<u64>()
+        });
+
+        // The traced computation itself is untouched by tracing.
+        assert_eq!(sum, (ITEMS as u64 - 1) * ITEMS as u64 / 2);
+
+        // Zero lost spans: every item and leaf recorded, exactly once.
+        let multiset = trace.multiset();
+        assert_eq!(multiset.get("hammer_root").copied(), Some(1));
+        assert_eq!(multiset.get("item").copied(), Some(ITEMS as u64));
+        assert_eq!(multiset.get("leaf").copied(), Some(ITEMS as u64));
+        assert_eq!(trace.spans.len(), 1 + 2 * ITEMS);
+
+        // Zero orphaned spans: every parent id resolves, no duplicate ids,
+        // timestamps monotone per span.
+        let defects = trace.validate();
+        assert!(defects.is_empty(), "round {round}: {defects:?}");
+
+        // Every item parents to the root; every leaf parents to an item.
+        let root_id = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "hammer_root")
+            .expect("root recorded")
+            .id;
+        let item_ids: std::collections::BTreeSet<u64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "item")
+            .map(|s| s.id)
+            .collect();
+        for s in &trace.spans {
+            match s.name {
+                "item" => assert_eq!(s.parent, Some(root_id), "orphaned item {:?}", s),
+                "leaf" => assert!(
+                    s.parent.is_some_and(|p| item_ids.contains(&p)),
+                    "orphaned leaf {s:?}"
+                ),
+                _ => {}
+            }
+        }
+
+        // Counters accumulated exactly, no torn updates under contention.
+        assert_eq!(trace.counters["items_processed"], ITEMS as u64);
+        assert_eq!(trace.counters["every_third"], ITEMS.div_ceil(3) as u64);
+
+        // Canonical topology is the same every round, independent of how
+        // the work-stealing pool interleaved the items.
+        let expected = format!("hammer_root x1\n  item x{ITEMS}\n    leaf x{ITEMS}\n");
+        assert_eq!(trace.topology(), expected, "round {round}");
+    }
+
+    // And the whole drill under a sequential pool must agree with the
+    // parallel runs on everything but timings.
+    unsafe { std::env::set_var("RAYON_NUM_THREADS", "1") };
+    let (_, sequential) = capture(|| {
+        let root = span!("hammer_root", round = 99u64);
+        let parent = root.id();
+        let _v: Vec<u64> = (0..ITEMS)
+            .into_par_iter()
+            .map(|i| {
+                with_parent(parent, || {
+                    let _item = span!("item", index = i as u64);
+                    let _leaf = span!("leaf");
+                    counter!("items_processed");
+                    i as u64
+                })
+            })
+            .collect();
+    });
+    assert_eq!(sequential.spans.len(), 1 + 2 * ITEMS);
+    assert!(sequential.validate().is_empty());
+    assert_eq!(
+        sequential.topology(),
+        format!("hammer_root x1\n  item x{ITEMS}\n    leaf x{ITEMS}\n")
+    );
+
+    unsafe { std::env::remove_var("RAYON_NUM_THREADS") };
+}
