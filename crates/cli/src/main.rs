@@ -69,6 +69,10 @@ OPTIONS:
     --threads N     worker threads: simulation workers during collection,
                     HTTP workers for serve (default: all cores)
     --no-sim-cache  disable the launch-memoization cache (always re-simulate)
+    --sim-cache-dir D   persist simulated launch results in directory D and
+                    reuse them across runs (D may be `auto` for
+                    ~/.cache/blackforest/simcache); shorthand for the
+                    BF_SIM_CACHE_DIR environment variable
     --timing        print a per-phase timing summary (span count/total/
                     mean/max plus counters) after the command finishes
     --trace-out F   write a Chrome-tracing JSON trace of the run to F
@@ -84,10 +88,10 @@ SERVING:
         blackforest serve --model reduce1.json --addr 127.0.0.1:7878 &
         curl -s -X POST 127.0.0.1:7878/predict -d '{\"size\": 65536}'
 
-Launch simulation is deterministic: --threads and --no-sim-cache change
-wall-clock time only, never a collected value. During collection the flags
-are shorthands for the RAYON_NUM_THREADS and BF_SIM_CACHE=0 environment
-variables.
+Launch simulation is deterministic: --threads, --no-sim-cache, and
+--sim-cache-dir change wall-clock time only, never a collected value.
+During collection the flags are shorthands for the RAYON_NUM_THREADS,
+BF_SIM_CACHE=0, and BF_SIM_CACHE_DIR environment variables.
 ";
 
 struct Args {
@@ -106,6 +110,7 @@ struct Args {
     max_bins: Option<usize>,
     threads: Option<usize>,
     no_sim_cache: bool,
+    sim_cache_dir: Option<String>,
     format: Option<String>,
     oracle: bool,
     fail_on: Option<String>,
@@ -151,6 +156,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_bins: None,
         threads: None,
         no_sim_cache: false,
+        sim_cache_dir: None,
         format: None,
         oracle: false,
         fail_on: None,
@@ -216,6 +222,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--no-sim-cache" => args.no_sim_cache = true,
+            "--sim-cache-dir" => {
+                args.sim_cache_dir = Some(it.next().ok_or("--sim-cache-dir needs a value")?.clone())
+            }
             "--format" => args.format = Some(it.next().ok_or("--format needs a value")?.clone()),
             "--oracle" => args.oracle = true,
             "--fail-on" => args.fail_on = Some(it.next().ok_or("--fail-on needs a value")?.clone()),
@@ -361,6 +370,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if args.no_sim_cache {
         std::env::set_var("BF_SIM_CACHE", "0");
+    }
+    if let Some(dir) = &args.sim_cache_dir {
+        std::env::set_var("BF_SIM_CACHE_DIR", dir);
     }
     if !args.timing && args.trace_out.is_none() {
         return run_command(&args);
@@ -511,6 +523,15 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                 config.cache_capacity
             );
             println!("routes: POST /predict, GET /bottleneck, GET /healthz, GET /metrics");
+            // Warm-start the persistent simulation cache (if configured) so
+            // the index is loaded before the first request needs it.
+            if let Some(disk) = gpu_sim::diskcache::from_env() {
+                println!(
+                    "sim disk cache: {} entries at {}",
+                    disk.len(),
+                    disk.path().display()
+                );
+            }
             server.run();
             Ok(ExitCode::SUCCESS)
         }

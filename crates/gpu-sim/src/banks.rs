@@ -49,6 +49,74 @@ pub fn replays(offsets: &[u32], width: u8, mask: LaneMask, banks: u32, bank_widt
     conflict_degree(offsets, width, mask, banks, bank_width) - 1
 }
 
+/// Reusable scratch space for [`conflict_degree_scratch`], so the SoA batch
+/// compiler evaluates every shared access in a launch without allocating the
+/// per-bank `Vec<Vec<u32>>` of [`conflict_degree`] each time.
+#[derive(Debug, Default)]
+pub struct BankScratch {
+    words: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl BankScratch {
+    /// Fresh scratch space (buffers grow on first use).
+    pub fn new() -> BankScratch {
+        BankScratch::default()
+    }
+}
+
+/// Allocation-free equivalent of [`conflict_degree`]: the touched words are
+/// collected into `scratch`, sorted and deduplicated, then counted per bank.
+/// Produces the identical degree for every input.
+pub fn conflict_degree_scratch(
+    offsets: &[u32],
+    width: u8,
+    mask: LaneMask,
+    banks: u32,
+    bank_width: u32,
+    scratch: &mut BankScratch,
+) -> u32 {
+    debug_assert!(banks.is_power_of_two());
+    scratch.words.clear();
+    let words_per_access = (width as u32).div_ceil(bank_width).max(1);
+    for (lane, &off) in offsets.iter().enumerate() {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        for w in 0..words_per_access {
+            scratch.words.push(off / bank_width + w);
+        }
+    }
+    scratch.words.sort_unstable();
+    scratch.words.dedup();
+    if scratch.counts.len() < banks as usize {
+        scratch.counts.resize(banks as usize, 0);
+    }
+    let mut degree = 1u32;
+    for &w in &scratch.words {
+        let b = (w % banks) as usize;
+        scratch.counts[b] += 1;
+        degree = degree.max(scratch.counts[b]);
+    }
+    // Reset only the touched banks so the next access starts clean.
+    for &w in &scratch.words {
+        scratch.counts[(w % banks) as usize] = 0;
+    }
+    degree
+}
+
+/// Allocation-free equivalent of [`replays`].
+pub fn replays_scratch(
+    offsets: &[u32],
+    width: u8,
+    mask: LaneMask,
+    banks: u32,
+    bank_width: u32,
+    scratch: &mut BankScratch,
+) -> u32 {
+    conflict_degree_scratch(offsets, width, mask, banks, bank_width, scratch) - 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

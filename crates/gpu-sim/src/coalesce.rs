@@ -30,9 +30,26 @@ pub struct Transaction {
 /// segment boundary produce both segments (possible with 8-byte words at
 /// 4-byte alignment).
 pub fn coalesce(addrs: &[u64], width: u8, mask: LaneMask, segment: u32) -> Vec<Transaction> {
+    let mut scratch = Vec::with_capacity(8);
+    coalesce_into(addrs, width, mask, segment, &mut scratch);
+    scratch
+        .into_iter()
+        .map(|addr| Transaction {
+            addr,
+            size: segment,
+        })
+        .collect()
+}
+
+/// Allocation-free core of [`coalesce`]: writes the unique, sorted,
+/// segment-aligned transaction addresses into `out` (cleared first). The SoA
+/// batch compiler ([`crate::soa`]) calls this in a tight sweep with one
+/// reused scratch buffer per launch instead of allocating a `Vec` per
+/// access; the produced address set is identical to [`coalesce`]'s.
+pub fn coalesce_into(addrs: &[u64], width: u8, mask: LaneMask, segment: u32, out: &mut Vec<u64>) {
     debug_assert!(segment.is_power_of_two());
     let seg = segment as u64;
-    let mut segments: Vec<u64> = Vec::with_capacity(8);
+    out.clear();
     for (lane, &addr) in addrs.iter().enumerate() {
         if mask & (1 << lane) == 0 {
             continue;
@@ -41,23 +58,15 @@ pub fn coalesce(addrs: &[u64], width: u8, mask: LaneMask, segment: u32) -> Vec<T
         let last = (addr + width as u64 - 1) & !(seg - 1);
         let mut s = first;
         loop {
-            if !segments.contains(&s) {
-                segments.push(s);
-            }
+            out.push(s);
             if s == last {
                 break;
             }
             s += seg;
         }
     }
-    segments.sort_unstable();
-    segments
-        .into_iter()
-        .map(|addr| Transaction {
-            addr,
-            size: segment,
-        })
-        .collect()
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Total bytes the active lanes actually requested (the numerator of

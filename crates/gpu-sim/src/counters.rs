@@ -76,7 +76,79 @@ pub struct RawEvents {
     pub time_seconds: f64,
 }
 
+/// Applies a macro to every [`RawEvents`] field, in declaration order. This
+/// is the single source of truth for the field list: the flat-array view
+/// ([`RawEvents::as_array`]), the binary disk-cache codec, and the
+/// steady-state extrapolation deltas all build on it, so adding a field
+/// updates them together (and must bump the disk-cache schema version).
+macro_rules! for_each_raw_event_field {
+    ($m:ident) => {
+        $m!(
+            elapsed_cycles,
+            inst_executed,
+            inst_issued,
+            thread_inst_executed,
+            gld_request,
+            gst_request,
+            gld_requested_bytes,
+            gst_requested_bytes,
+            global_load_transactions,
+            global_store_transactions,
+            l1_global_load_hit,
+            l1_global_load_miss,
+            shared_load,
+            shared_store,
+            shared_load_replay,
+            shared_store_replay,
+            l2_read_transactions,
+            l2_write_transactions,
+            l2_read_hits,
+            dram_read_transactions,
+            dram_write_transactions,
+            branch,
+            divergent_branch,
+            active_warp_cycles,
+            active_cycles,
+            ldst_busy_cycles,
+            issue_slots,
+            warps_launched,
+            blocks_launched,
+            time_seconds
+        )
+    };
+}
+
+/// Number of [`RawEvents`] fields (the length of [`RawEvents::as_array`]).
+pub const RAW_EVENT_FIELDS: usize = 30;
+
+/// Field names in [`RawEvents::as_array`] order.
+pub fn raw_event_field_names() -> [&'static str; RAW_EVENT_FIELDS] {
+    macro_rules! names {
+        ($($f:ident),*) => { [$(stringify!($f)),*] };
+    }
+    for_each_raw_event_field!(names)
+}
+
 impl RawEvents {
+    /// All fields as a flat array, in declaration order.
+    pub fn as_array(&self) -> [f64; RAW_EVENT_FIELDS] {
+        macro_rules! arr {
+            ($($f:ident),*) => { [$(self.$f),*] };
+        }
+        for_each_raw_event_field!(arr)
+    }
+
+    /// Rebuilds events from a flat array produced by [`Self::as_array`].
+    pub fn from_array(values: [f64; RAW_EVENT_FIELDS]) -> RawEvents {
+        let mut out = RawEvents::default();
+        let mut it = values.into_iter();
+        macro_rules! fill {
+            ($($f:ident),*) => { $( out.$f = it.next().unwrap(); )* };
+        }
+        for_each_raw_event_field!(fill);
+        out
+    }
+
     /// Accumulates another launch's events into this one (used by host
     /// drivers that issue many launches per application run, e.g. the
     /// multi-pass reduction and the per-diagonal NW kernels).

@@ -18,9 +18,8 @@ use crate::arch::GpuConfig;
 use crate::cache::Cache;
 use crate::counters::RawEvents;
 use crate::occupancy::{occupancy, Occupancy};
-use crate::sm::simulate_sm;
 use crate::trace::{BlockTrace, KernelTrace, LaunchConfig};
-use crate::Result;
+use crate::{soa, steady, Result};
 
 /// Fixed kernel-launch overhead (driver + dispatch), in seconds. Matters for
 /// applications issuing many small launches (multi-pass reduction, NW's
@@ -55,6 +54,44 @@ pub fn sample_block_ids(grid: usize, count: usize) -> Vec<usize> {
     ids
 }
 
+/// Engine tuning knobs, resolved once per launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Steady-state loop extrapolation (see [`crate::steady`]): highly
+    /// periodic warp streams simulate a few representative iterations and
+    /// extrapolate the tail. Exact for the statically derived counters;
+    /// makespan agreement is guarded by delta stabilisation.
+    pub loop_extrapolation: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            loop_extrapolation: loop_extrapolation_enabled(),
+        }
+    }
+}
+
+/// Whether the stock profiling paths extrapolate steady-state loops: true
+/// unless `BF_SIM_LOOP_EXTRAP` is set to `0` or `off`.
+pub fn loop_extrapolation_enabled() -> bool {
+    !matches!(
+        std::env::var("BF_SIM_LOOP_EXTRAP").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
+/// The cold cache state every launch simulation starts from: fresh L1 plus
+/// this SM's 1/num_sms slice of the shared L2 (standard approximation for
+/// single-SM sampling).
+fn fresh_caches(gpu: &GpuConfig) -> (Cache, Cache) {
+    let l2_slice = (gpu.l2_size / gpu.num_sms).max(gpu.l2_line * gpu.l2_assoc);
+    (
+        Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc),
+        Cache::new(l2_slice, gpu.l2_line.max(32), gpu.l2_assoc),
+    )
+}
+
 /// Simulates one kernel launch on the GPU.
 pub fn simulate_launch(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<LaunchResult> {
     let lc = kernel.launch_config();
@@ -64,9 +101,10 @@ pub fn simulate_launch(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<Laun
     simulate_sampled_launch(gpu, &lc, occ, &traces)
 }
 
-/// Simulates a launch from pre-built sampled block traces. `occ` must be the
-/// occupancy of `lc` on `gpu` and `traces` the representative blocks picked
-/// by [`sample_block_ids`] — [`simulate_launch`] wires these together; the
+/// Simulates a launch from pre-built sampled block traces with the
+/// environment-default [`EngineOptions`]. `occ` must be the occupancy of
+/// `lc` on `gpu` and `traces` the representative blocks picked by
+/// [`sample_block_ids`] — [`simulate_launch`] wires these together; the
 /// memoization layer ([`crate::memo`]) calls this directly after hashing the
 /// traces, so a cache miss does not rebuild them.
 pub fn simulate_sampled_launch(
@@ -75,16 +113,36 @@ pub fn simulate_sampled_launch(
     occ: Occupancy,
     traces: &[BlockTrace],
 ) -> Result<LaunchResult> {
+    simulate_sampled_launch_with(gpu, lc, occ, traces, &EngineOptions::default())
+}
+
+/// [`simulate_sampled_launch`] with explicit [`EngineOptions`] (tests pass
+/// options directly instead of racing on environment variables).
+pub fn simulate_sampled_launch_with(
+    gpu: &GpuConfig,
+    lc: &LaunchConfig,
+    occ: Occupancy,
+    traces: &[BlockTrace],
+    opts: &EngineOptions,
+) -> Result<LaunchResult> {
     let blocks_per_wave = occ.blocks_per_sm * gpu.num_sms;
     let waves = lc.grid_blocks.div_ceil(blocks_per_wave);
 
-    // Detailed simulation of one SM's resident set.
-    let mut l1 = Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc);
-    // The SM sees a 1/num_sms slice of the shared L2 (standard approximation
-    // for single-SM sampling).
-    let l2_slice = (gpu.l2_size / gpu.num_sms).max(gpu.l2_line * gpu.l2_assoc);
-    let mut l2 = Cache::new(l2_slice, gpu.l2_line.max(32), gpu.l2_assoc);
-    let sm = simulate_sm(gpu, traces, &mut l1, &mut l2)?;
+    // Detailed simulation of one SM's resident set, through the SoA batch
+    // engine; sufficiently periodic sets short-circuit through steady-state
+    // extrapolation instead of simulating every iteration.
+    let extrapolated = if opts.loop_extrapolation {
+        steady::try_extrapolate(gpu, traces, || fresh_caches(gpu))
+    } else {
+        None
+    };
+    let sm = match extrapolated {
+        Some(sm) => sm,
+        None => {
+            let (mut l1, mut l2) = fresh_caches(gpu);
+            soa::simulate_resident_set(gpu, traces, &mut l1, &mut l2)?
+        }
+    };
 
     // Wave timing: compute/latency vs bandwidth.
     let sm_seconds = sm.cycles / (gpu.clock_ghz * 1e9);

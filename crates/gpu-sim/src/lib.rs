@@ -54,21 +54,29 @@ pub mod builder;
 pub mod cache;
 pub mod coalesce;
 pub mod counters;
+pub mod diskcache;
 pub mod engine;
 pub mod memo;
 pub mod occupancy;
 pub mod power;
 pub mod profiler;
 pub mod sm;
+pub mod soa;
+pub mod steady;
 pub mod trace;
 
 pub use arch::{GpuArchitecture, GpuConfig};
 pub use builder::TraceBuilder;
 pub use counters::{CounterSet, RawEvents};
-pub use engine::{sample_block_ids, simulate_launch, LaunchResult};
+pub use diskcache::DiskCache;
+pub use engine::{
+    loop_extrapolation_enabled, sample_block_ids, simulate_launch, simulate_sampled_launch_with,
+    EngineOptions, LaunchResult,
+};
 pub use memo::{
-    cache_enabled, global_cache_stats, reset_global_cache_stats, simulate_launch_cached,
-    CacheStats, SimCache,
+    cache_enabled, global_cache_stats, global_disk_cache_stats, reset_global_cache_stats,
+    simulate_launch_cached, simulate_launch_cached_fp, Bf128Hasher, CacheStats, SimCache,
+    SIM_CONTENT_VERSION,
 };
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use power::{estimate_power, PowerEstimate, PowerModel};

@@ -124,6 +124,9 @@ pub fn simulate_launches(
 ) -> Result<Vec<LaunchResult>> {
     let batch = bf_trace::span!("simulate_launches", launches = launches.len());
     let batch_id = batch.id();
+    // The GPU configuration is constant across the batch: fingerprint it
+    // once here instead of once per launch inside the memo key.
+    let gpu_fp = cache.map(|_| gpu.fingerprint());
     let indexed: Vec<(usize, &dyn KernelTrace)> = launches
         .iter()
         .enumerate()
@@ -137,7 +140,7 @@ pub fn simulate_launches(
             bf_trace::with_parent(batch_id, || {
                 let _launch = bf_trace::span!("launch", kernel = k.name(), index = i);
                 match cache {
-                    Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                    Some(c) => memo::simulate_launch_cached_fp(gpu, gpu_fp.unwrap(), k, c),
                     None => simulate_launch(gpu, k),
                 }
                 // A bad launch config or malformed trace (mismatched
@@ -155,14 +158,15 @@ pub fn simulate_launches(
 ///
 /// Launches simulate in parallel through a fresh per-application memo cache
 /// (disable with `BF_SIM_CACHE=0`; thread count follows
-/// `RAYON_NUM_THREADS`). Use [`profile_application_with`] to share a cache
-/// across applications, e.g. over a whole collection sweep.
+/// `RAYON_NUM_THREADS`), layered over the persistent disk tier when
+/// `BF_SIM_CACHE_DIR` is set. Use [`profile_application_with`] to share a
+/// cache across applications, e.g. over a whole collection sweep.
 pub fn profile_application(
     gpu: &GpuConfig,
     name: &str,
     launches: &[Box<dyn KernelTrace>],
 ) -> Result<ProfiledRun> {
-    let cache = SimCache::new();
+    let cache = SimCache::from_env();
     let cache = memo::cache_enabled().then_some(&cache);
     profile_application_with(gpu, name, launches, cache)
 }
@@ -216,13 +220,14 @@ pub fn profile_applications(
         launches = flat.len()
     );
     let batch_id = batch.id();
+    let gpu_fp = cache.map(|_| gpu.fingerprint());
     let results: Vec<LaunchResult> = flat
         .into_par_iter()
         .map(|(i, k)| {
             bf_trace::with_parent(batch_id, || {
                 let _launch = bf_trace::span!("launch", kernel = k.name(), index = i);
                 match cache {
-                    Some(c) => memo::simulate_launch_cached(gpu, k, c),
+                    Some(c) => memo::simulate_launch_cached_fp(gpu, gpu_fp.unwrap(), k, c),
                     None => simulate_launch(gpu, k),
                 }
                 .map_err(|e| e.in_kernel(&k.name(), i))
@@ -263,7 +268,7 @@ pub fn profile_application_by_kernel(
     gpu: &GpuConfig,
     launches: &[Box<dyn KernelTrace>],
 ) -> Result<Vec<ProfiledRun>> {
-    let cache = SimCache::new();
+    let cache = SimCache::from_env();
     let cache = memo::cache_enabled().then_some(&cache);
     profile_application_by_kernel_with(gpu, launches, cache)
 }

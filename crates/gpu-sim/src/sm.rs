@@ -36,9 +36,10 @@ pub struct SmResult {
     pub dram_bytes: f64,
 }
 
-/// Totally ordered f64 wrapper so the ready-queue is deterministic.
+/// Totally ordered f64 wrapper so the ready-queue is deterministic. Shared
+/// with the SoA engine ([`crate::soa`]) so both schedulers order identically.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
+pub(crate) struct Time(pub(crate) f64);
 
 impl Eq for Time {}
 
@@ -72,6 +73,12 @@ struct BarrierState {
 ///
 /// `l1` and `l2` are the cache tag stores to use (the engine owns them so
 /// state can persist across waves). Returns cycles, events, and DRAM bytes.
+///
+/// This is the *reference* interpreter: it re-derives coalescing and bank
+/// conflicts per instruction, straight from the trace. The launch engine
+/// runs the SoA batch engine ([`crate::soa`]) instead, which precompiles
+/// those sweeps; the two are bit-identical (enforced by the
+/// `soa_equivalence` proptest suite), and this path stays as the oracle.
 pub fn simulate_sm(
     gpu: &GpuConfig,
     blocks: &[BlockTrace],

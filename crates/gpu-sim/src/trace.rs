@@ -219,6 +219,29 @@ pub trait KernelTrace: Send + Sync {
     fn homogeneous(&self) -> bool {
         true
     }
+
+    /// A compact, cross-process-stable identity for the *content* of every
+    /// trace this kernel generates, or `None` (the default) when only full
+    /// trace hashing can identify it.
+    ///
+    /// `block_trace` is required to be a pure function of
+    /// `(self, block_id, gpu)`, so when a kernel's whole state is a handful
+    /// of scalars, a digest of those scalars — plus a unique type tag and a
+    /// generator version — identifies its traces exactly as precisely as
+    /// hashing every generated address, at a fraction of the cost. The
+    /// memoization layer ([`crate::memo`]) keys tagged kernels on this
+    /// digest and skips trace construction entirely on cache hits.
+    ///
+    /// Contract for implementations: fold in a tag unique to the kernel
+    /// *type*, a version that is bumped whenever the generator's emitted
+    /// instructions change, and every field that influences `name`,
+    /// `launch_config`, or `block_trace`. Do NOT fold in GPU state — the
+    /// memo key already covers it via the GPU fingerprint. Returning an
+    /// incomplete digest silently aliases distinct launches; when in doubt,
+    /// return `None`.
+    fn content_tag(&self) -> Option<u128> {
+        None
+    }
 }
 
 #[cfg(test)]

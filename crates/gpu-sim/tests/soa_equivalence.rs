@@ -1,0 +1,232 @@
+//! Property suite pinning the SoA batch engine to the reference
+//! interpreter.
+//!
+//! [`gpu_sim::sm::simulate_sm`] re-derives coalescing and bank conflicts
+//! per instruction straight from the trace; the launch engine runs the
+//! precompiled SoA path ([`gpu_sim::soa`]) instead. The determinism
+//! contract requires the two to be **bit-identical** — every cycle count,
+//! every raw event, every DRAM byte — over *arbitrary* valid traces, not
+//! just the shipped kernels. Proptest generates those traces here.
+//!
+//! A second property pins steady-state loop extrapolation
+//! ([`gpu_sim::steady`]): for periodic warp streams, the statically exact
+//! counters of an extrapolated launch must match the fully simulated launch
+//! to the differential-oracle tolerance (1e-9 relative, float noise only).
+
+use gpu_sim::cache::Cache;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::sm::simulate_sm;
+use gpu_sim::trace::{BlockTrace, LaunchConfig, WarpInstruction};
+use gpu_sim::{simulate_sampled_launch_with, soa, EngineOptions, GpuConfig, RawEvents};
+use proptest::prelude::*;
+
+/// The cold cache state every launch starts from (mirrors the engine's
+/// private `fresh_caches`): fresh L1 plus this SM's slice of the shared L2.
+fn fresh_caches(gpu: &GpuConfig) -> (Cache, Cache) {
+    let l2_slice = (gpu.l2_size / gpu.num_sms).max(gpu.l2_line * gpu.l2_assoc);
+    (
+        Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc),
+        Cache::new(l2_slice, gpu.l2_line.max(32), gpu.l2_assoc),
+    )
+}
+
+fn arb_gpu() -> impl Strategy<Value = GpuConfig> {
+    prop_oneof![Just(GpuConfig::gtx580()), Just(GpuConfig::k20m())]
+}
+
+/// 32 per-lane global byte addresses spanning several L1/L2 lines, so the
+/// generated patterns exercise coalescing, set conflicts, and broadcasts.
+fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1 << 20), 32)
+}
+
+/// 32 per-lane shared-memory byte offsets across all 32 banks, including
+/// the conflict-heavy strided patterns.
+fn arb_offsets() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..4096, 32)
+}
+
+fn arb_width() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(4u8), Just(8u8)]
+}
+
+/// Any non-barrier warp instruction, arbitrary masks included (partial,
+/// full, and empty masks must all agree between the two engines).
+fn arb_instruction() -> impl Strategy<Value = WarpInstruction> {
+    prop_oneof![
+        (1u32..8, any::<u32>()).prop_map(|(count, mask)| WarpInstruction::Alu { count, mask }),
+        any::<u32>().prop_map(|mask| WarpInstruction::Sfu { mask }),
+        (arb_addrs(), arb_width(), any::<u32>())
+            .prop_map(|(addrs, width, mask)| WarpInstruction::LoadGlobal { addrs, width, mask }),
+        (arb_addrs(), arb_width(), any::<u32>())
+            .prop_map(|(addrs, width, mask)| WarpInstruction::StoreGlobal { addrs, width, mask }),
+        (arb_offsets(), arb_width(), any::<u32>()).prop_map(|(offsets, width, mask)| {
+            WarpInstruction::LoadShared {
+                offsets,
+                width,
+                mask,
+            }
+        }),
+        (arb_offsets(), arb_width(), any::<u32>()).prop_map(|(offsets, width, mask)| {
+            WarpInstruction::StoreShared {
+                offsets,
+                width,
+                mask,
+            }
+        }),
+        (any::<bool>(), any::<u32>())
+            .prop_map(|(divergent, mask)| WarpInstruction::Branch { divergent, mask }),
+    ]
+}
+
+/// A structurally valid block: 1..=4 warps, each stream split into the same
+/// number of barrier-separated segments (the validity invariant `validate`
+/// enforces — mismatched barrier counts would deadlock real hardware).
+fn arb_block() -> impl Strategy<Value = BlockTrace> {
+    (1usize..=4, 0usize..=2).prop_flat_map(|(warps, barriers)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(arb_instruction(), 0..4),
+                barriers + 1,
+            ),
+            warps,
+        )
+        .prop_map(|warp_segments| {
+            let mut t = BlockTrace::with_warps(warp_segments.len());
+            for (w, segments) in warp_segments.into_iter().enumerate() {
+                for (i, segment) in segments.into_iter().enumerate() {
+                    if i > 0 {
+                        t.warps[w].push(WarpInstruction::Barrier);
+                    }
+                    t.warps[w].extend(segment);
+                }
+            }
+            t
+        })
+    })
+}
+
+/// The raw-event fields with exact static counterparts, i.e. the 19
+/// counters the bf-analyze differential oracle compares at 1e-9.
+fn statically_exact(ev: &RawEvents) -> [f64; 19] {
+    [
+        ev.inst_executed,
+        ev.inst_issued,
+        ev.thread_inst_executed,
+        ev.branch,
+        ev.divergent_branch,
+        ev.shared_load,
+        ev.shared_store,
+        ev.shared_load_replay,
+        ev.shared_store_replay,
+        ev.gld_request,
+        ev.gst_request,
+        ev.gld_requested_bytes,
+        ev.gst_requested_bytes,
+        ev.global_load_transactions,
+        ev.global_store_transactions,
+        ev.l2_write_transactions,
+        ev.dram_write_transactions,
+        ev.warps_launched,
+        ev.blocks_launched,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SoA engine is bit-identical to the reference interpreter over
+    /// arbitrary resident sets on both GPU generations: same cycles, same
+    /// DRAM bytes, same value in every raw-event slot, down to the last
+    /// mantissa bit.
+    #[test]
+    fn soa_engine_matches_reference_interpreter_bit_exactly(
+        gpu in arb_gpu(),
+        blocks in proptest::collection::vec(arb_block(), 1..4),
+    ) {
+        let (mut l1_ref, mut l2_ref) = fresh_caches(&gpu);
+        let reference = simulate_sm(&gpu, &blocks, &mut l1_ref, &mut l2_ref).unwrap();
+        let (mut l1_soa, mut l2_soa) = fresh_caches(&gpu);
+        let batched = soa::simulate_resident_set(&gpu, &blocks, &mut l1_soa, &mut l2_soa).unwrap();
+
+        prop_assert_eq!(
+            batched.cycles.to_bits(),
+            reference.cycles.to_bits(),
+            "cycles diverged: soa {} vs reference {}",
+            batched.cycles,
+            reference.cycles
+        );
+        prop_assert_eq!(
+            batched.dram_bytes.to_bits(),
+            reference.dram_bytes.to_bits(),
+            "dram bytes diverged: soa {} vs reference {}",
+            batched.dram_bytes,
+            reference.dram_bytes
+        );
+        let ev_ref = reference.events.as_array();
+        let ev_soa = batched.events.as_array();
+        for (i, (s, r)) in ev_soa.iter().zip(ev_ref.iter()).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(),
+                r.to_bits(),
+                "raw event slot {} diverged: soa {} vs reference {}",
+                i,
+                s,
+                r
+            );
+        }
+    }
+
+    /// Loop extrapolation is counter-exact: a launch whose warps repeat a
+    /// steady-state unit many times yields the same statically exact
+    /// counters whether the tail is simulated or extrapolated, to the
+    /// differential-oracle tolerance.
+    #[test]
+    fn loop_extrapolation_preserves_statically_exact_counters(
+        gpu in arb_gpu(),
+        unit in proptest::collection::vec(arb_instruction(), 1..4),
+        with_barrier in any::<bool>(),
+        warps in 1usize..=4,
+        reps in 8usize..48,
+        grid_mult in 1usize..4,
+    ) {
+        let mut block = BlockTrace::with_warps(warps);
+        for stream in &mut block.warps {
+            for _ in 0..reps {
+                stream.extend(unit.iter().cloned());
+                if with_barrier {
+                    stream.push(WarpInstruction::Barrier);
+                }
+            }
+        }
+        let lc = LaunchConfig {
+            grid_blocks: warps * grid_mult * gpu.num_sms,
+            threads_per_block: warps * 32,
+            regs_per_thread: 16,
+            shared_mem_per_block: 0,
+        };
+        let occ = occupancy(&gpu, &lc).unwrap();
+        let traces = vec![block];
+        let full = simulate_sampled_launch_with(
+            &gpu, &lc, occ, &traces,
+            &EngineOptions { loop_extrapolation: false },
+        ).unwrap();
+        let extr = simulate_sampled_launch_with(
+            &gpu, &lc, occ, &traces,
+            &EngineOptions { loop_extrapolation: true },
+        ).unwrap();
+
+        prop_assert_eq!(extr.waves, full.waves);
+        prop_assert_eq!(extr.sampled_blocks, full.sampled_blocks);
+        let a = statically_exact(&extr.events);
+        let b = statically_exact(&full.events);
+        for (i, (x, f)) in a.iter().zip(b.iter()).enumerate() {
+            let rel = (x - f).abs() / f.abs().max(1.0);
+            prop_assert!(
+                rel <= 1e-9,
+                "statically exact counter {} drifted: extrapolated {} vs full {} (rel {:.3e})",
+                i, x, f, rel
+            );
+        }
+    }
+}

@@ -35,6 +35,25 @@ pub mod stencil;
 
 use gpu_sim::{profile_application, GpuConfig, KernelTrace, ProfiledRun};
 
+/// Version of this crate's trace generators, folded into every
+/// [`KernelTrace::content_tag`] digest. Bump it whenever ANY generator's
+/// emitted instruction streams change (addresses, masks, folding, ordering)
+/// — stale memoized results keyed on the old tag then stop matching, both
+/// in memory and in the persistent disk cache.
+pub const TRACE_GEN_VERSION: u64 = 1;
+
+/// Builds the [`KernelTrace::content_tag`] digest used by every kernel in
+/// this crate: one [`gpu_sim::Bf128Hasher`] pass over
+/// (generator version, per-type tag, the kernel's complete field set).
+pub(crate) fn content_tag128<F: std::hash::Hash>(type_tag: u64, fields: &F) -> u128 {
+    use std::hash::Hash;
+    let mut h = gpu_sim::Bf128Hasher::new();
+    TRACE_GEN_VERSION.hash(&mut h);
+    type_tag.hash(&mut h);
+    fields.hash(&mut h);
+    h.finish128()
+}
+
 /// Base address of the primary input array in the simulated address space.
 pub const INPUT_BASE: u64 = 0x1000_0000;
 /// Base address of the secondary input array.

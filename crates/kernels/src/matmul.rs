@@ -161,6 +161,12 @@ impl KernelTrace for MatmulTiled {
         }
     }
 
+    fn content_tag(&self) -> Option<u128> {
+        // `block_trace` below reads only (n, tile), block_id, and
+        // gpu.warp_size (covered by the memo key's GPU fingerprint).
+        Some(crate::content_tag128(0x6D74, &(self.n, self.tile))) // "mt"
+    }
+
     fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {
         self.check();
         let n = self.n;
@@ -271,6 +277,12 @@ impl KernelTrace for MatmulNaive {
             regs_per_thread: 14,
             shared_mem_per_block: 0,
         }
+    }
+
+    fn content_tag(&self) -> Option<u128> {
+        // `block_trace` below reads only `n`, block_id, and gpu.warp_size
+        // (covered by the memo key's GPU fingerprint).
+        Some(crate::content_tag128(0x6D6E, &(self.n,))) // "mn"
     }
 
     fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {

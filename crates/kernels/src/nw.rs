@@ -182,6 +182,14 @@ impl KernelTrace for NwKernel {
         }
     }
 
+    fn content_tag(&self) -> Option<u128> {
+        // `block_trace` below reads only (n, kernel, iteration, block_id).
+        Some(crate::content_tag128(
+            0x6E77, // "nw"
+            &(self.n, self.kernel, self.iteration),
+        ))
+    }
+
     fn block_trace(&self, block_id: usize, _gpu: &GpuConfig) -> BlockTrace {
         let cols = (self.n + 1) as u64;
         let (by, bx) = self.tile(block_id);

@@ -376,6 +376,21 @@ impl KernelTrace for ReduceKernel {
         }
     }
 
+    fn content_tag(&self) -> Option<u128> {
+        // `block_trace` below reads only these fields, block_id, and
+        // gpu.warp_size (covered by the memo key's GPU fingerprint).
+        Some(crate::content_tag128(
+            0x7264, // "rd"
+            &(
+                self.variant,
+                self.n,
+                self.threads,
+                self.input_base,
+                self.output_base,
+            ),
+        ))
+    }
+
     fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {
         let t = self.threads;
         let warps = t.div_ceil(gpu.warp_size);

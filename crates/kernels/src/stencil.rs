@@ -115,6 +115,12 @@ impl KernelTrace for StencilKernel {
         }
     }
 
+    fn content_tag(&self) -> Option<u128> {
+        // `block_trace` below reads only `n`, block_id, and gpu.warp_size
+        // (covered by the memo key's GPU fingerprint).
+        Some(crate::content_tag128(0x7374, &(self.n,))) // "st"
+    }
+
     fn block_trace(&self, block_id: usize, gpu: &GpuConfig) -> BlockTrace {
         let n = self.n;
         let nb = n / BLOCK_SIZE;

@@ -306,6 +306,11 @@ impl Metrics {
         out.push_str(&format!("bf_sim_cache_hits_total {}\n", sim.hits));
         out.push_str("# TYPE bf_sim_cache_misses_total counter\n");
         out.push_str(&format!("bf_sim_cache_misses_total {}\n", sim.misses));
+        let disk = gpu_sim::memo::global_disk_cache_stats();
+        out.push_str("# TYPE bf_sim_cache_disk_hits_total counter\n");
+        out.push_str(&format!("bf_sim_cache_disk_hits_total {}\n", disk.hits));
+        out.push_str("# TYPE bf_sim_cache_disk_misses_total counter\n");
+        out.push_str(&format!("bf_sim_cache_disk_misses_total {}\n", disk.misses));
         out
     }
 }

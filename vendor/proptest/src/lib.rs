@@ -34,6 +34,18 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Chains a dependent strategy: `f` turns each generated value into
+        /// the strategy that draws the final value (upstream proptest's
+        /// monadic bind; without shrinking it is just generate-then-draw).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erases the strategy (needed by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -69,6 +81,25 @@ pub mod strategy {
 
         fn new_value(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// The result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
         }
     }
 
@@ -397,6 +428,15 @@ mod tests {
         ) {
             prop_assert!(b >= a);
             prop_assert!(usize::from(flag) <= 1);
+        }
+
+        /// `prop_flat_map` draws the second stage from the first-stage
+        /// value (here: a vector whose length equals the drawn bound).
+        #[test]
+        fn flat_map_feeds_dependent_strategy(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0u32..10, n)),
+        ) {
+            prop_assert!((1..6).contains(&v.len()));
         }
     }
 }
