@@ -1,0 +1,586 @@
+//! Serving load benchmark: the legacy blocking thread pool vs the
+//! nonblocking event loop, measured with closed-loop, open-loop, and
+//! batched-body clients against real loopback sockets.
+//!
+//! Three scenarios run against each engine ([`ServeMode`]) in-process on an
+//! ephemeral port:
+//!
+//! * **closed** — C concurrent clients, each issuing its next request only
+//!   after the previous response (classic closed loop at production
+//!   concurrency, C well above the worker count). The event loop serves
+//!   all C over persistent keep-alive connections; the legacy pool is
+//!   driven connection-per-request because its thread-per-connection
+//!   design pins one worker for a keep-alive socket's whole lifetime — at
+//!   C > threads, keep-alive clients starve it outright (the pre-rewrite
+//!   e2e tests used `Connection: close` for exactly this reason).
+//! * **open** — one connection fed at a fixed arrival rate with pipelined
+//!   writes, responses drained by a separate reader (open loop; latencies
+//!   include queueing delay, immune to coordinated omission).
+//! * **batch** — closed loop whose bodies are JSON arrays of B queries
+//!   (one HTTP round-trip, one coalesced forest pass per request), at a
+//!   concurrency the legacy pool can also serve keep-alive.
+//!
+//! Queries cycle through many more distinct characteristic vectors than the
+//! prediction LRU holds, so the forest does real work on nearly every
+//! request instead of the benchmark degenerating into a cache-hit echo
+//! test. Results (throughput, p50/p99/p999, error counts, mean forest batch
+//! rows) go to `BENCH_serve.json`; the run fails if any transport error
+//! occurs or if the event loop does not at least match the legacy pool's
+//! closed-loop throughput. `--quick` / `BF_QUICK=1` shrinks the request
+//! counts; `--out FILE` redirects the artifact; `--model BUNDLE.json`
+//! benchmarks an existing bundle instead of training a quick one.
+
+use bf_serve::{ModelBundle, PredictServer, ServeConfig, ServeMode, ServerHandle};
+use blackforest::artifact::write_artifact;
+use blackforest::{BlackForest, ModelConfig, Workload};
+use gpu_sim::GpuConfig;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Distinct characteristic vectors the clients cycle through. Much larger
+/// than `CACHE_CAPACITY` so most requests miss the LRU and hit the forest.
+const QUERY_POOL: usize = 256;
+const CACHE_CAPACITY: usize = 16;
+/// Server worker threads (both engines).
+const SERVER_THREADS: usize = 4;
+/// Closed-loop concurrency — deliberately well above `SERVER_THREADS`.
+const CLOSED_CLIENTS: usize = 32;
+/// Batch-scenario concurrency — within the legacy pool's keep-alive
+/// capacity so both engines run the same client discipline.
+const BATCH_CLIENTS: usize = 4;
+const BATCH_ROWS: usize = 16;
+
+#[derive(Debug, Serialize)]
+struct Scenario {
+    scenario: String,
+    /// Client connection discipline: `keep-alive` or
+    /// `connection-per-request`.
+    discipline: String,
+    requests: u64,
+    rows: u64,
+    transport_errors: u64,
+    non_200: u64,
+    elapsed_seconds: f64,
+    throughput_rps: f64,
+    rows_per_second: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    max_us: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    mode: String,
+    /// Mean rows per forest pass, from the server's own batch histogram —
+    /// >1 on the event loop means micro-batching actually coalesced.
+    mean_forest_batch_rows: f64,
+    queue_rejections: u64,
+    scenarios: Vec<Scenario>,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    quick: bool,
+    query_pool: usize,
+    cache_capacity: usize,
+    server_threads: usize,
+    closed_clients: usize,
+    batch_rows: usize,
+    open_loop_rate_rps: f64,
+    modes: Vec<ModeReport>,
+    closed_throughput_speedup: f64,
+    closed_p99_speedup: f64,
+}
+
+struct Load {
+    closed_requests: u64,
+    open_requests: u64,
+    open_rate_rps: f64,
+    batch_requests: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn body_for(query: usize) -> String {
+    // [size, threads-per-block] characteristic pairs over a wide range.
+    let size = 1024.0 + (query % QUERY_POOL) as f64 * 97.0;
+    let threads = [32.0, 64.0, 128.0, 256.0][query % 4];
+    format!("{{\"characteristics\": [{size}, {threads}]}}")
+}
+
+fn batch_body_for(query: usize) -> String {
+    let items: Vec<String> = (0..BATCH_ROWS)
+        .map(|k| {
+            let size = 1024.0 + ((query * BATCH_ROWS + k) % QUERY_POOL) as f64 * 97.0;
+            let threads = [32.0, 64.0, 128.0, 256.0][(query + k) % 4];
+            format!("{{\"characteristics\": [{size}, {threads}]}}")
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn request_bytes(body: &str) -> Vec<u8> {
+    format!(
+        "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads one response off a keep-alive connection; returns its status.
+/// `Err` is a transport failure (short read, closed connection, bad frame).
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<u16, String> {
+    let mut status = None;
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-response".into());
+        }
+        if line == "\r\n" {
+            break;
+        }
+        if status.is_none() {
+            status = line.split_whitespace().nth(1).and_then(|v| v.parse().ok());
+        }
+        if let Some(rest) = line.strip_prefix("Content-Length: ") {
+            length = rest.trim().parse().map_err(|_| "bad Content-Length")?;
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    status.ok_or_else(|| "malformed status line".into())
+}
+
+struct Tally {
+    latencies_us: Vec<u64>,
+    transport_errors: u64,
+    non_200: u64,
+}
+
+/// One request on a fresh connection (`Connection: close`); the measured
+/// latency honestly includes the connect, as that is the cost of the
+/// discipline.
+fn oneshot_request(addr: SocketAddr, body: &str) -> Result<u16, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| "malformed status line".into())
+}
+
+/// Closed loop: each client thread waits for its response before sending
+/// the next request, over one keep-alive connection or a fresh connection
+/// per request.
+fn run_closed(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: u64,
+    batched: bool,
+    keep_alive: bool,
+) -> Tally {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut tally = Tally {
+                    latencies_us: Vec::with_capacity(per_client as usize),
+                    transport_errors: 0,
+                    non_200: 0,
+                };
+                let mut conn = if keep_alive {
+                    match TcpStream::connect(addr) {
+                        Ok(stream) => {
+                            stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                            let writer = stream.try_clone().expect("clone stream");
+                            Some((writer, BufReader::new(stream)))
+                        }
+                        Err(_) => {
+                            tally.transport_errors += per_client;
+                            return tally;
+                        }
+                    }
+                } else {
+                    None
+                };
+                for i in 0..per_client {
+                    let query = c + i as usize * clients;
+                    let body = if batched {
+                        batch_body_for(query)
+                    } else {
+                        body_for(query)
+                    };
+                    let t0 = Instant::now();
+                    let outcome = match &mut conn {
+                        Some((writer, reader)) => {
+                            if writer.write_all(&request_bytes(&body)).is_err() {
+                                Err("write failed".to_string())
+                            } else {
+                                read_response(reader)
+                            }
+                        }
+                        None => oneshot_request(addr, &body),
+                    };
+                    match outcome {
+                        Ok(200) => tally.latencies_us.push(t0.elapsed().as_micros() as u64),
+                        Ok(_) => tally.non_200 += 1,
+                        Err(_) => {
+                            tally.transport_errors += 1;
+                            if conn.is_some() {
+                                break; // keep-alive stream is unusable now
+                            }
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut total = Tally {
+        latencies_us: Vec::new(),
+        transport_errors: 0,
+        non_200: 0,
+    };
+    for h in handles {
+        let t = h.join().expect("client thread");
+        total.latencies_us.extend(t.latencies_us);
+        total.transport_errors += t.transport_errors;
+        total.non_200 += t.non_200;
+    }
+    total
+}
+
+/// Open loop: a writer pipelines requests at a fixed arrival rate on one
+/// connection; a reader drains responses in order and measures latency
+/// from the *scheduled* send time (no coordinated omission).
+fn run_open(addr: SocketAddr, requests: u64, rate_rps: f64) -> Tally {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let sends: Arc<Mutex<VecDeque<Instant>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+    let reader_sends = Arc::clone(&sends);
+    let reader_handle = std::thread::spawn(move || {
+        let mut tally = Tally {
+            latencies_us: Vec::with_capacity(requests as usize),
+            transport_errors: 0,
+            non_200: 0,
+        };
+        for _ in 0..requests {
+            let sent = loop {
+                // The writer enqueues the timestamp before the bytes, so a
+                // response can never beat its own send record.
+                match reader_sends.lock().unwrap().pop_front() {
+                    Some(t) => break t,
+                    None => std::thread::sleep(Duration::from_micros(50)),
+                }
+            };
+            match read_response(&mut reader) {
+                Ok(200) => tally.latencies_us.push(sent.elapsed().as_micros() as u64),
+                Ok(_) => tally.non_200 += 1,
+                Err(_) => {
+                    tally.transport_errors += requests - tally.latencies_us.len() as u64;
+                    break;
+                }
+            }
+        }
+        tally
+    });
+
+    let interval = Duration::from_secs_f64(1.0 / rate_rps);
+    let start = Instant::now();
+    for i in 0..requests {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        sends.lock().unwrap().push_back(due.max(now));
+        if writer
+            .write_all(&request_bytes(&body_for(i as usize)))
+            .is_err()
+        {
+            break;
+        }
+    }
+    reader_handle.join().expect("reader thread")
+}
+
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("write metrics request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read metrics");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+fn metric(text: &str, needle: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(needle))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn summarize(
+    scenario: &str,
+    discipline: &str,
+    rows_per_request: u64,
+    elapsed: Duration,
+    mut tally: Tally,
+) -> Scenario {
+    tally.latencies_us.sort_unstable();
+    let requests = tally.latencies_us.len() as u64;
+    let elapsed_seconds = elapsed.as_secs_f64().max(1e-9);
+    let throughput_rps = requests as f64 / elapsed_seconds;
+    Scenario {
+        scenario: scenario.to_string(),
+        discipline: discipline.to_string(),
+        requests,
+        rows: requests * rows_per_request,
+        transport_errors: tally.transport_errors,
+        non_200: tally.non_200,
+        elapsed_seconds,
+        throughput_rps,
+        rows_per_second: throughput_rps * rows_per_request as f64,
+        p50_us: percentile(&tally.latencies_us, 0.50),
+        p99_us: percentile(&tally.latencies_us, 0.99),
+        p999_us: percentile(&tally.latencies_us, 0.999),
+        max_us: tally.latencies_us.last().copied().unwrap_or(0),
+    }
+}
+
+fn bench_mode(bundle: &ModelBundle, mode: ServeMode, load: &Load) -> ModeReport {
+    let server = PredictServer::bind(
+        "127.0.0.1:0",
+        bundle.clone(),
+        ServeConfig {
+            threads: SERVER_THREADS,
+            cache_capacity: CACHE_CAPACITY,
+            mode,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind benchmark server");
+    let (handle, join): (ServerHandle, _) = server.spawn();
+    let addr = handle.addr();
+
+    // The legacy pool cannot serve more keep-alive connections than it has
+    // threads (each one pins a worker), so at production concurrency it is
+    // driven connection-per-request — exactly how the pre-rewrite tests
+    // drove it.
+    let keep_alive = matches!(mode, ServeMode::EventLoop);
+    let discipline = if keep_alive {
+        "keep-alive"
+    } else {
+        "connection-per-request"
+    };
+
+    // Warm up sockets and code paths outside the measured window.
+    run_closed(addr, 1, 20, false, keep_alive);
+
+    let mut scenarios = Vec::new();
+    let t0 = Instant::now();
+    let per_client = load.closed_requests / CLOSED_CLIENTS as u64;
+    let tally = run_closed(addr, CLOSED_CLIENTS, per_client, false, keep_alive);
+    scenarios.push(summarize("closed", discipline, 1, t0.elapsed(), tally));
+
+    let t0 = Instant::now();
+    let tally = run_open(addr, load.open_requests, load.open_rate_rps);
+    scenarios.push(summarize("open", "keep-alive", 1, t0.elapsed(), tally));
+
+    let t0 = Instant::now();
+    let per_client = load.batch_requests / BATCH_CLIENTS as u64;
+    let tally = run_closed(addr, BATCH_CLIENTS, per_client, true, true);
+    scenarios.push(summarize(
+        "batch",
+        "keep-alive",
+        BATCH_ROWS as u64,
+        t0.elapsed(),
+        tally,
+    ));
+
+    let metrics = scrape_metrics(addr);
+    let batch_count = metric(&metrics, "bf_predict_batch_rows_count");
+    let batch_sum = metric(&metrics, "bf_predict_batch_rows_sum");
+    let mean_forest_batch_rows = if batch_count > 0 {
+        batch_sum as f64 / batch_count as f64
+    } else {
+        0.0
+    };
+    let queue_rejections = metric(&metrics, "bf_queue_rejections_total");
+
+    handle.stop();
+    join.join().expect("server thread exits");
+
+    for s in &scenarios {
+        println!(
+            "  {:>6} [{}]: {:>7} req  {:>9.1} req/s  {:>9.1} rows/s  \
+             p50 {:>6}us  p99 {:>7}us  p99.9 {:>7}us  errors {}",
+            s.scenario,
+            mode.name(),
+            s.requests,
+            s.throughput_rps,
+            s.rows_per_second,
+            s.p50_us,
+            s.p99_us,
+            s.p999_us,
+            s.transport_errors + s.non_200,
+        );
+    }
+    ModeReport {
+        mode: mode.name().to_string(),
+        mean_forest_batch_rows,
+        queue_rejections,
+        scenarios,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = bf_bench::quick_mode();
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut model: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--model" => model = Some(PathBuf::from(it.next().expect("--model needs a value"))),
+            other => panic!("unknown option {other}; usage: bench_serve [--quick] [--out FILE] [--model BUNDLE.json]"),
+        }
+    }
+
+    bf_bench::banner(
+        "Bench",
+        "Serving throughput/latency: blocking pool vs event loop",
+    );
+    let bundle = match model {
+        Some(path) => ModelBundle::load(&path).expect("load --model bundle"),
+        None => {
+            println!("training a quick reduce1 bundle for the benchmark...");
+            let gpu = GpuConfig::gtx580();
+            let bf = BlackForest::new(gpu.clone()).with_config(ModelConfig::quick(81));
+            let sizes: Vec<usize> = (12..=15).map(|e| 1usize << e).collect();
+            let report = bf
+                .analyze(
+                    Workload::Reduce(bf_kernels::reduce::ReduceVariant::Reduce1),
+                    &sizes,
+                )
+                .expect("train quick bundle");
+            ModelBundle::from_report(&report, &gpu, &sizes, true)
+        }
+    };
+
+    let load = if quick {
+        Load {
+            closed_requests: 800,
+            open_requests: 400,
+            open_rate_rps: 400.0,
+            batch_requests: 200,
+        }
+    } else {
+        Load {
+            closed_requests: 8_000,
+            open_requests: 4_000,
+            open_rate_rps: 1_000.0,
+            batch_requests: 1_000,
+        }
+    };
+
+    let modes = vec![
+        bench_mode(&bundle, ServeMode::Threads, &load),
+        bench_mode(&bundle, ServeMode::EventLoop, &load),
+    ];
+
+    // Hard gates: a load test with transport errors measured a broken
+    // server, and the event loop must not regress closed-loop throughput.
+    for m in &modes {
+        for s in &m.scenarios {
+            assert_eq!(
+                s.transport_errors, 0,
+                "{} [{}]: transport errors under load",
+                s.scenario, m.mode
+            );
+            assert_eq!(
+                s.non_200, 0,
+                "{} [{}]: non-200 responses",
+                s.scenario, m.mode
+            );
+        }
+    }
+    let closed = |m: &ModeReport| {
+        m.scenarios
+            .iter()
+            .find(|s| s.scenario == "closed")
+            .expect("closed scenario")
+            .clone_numbers()
+    };
+    let (legacy_rps, legacy_p99) = closed(&modes[0]);
+    let (event_rps, event_p99) = closed(&modes[1]);
+    assert!(
+        event_rps >= legacy_rps,
+        "event loop ({event_rps:.1} rps) must not trail the legacy pool ({legacy_rps:.1} rps)"
+    );
+
+    let report = BenchReport {
+        benchmark: "serve_load_legacy_vs_event_loop".to_string(),
+        quick,
+        query_pool: QUERY_POOL,
+        cache_capacity: CACHE_CAPACITY,
+        server_threads: SERVER_THREADS,
+        closed_clients: CLOSED_CLIENTS,
+        batch_rows: BATCH_ROWS,
+        open_loop_rate_rps: load.open_rate_rps,
+        modes,
+        closed_throughput_speedup: event_rps / legacy_rps,
+        closed_p99_speedup: legacy_p99 / event_p99.max(1.0),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    write_artifact(&out, &json).expect("write benchmark artifact");
+    println!(
+        "closed-loop speedup: {:.2}x throughput, {:.2}x p99; wrote {}",
+        report.closed_throughput_speedup,
+        report.closed_p99_speedup,
+        out.display()
+    );
+}
+
+impl Scenario {
+    fn clone_numbers(&self) -> (f64, f64) {
+        (self.throughput_rps, self.p99_us as f64)
+    }
+}

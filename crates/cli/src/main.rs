@@ -35,6 +35,7 @@ COMMANDS:
     analyze  --workload W [--gpu NAME] [--quick]
     train    --workload W --save BUNDLE.json [--gpu NAME] [--quick]
     serve    --model BUNDLE.json [--addr HOST:PORT] [--threads N] [--cache-size N]
+             [--mode event-loop|threads] [--max-queue N] [--batch-window USEC]
     predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
     hwscale  --workload W --target NAME [--gpu NAME] [--quick]
     lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
@@ -55,6 +56,16 @@ OPTIONS:
                     from it (no re-profiling), serve exposes it over HTTP
     --addr H:P      serve listen address (default 127.0.0.1:7878)
     --cache-size N  serve prediction-LRU capacity in entries (default 4096)
+    --mode M        serving engine: event-loop (nonblocking epoll with
+                    keep-alive, pipelining, and adaptive micro-batching;
+                    default on Linux) or threads (legacy blocking pool,
+                    default elsewhere)
+    --max-queue N   serve admission bound on in-flight predictions; excess
+                    concurrent requests get 429 + Retry-After (default 1024)
+    --batch-window USEC  how long the event-loop workers wait to coalesce
+                    concurrent predictions into one forest batch, in
+                    microseconds (default 0: no artificial delay, batches
+                    grow naturally with backlog)
     --quick         smaller sweep and forest (faster)
     --format F      lint output format: text (default) or json
     --oracle        lint also diffs static predictions against the dynamic
@@ -87,6 +98,11 @@ SERVING:
         blackforest train --workload reduce1 --quick --save reduce1.json
         blackforest serve --model reduce1.json --addr 127.0.0.1:7878 &
         curl -s -X POST 127.0.0.1:7878/predict -d '{\"size\": 65536}'
+        curl -s -X POST 127.0.0.1:7878/predict \\
+             -d '[{\"size\": 65536}, {\"size\": 131072}]'
+
+    POST /predict also accepts a JSON array and answers with an array of
+    predictions in the same order (one HTTP round-trip, one forest pass).
 
 Launch simulation is deterministic: --threads, --no-sim-cache, and
 --sim-cache-dir change wall-clock time only, never a collected value.
@@ -105,6 +121,9 @@ struct Args {
     target: Option<String>,
     addr: Option<String>,
     cache_size: Option<usize>,
+    serve_mode: Option<String>,
+    max_queue: Option<usize>,
+    batch_window_us: Option<u64>,
     quick: bool,
     split_strategy: Option<String>,
     max_bins: Option<usize>,
@@ -151,6 +170,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         target: None,
         addr: None,
         cache_size: None,
+        serve_mode: None,
+        max_queue: None,
+        batch_window_us: None,
         quick: false,
         split_strategy: None,
         max_bins: None,
@@ -184,6 +206,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--cache-size must be at least 1".into());
                 }
                 args.cache_size = Some(n);
+            }
+            "--mode" => args.serve_mode = Some(it.next().ok_or("--mode needs a value")?.clone()),
+            "--max-queue" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-queue needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-queue: {e}"))?;
+                if n == 0 {
+                    return Err("--max-queue must be at least 1".into());
+                }
+                args.max_queue = Some(n);
+            }
+            "--batch-window" => {
+                args.batch_window_us = Some(
+                    it.next()
+                        .ok_or("--batch-window needs a value (microseconds)")?
+                        .parse()
+                        .map_err(|e| format!("bad --batch-window: {e}"))?,
+                )
             }
             "--model" => {
                 args.model = Some(PathBuf::from(it.next().ok_or("--model needs a value")?))
@@ -239,46 +281,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Validates an artifact output path up front: the parent directory must
-/// exist and the path must not name a directory. Every artifact writer
-/// (`collect --out`, `analyze --out`, `train --save`, `lint --out`,
-/// `--trace-out`) routes through this, so a typo'd directory fails with a
-/// clear message *before* minutes of simulation, not with a bare OS error
-/// after them.
-fn resolve_out_path(path: &Path) -> Result<PathBuf, String> {
-    let parent = path
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-        .unwrap_or_else(|| Path::new("."));
-    if !parent.exists() {
-        return Err(format!(
-            "output directory {} does not exist (for {})",
-            parent.display(),
-            path.display()
-        ));
-    }
-    if !parent.is_dir() {
-        return Err(format!(
-            "output location {} is not a directory (for {})",
-            parent.display(),
-            path.display()
-        ));
-    }
-    if path.is_dir() {
-        return Err(format!(
-            "output path {} is a directory, not a file",
-            path.display()
-        ));
-    }
-    Ok(path.to_path_buf())
-}
-
-/// Writes an artifact through [`resolve_out_path`], wrapping any filesystem
-/// failure (permissions, disk full) in a message naming the path.
-fn write_artifact(path: &Path, contents: &str) -> Result<(), String> {
-    let path = resolve_out_path(path)?;
-    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
-}
+// Every artifact writer (`collect --out`, `analyze --out`, `train --save`,
+// `lint --out`, `--trace-out`) routes through the shared helper so a typo'd
+// directory fails with a clear message *before* minutes of simulation, not
+// with a bare OS error after them. The helper lives in the core crate so
+// the benchmark bins and the server share the same behaviour.
+use blackforest::artifact::{resolve_out_path, write_artifact};
 
 fn gpu_by_name(name: &str) -> Result<GpuConfig, String> {
     GpuConfig::by_name(name).ok_or_else(|| format!("unknown GPU {name}; try `blackforest gpus`"))
@@ -503,6 +511,11 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
             let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
             // Validate eagerly so a bad --addr fails before we advertise.
             bf_serve::parse_addr(&addr)?;
+            let mode = match args.serve_mode.as_deref() {
+                None => bf_serve::ServeMode::default(),
+                Some(name) => bf_serve::ServeMode::from_name(name)
+                    .ok_or_else(|| format!("unknown --mode {name}; use event-loop or threads"))?,
+            };
             let config = ServeConfig {
                 threads: args.threads.unwrap_or_else(|| {
                     std::thread::available_parallelism()
@@ -510,6 +523,9 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                         .unwrap_or(1)
                 }),
                 cache_capacity: args.cache_size.unwrap_or(4096),
+                mode,
+                max_queue: args.max_queue.unwrap_or(1024),
+                batch_window: std::time::Duration::from_micros(args.batch_window_us.unwrap_or(0)),
                 ..ServeConfig::default()
             };
             let (workload_name, gpu_name) = (bundle.workload.clone(), bundle.gpu_name.clone());
@@ -517,10 +533,12 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
             let local = server.local_addr();
             println!(
                 "serving {workload_name} ({gpu_name}) bundle {} on http://{local}  \
-                 [{} workers, cache {}]",
+                 [{} engine, {} workers, cache {}, queue {}]",
                 path.display(),
+                config.mode.name(),
                 config.threads,
-                config.cache_capacity
+                config.cache_capacity,
+                config.max_queue
             );
             println!("routes: POST /predict, GET /bottleneck, GET /healthz, GET /metrics");
             // Warm-start the persistent simulation cache (if configured) so

@@ -46,6 +46,7 @@
 // (parallel arrays, in-place matrix updates), so the pedantic lint is off.
 #![allow(clippy::needless_range_loop)]
 
+pub mod artifact;
 pub mod bottleneck;
 pub mod collect;
 pub mod countermodel;

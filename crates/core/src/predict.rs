@@ -93,6 +93,26 @@ impl ProblemScalingPredictor {
         self.model.predict_selected(&row)
     }
 
+    /// Batched [`Self::predict`]: counter models run per row (they are
+    /// closed-form and cheap), then the reduced forest evaluates the whole
+    /// batch in one pass per tree. Bit-identical per row to `predict`.
+    pub fn predict_batch(&self, characteristic_rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let want = self.counters.characteristics.len();
+        for chars in characteristic_rows {
+            if chars.len() != want {
+                return Err(BfError::Data(format!(
+                    "expected {want} characteristics, got {}",
+                    chars.len()
+                )));
+            }
+        }
+        let rows: Vec<Vec<f64>> = characteristic_rows
+            .iter()
+            .map(|c| self.counters.predict(c))
+            .collect();
+        self.model.predict_selected_batch(&rows)
+    }
+
     /// Evaluates the chain against the model's held-out test split (the
     /// paper's Figures 5b and 6b). The test rows carry measured times; the
     /// predictions use *only* their characteristics.
@@ -384,6 +404,29 @@ mod tests {
         let t_small = p.predict(&[48.0]).unwrap();
         let t_big = p.predict(&[240.0]).unwrap();
         assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_single_predictions() {
+        let data = mm_dataset(&GpuConfig::gtx580(), false);
+        let p = ProblemScalingPredictor::fit(
+            &data,
+            &ModelConfig::quick(38),
+            &["size"],
+            ModelStrategy::Glm,
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = [32.0, 48.0, 97.0, 160.0, 240.0, 500.0]
+            .iter()
+            .map(|&s| vec![s])
+            .collect();
+        let batch = p.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(batch.iter()) {
+            assert_eq!(p.predict(q).unwrap().to_bits(), b.to_bits());
+        }
+        // Arity errors surface for any bad row in the batch.
+        assert!(p.predict_batch(&[vec![1.0, 2.0]]).is_err());
     }
 
     #[test]

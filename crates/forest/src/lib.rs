@@ -32,6 +32,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod binned;
+pub mod flat;
 pub mod forest;
 pub mod importance;
 pub mod partial;
@@ -39,6 +40,7 @@ pub mod split;
 pub mod tree;
 
 pub use binned::BinnedDataset;
+pub use flat::FlatForest;
 pub use forest::{ForestParams, RandomForest, SplitStrategy};
 pub use importance::VariableImportance;
 pub use partial::PartialDependence;

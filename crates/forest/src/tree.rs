@@ -277,6 +277,12 @@ impl RegressionTree {
         }
     }
 
+    /// Borrow the node arena (used by the level-order batch layout in
+    /// [`crate::flat`]).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -71,125 +71,231 @@ impl Request {
 
     /// Reads one request off a buffered stream. Returns `Ok(None)` on a
     /// clean EOF before any bytes (client closed a kept-alive connection).
+    ///
+    /// Convenience wrapper over [`RequestParser`] for callers that own the
+    /// whole stream for one request. Connections that serve *multiple*
+    /// requests must keep one `RequestParser` alive instead: this wrapper
+    /// may buffer pipelined bytes beyond the first request, and those bytes
+    /// die with the local parser.
     pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
-        let mut head = Vec::new();
-        // Read up to the blank line, byte-capped.
+        let mut parser = RequestParser::new();
         loop {
-            let mut line = Vec::new();
-            let n = read_line(reader, &mut line, MAX_HEAD_BYTES - head.len())?;
-            if n == 0 {
-                if head.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::new(400, "connection closed mid-request"));
+            if let Some(req) = parser.next_request()? {
+                return Ok(Some(req));
             }
-            if line == b"\r\n" || line == b"\n" {
-                if head.is_empty() {
-                    continue; // tolerate leading blank lines (RFC 9112 §2.2)
-                }
-                break;
+            let available = reader
+                .fill_buf()
+                .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+            if available.is_empty() {
+                return if parser.has_partial() {
+                    Err(HttpError::new(400, "connection closed mid-request"))
+                } else {
+                    Ok(None)
+                };
             }
-            head.extend_from_slice(&line);
-            if head.len() >= MAX_HEAD_BYTES {
+            let n = available.len();
+            parser.push(available);
+            reader.consume(n);
+        }
+    }
+}
+
+/// A fully parsed request head awaiting its body bytes.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    path: String,
+    query: Option<String>,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// Incremental HTTP/1.1 request parser: feed it bytes as they arrive (in
+/// chunks of any size, split anywhere) and pull complete requests out.
+///
+/// The event loop owns one per connection; `push` never allocates more than
+/// the byte cap it is about to enforce — the head buffer is bounded by
+/// [`MAX_HEAD_BYTES`] and the body buffer is only grown *after* the declared
+/// `Content-Length` has been checked against [`MAX_BODY_BYTES`], so a hostile
+/// `Content-Length: 99999999999` costs nothing.
+///
+/// After an `Err` the connection is unusable (the caller answers with the
+/// error status and closes); further calls keep returning errors rather than
+/// resynchronising mid-stream.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Resume point for the head-terminator scan (avoids rescanning the
+    /// whole head on every pushed chunk).
+    scan: usize,
+    /// Parsed head, once the blank line has been seen; `buf` then holds
+    /// body bytes only.
+    pending: Option<PendingHead>,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// A fresh parser with empty buffers.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the stream ends mid-request (bytes buffered or a head
+    /// waiting on its body). Used to distinguish a clean keep-alive close
+    /// from a truncated request at EOF.
+    pub fn has_partial(&self) -> bool {
+        self.pending.is_some() || !self.buf.is_empty()
+    }
+
+    /// Tries to extract the next complete request from the buffered bytes.
+    /// `Ok(None)` means "need more bytes".
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.poisoned {
+            return Err(HttpError::new(400, "connection already failed parsing"));
+        }
+        match self.next_request_inner() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn next_request_inner(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            // Tolerate blank lines before the request line (RFC 9112 §2.2).
+            loop {
+                if self.buf.starts_with(b"\r\n") {
+                    self.buf.drain(..2);
+                } else if self.buf.first() == Some(&b'\n') {
+                    self.buf.drain(..1);
+                } else {
+                    break;
+                }
+            }
+            if self.buf == b"\r" {
+                return Ok(None); // half a CRLF; wait for the rest
+            }
+            // Find the blank line ending the head: "\n\r\n" or "\n\n".
+            // The scan resumes where the last push left off (backed up two
+            // bytes so a terminator straddling chunk boundaries is seen).
+            let mut head_end = None; // (head bytes incl. final \n, total consumed)
+            let mut i = self.scan;
+            while i < self.buf.len() {
+                if self.buf[i] == b'\n' {
+                    match (self.buf.get(i + 1), self.buf.get(i + 2)) {
+                        (Some(b'\n'), _) => {
+                            head_end = Some((i + 1, i + 2));
+                            break;
+                        }
+                        (Some(b'\r'), Some(b'\n')) => {
+                            head_end = Some((i + 1, i + 3));
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            let Some((head_len, consumed)) = head_end else {
+                self.scan = self.buf.len().saturating_sub(2);
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::new(431, "request head too large"));
+                }
+                return Ok(None);
+            };
+            if head_len > MAX_HEAD_BYTES {
                 return Err(HttpError::new(431, "request head too large"));
             }
-        }
-        let head = String::from_utf8(head)
-            .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
-        let mut lines = head.lines();
-        let request_line = lines
-            .next()
-            .ok_or_else(|| HttpError::new(400, "empty request"))?;
-        let mut parts = request_line.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing method"))?
-            .to_ascii_uppercase();
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing request target"))?;
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::new(505, format!("unsupported {version}")));
-        }
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p.to_string(), Some(q.to_string())),
-            None => (target.to_string(), None),
-        };
-
-        let mut headers = Vec::new();
-        for line in lines {
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            let head = parse_head(&self.buf[..head_len])?;
+            self.buf.drain(..consumed);
+            self.scan = 0;
+            self.pending = Some(head);
         }
 
-        if headers
-            .iter()
-            .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
-        {
-            return Err(HttpError::new(501, "chunked request bodies not supported"));
+        // Body: the declared length was bounds-checked in `parse_head`
+        // before any body buffer could grow.
+        let need = self.pending.as_ref().map(|p| p.content_length).unwrap_or(0);
+        if self.buf.len() < need {
+            return Ok(None);
         }
-
-        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-            Some((_, v)) => v
-                .parse::<usize>()
-                .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))?,
-            None => 0,
-        };
-        if content_length > MAX_BODY_BYTES {
-            return Err(HttpError::new(413, "request body too large"));
-        }
-        let mut body = vec![0u8; content_length];
-        if content_length > 0 {
-            std::io::Read::read_exact(reader, &mut body)
-                .map_err(|e| HttpError::new(400, format!("short body read: {e}")))?;
-        }
+        let head = self.pending.take().expect("pending head");
+        let body: Vec<u8> = self.buf.drain(..need).collect();
         Ok(Some(Request {
-            method,
-            path,
-            query,
-            headers,
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
             body,
         }))
     }
 }
 
-/// Reads one `\n`-terminated line (CR retained), capped at `max` bytes.
-/// Returns the number of bytes read (0 on EOF).
-fn read_line<R: BufRead>(
-    reader: &mut R,
-    out: &mut Vec<u8>,
-    max: usize,
-) -> Result<usize, HttpError> {
-    let mut taken = 0usize;
-    loop {
-        let available = reader
-            .fill_buf()
-            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
-        if available.is_empty() {
-            return Ok(taken);
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                out.extend_from_slice(&available[..=i]);
-                reader.consume(i + 1);
-                return Ok(taken + i + 1);
-            }
-            None => {
-                let n = available.len();
-                out.extend_from_slice(available);
-                reader.consume(n);
-                taken += n;
-                if taken > max {
-                    return Err(HttpError::new(431, "header line too long"));
-                }
-            }
-        }
+/// Parses a complete request head (request line + header lines, including
+/// the final `\n` but not the blank line).
+fn parse_head(raw: &[u8]) -> Result<PendingHead, HttpError> {
+    let head = std::str::from_utf8(raw)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, format!("unsupported {version}")));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(501, "chunked request bodies not supported"));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    Ok(PendingHead {
+        method,
+        path,
+        query,
+        headers,
+        content_length,
+    })
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -201,9 +307,11 @@ pub fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -338,6 +446,90 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(req.wants_close());
+    }
+
+    #[test]
+    fn incremental_parser_handles_any_chunking() {
+        let raw = b"POST /predict?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        // Feed the same byte stream one chunk size at a time; every split
+        // must yield the same two requests.
+        for chunk in 1..raw.len() {
+            let mut parser = RequestParser::new();
+            let mut got = Vec::new();
+            for piece in raw.chunks(chunk) {
+                parser.push(piece);
+                while let Some(req) = parser.next_request().unwrap() {
+                    got.push(req);
+                }
+            }
+            assert_eq!(got.len(), 2, "chunk size {chunk}");
+            assert_eq!(got[0].method, "POST");
+            assert_eq!(got[0].body, b"body");
+            assert_eq!(got[1].method, "GET");
+            assert_eq!(got[1].path, "/healthz");
+            assert!(!parser.has_partial());
+        }
+    }
+
+    #[test]
+    fn incremental_parser_reports_partial_state() {
+        let mut p = RequestParser::new();
+        assert!(!p.has_partial());
+        p.push(b"GET /x HTTP/1.1\r\nHost:");
+        assert!(p.next_request().unwrap().is_none());
+        assert!(p.has_partial());
+        p.push(b" a\r\n\r\n");
+        assert!(p.next_request().unwrap().is_some());
+        assert!(!p.has_partial());
+        // A head waiting on its body is also partial.
+        p.push(b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nab");
+        assert!(p.next_request().unwrap().is_none());
+        assert!(p.has_partial());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_content_length_before_buffering() {
+        let mut p = RequestParser::new();
+        p.push(format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u128::MAX).as_bytes());
+        assert_eq!(p.next_request().unwrap_err().status, 400); // overflows usize parse
+        let mut p = RequestParser::new();
+        p.push(
+            format!(
+                "POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert_eq!(p.next_request().unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn incremental_parser_caps_head_growth_without_terminator() {
+        let mut p = RequestParser::new();
+        let filler = vec![b'a'; 4096];
+        let mut status = None;
+        for _ in 0..=(MAX_HEAD_BYTES / filler.len() + 1) {
+            p.push(&filler);
+            match p.next_request() {
+                Ok(None) => {}
+                Err(e) => {
+                    status = Some(e.status);
+                    break;
+                }
+                Ok(Some(_)) => panic!("garbage parsed as a request"),
+            }
+        }
+        assert_eq!(status, Some(431));
+        // Poisoned after the error.
+        assert!(p.next_request().is_err());
+    }
+
+    #[test]
+    fn incremental_parser_skips_leading_blank_lines() {
+        let mut p = RequestParser::new();
+        p.push(b"\r\n\n\r\nGET /x HTTP/1.1\r\n\r\n");
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.path, "/x");
     }
 
     #[test]

@@ -13,10 +13,16 @@
 //!   fitted prediction chain, feature schema, training-GPU fingerprint, and
 //!   sweep provenance, with a loader that rejects foreign files and
 //!   mismatched schema versions up front.
-//! * [`server`] — a `std::net` HTTP/1.1 server with a bounded worker pool
-//!   serving `POST /predict`, `GET /bottleneck`, `GET /healthz`, and
-//!   `GET /metrics` from a loaded bundle. No new dependencies: the whole
-//!   stack is `std` + the already-vendored serde.
+//! * [`server`] — a `std::net` HTTP/1.1 server serving `POST /predict`
+//!   (single or batched), `GET /bottleneck`, `GET /healthz`, and
+//!   `GET /metrics` from a loaded bundle. Two engines share the handler
+//!   stack: the default nonblocking epoll event loop (Linux; keep-alive,
+//!   pipelining, adaptive micro-batching, bounded admission with fast 429s,
+//!   graceful drain) and the legacy blocking thread pool
+//!   ([`server::ServeMode::Threads`]), kept as a portable fallback and as
+//!   the baseline for `bench_serve`. No new dependencies: the whole stack
+//!   is `std` + the already-vendored serde (epoll is reached through a
+//!   local `extern "C"` shim against the libc `std` already links).
 //! * [`lru`] — the O(1) LRU cache memoizing whole query → prediction
 //!   results.
 //! * [`metrics`] — lock-free request/latency/cache counters with a
@@ -30,12 +36,16 @@
 //! exact round-trip float encoding.
 
 pub mod bundle;
+#[cfg(target_os = "linux")]
+mod eventloop;
 pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use bundle::{BundleError, ModelBundle, Prediction, SweepMeta, SCHEMA_VERSION};
 pub use lru::LruCache;
 pub use metrics::Metrics;
-pub use server::{parse_addr, PredictServer, ServeConfig, ServerHandle};
+pub use server::{parse_addr, PredictServer, ServeConfig, ServeMode, ServerHandle};

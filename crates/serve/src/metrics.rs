@@ -12,6 +12,10 @@ use std::time::Instant;
 /// implicit `+Inf` bucket catches the rest.
 pub const LATENCY_BUCKETS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000];
 
+/// Upper bounds (rows) of the coalesced-batch-size histogram; a final
+/// implicit `+Inf` bucket catches the rest.
+pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 /// The routes the server distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
@@ -124,6 +128,14 @@ pub struct Metrics {
     phase_sum_us: AtomicArray<3>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    // Admission-control state: in-flight predict jobs (gauge) and requests
+    // turned away with 429 at the queue bound.
+    queue_depth: AtomicU64,
+    queue_rejections: AtomicU64,
+    // Per-bucket (non-cumulative) rows-per-forest-pass counts; bucket 7 is
+    // +Inf. Tracks how well micro-batching coalesces concurrent requests.
+    batch_buckets: AtomicArray<8>,
+    batch_sum: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -147,6 +159,10 @@ impl Metrics {
             phase_sum_us: AtomicArray::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            batch_buckets: AtomicArray::default(),
+            batch_sum: AtomicU64::new(0),
         }
     }
 
@@ -184,6 +200,49 @@ impl Metrics {
     /// Records a prediction-cache miss.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `/predict` job entered the admission queue.
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `/predict` job finished (its completion was consumed).
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request was turned away with 429 at the admission bound.
+    pub fn queue_reject(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current in-flight `/predict` jobs (queued plus executing).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Total 429 admission rejections.
+    pub fn queue_rejections(&self) -> u64 {
+        self.queue_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Records one coalesced forest evaluation of `rows` rows.
+    pub fn observe_batch(&self, rows: u64) {
+        let bucket = BATCH_BUCKETS
+            .iter()
+            .position(|&le| rows <= le)
+            .unwrap_or(BATCH_BUCKETS.len());
+        self.batch_buckets.add(bucket, 1);
+        self.batch_sum.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// `(evaluations, total rows)` of the coalesced-batch histogram.
+    pub fn batch_counts(&self) -> (u64, u64) {
+        let count = (0..=BATCH_BUCKETS.len())
+            .map(|i| self.batch_buckets.get(i))
+            .sum();
+        (count, self.batch_sum.load(Ordering::Relaxed))
     }
 
     /// Total requests across all routes.
@@ -297,6 +356,39 @@ impl Metrics {
         out.push_str("# TYPE bf_prediction_cache_capacity gauge\n");
         out.push_str(&format!("bf_prediction_cache_capacity {cache_capacity}\n"));
 
+        out.push_str("# HELP bf_queue_depth In-flight /predict jobs (queued + executing).\n");
+        out.push_str("# TYPE bf_queue_depth gauge\n");
+        out.push_str(&format!("bf_queue_depth {}\n", self.queue_depth()));
+        out.push_str(
+            "# HELP bf_queue_rejections_total Requests rejected with 429 at the admission bound.\n",
+        );
+        out.push_str("# TYPE bf_queue_rejections_total counter\n");
+        out.push_str(&format!(
+            "bf_queue_rejections_total {}\n",
+            self.queue_rejections()
+        ));
+
+        out.push_str(
+            "# HELP bf_predict_batch_rows Rows per coalesced forest evaluation (micro-batching).\n",
+        );
+        out.push_str("# TYPE bf_predict_batch_rows histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in BATCH_BUCKETS.iter().enumerate() {
+            cumulative += self.batch_buckets.get(i);
+            out.push_str(&format!(
+                "bf_predict_batch_rows_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.batch_buckets.get(BATCH_BUCKETS.len());
+        out.push_str(&format!(
+            "bf_predict_batch_rows_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "bf_predict_batch_rows_sum {}\n",
+            self.batch_sum.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("bf_predict_batch_rows_count {cumulative}\n"));
+
         // The training-time launch-memoization cache (process-wide). Idle
         // on a pure serving process, but a `serve` run that trained in the
         // same process (or future on-line refits) shows up here.
@@ -375,5 +467,37 @@ mod tests {
         assert!(text.contains("bf_prediction_cache_entries 1"));
         assert!(text.contains("bf_sim_cache_hits_total"));
         assert!(text.contains("bf_sim_cache_misses_total"));
+    }
+
+    #[test]
+    fn queue_gauge_tracks_enter_exit_and_rejections() {
+        let m = Metrics::new();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        m.queue_reject();
+        assert_eq!(m.queue_depth(), 1);
+        assert_eq!(m.queue_rejections(), 1);
+        let text = m.render(0, 0);
+        assert!(text.contains("bf_queue_depth 1"));
+        assert!(text.contains("bf_queue_rejections_total 1"));
+    }
+
+    #[test]
+    fn batch_histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_batch(1);
+        m.observe_batch(2);
+        m.observe_batch(7); // le=8
+        m.observe_batch(1000); // +Inf
+        assert_eq!(m.batch_counts(), (4, 1010));
+        let text = m.render(0, 0);
+        assert!(text.contains("bf_predict_batch_rows_bucket{le=\"1\"} 1"));
+        assert!(text.contains("bf_predict_batch_rows_bucket{le=\"2\"} 2"));
+        assert!(text.contains("bf_predict_batch_rows_bucket{le=\"8\"} 3"));
+        assert!(text.contains("bf_predict_batch_rows_bucket{le=\"64\"} 3"));
+        assert!(text.contains("bf_predict_batch_rows_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("bf_predict_batch_rows_sum 1010"));
+        assert!(text.contains("bf_predict_batch_rows_count 4"));
     }
 }

@@ -1,43 +1,114 @@
-//! The prediction server: a bounded worker-thread pool over
-//! `std::net::TcpListener`, serving a loaded [`ModelBundle`].
+//! The prediction server, in two interchangeable engines:
 //!
-//! Accepted connections are dispatched to workers over a bounded channel
-//! (the acceptor blocks when all workers are busy and the backlog is full —
-//! natural backpressure instead of unbounded queueing). Each worker owns a
-//! connection until it closes, serving any number of kept-alive requests.
+//! * [`ServeMode::EventLoop`] (default on Linux) — a nonblocking,
+//!   readiness-driven event loop (`epoll`) with per-connection incremental
+//!   parsers, HTTP/1.1 keep-alive and pipelining, a bounded admission queue
+//!   (fast `429 Too Many Requests` + `Retry-After` when full), and adaptive
+//!   micro-batching: concurrent `/predict` requests are coalesced into one
+//!   forest pass. See [`crate::eventloop`].
+//! * [`ServeMode::Threads`] — the original bounded worker-thread pool over
+//!   blocking reads. Kept as the comparison baseline for `bench_serve` and
+//!   as the fallback on non-Linux hosts.
+//!
+//! Both engines share the same routing, validation, prediction, metrics,
+//! and cache code in this module, so their responses are byte-identical.
 //!
 //! Routes:
 //!
-//! * `POST /predict` — JSON query → predicted time + per-counter predictions.
+//! * `POST /predict` — JSON query → predicted time + per-counter
+//!   predictions. The body may also be a JSON *array* of queries; the
+//!   answer is then an array, evaluated through the forest in one batched
+//!   pass and bit-identical to asking one by one.
 //! * `GET /bottleneck[?k=N]` — top-k permutation-importance findings.
 //! * `GET /healthz` — liveness + bundle identity.
 //! * `GET /metrics` — Prometheus-style text exposition.
 //!
 //! Repeated queries are answered from an LRU cache keyed on
-//! `(bundle content id, exact query bits)` so a busy client never re-walks
-//! the forest for a size it already asked about.
+//! `(bundle content id, exact query bits)`. Query vectors are canonicalized
+//! before keying: non-finite characteristics are rejected with 422 (NaN
+//! bit patterns would otherwise fragment the key space — and a NaN query
+//! is meaningless to the forest anyway), and negative zero collapses to
+//! `+0.0` so `-0.0` and `0.0` — equal to every tree split — share one
+//! cache entry.
 
 use crate::bundle::{ModelBundle, Prediction};
-use crate::http::{HttpError, Request, Response};
+use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::lru::LruCache;
 use crate::metrics::{Metrics, Phase, Route};
+use bf_forest::FlatForest;
 use serde::{Deserialize, Serialize};
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Which serving engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Bounded worker-thread pool over blocking reads (legacy baseline).
+    Threads,
+    /// Nonblocking epoll event loop with micro-batching (Linux; falls back
+    /// to [`ServeMode::Threads`] elsewhere).
+    EventLoop,
+}
+
+impl Default for ServeMode {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ServeMode::EventLoop
+        } else {
+            ServeMode::Threads
+        }
+    }
+}
+
+impl ServeMode {
+    /// Parses a CLI-style mode name.
+    pub fn from_name(name: &str) -> Option<ServeMode> {
+        match name {
+            "threads" | "legacy" => Some(ServeMode::Threads),
+            "event-loop" | "eventloop" | "epoll" => Some(ServeMode::EventLoop),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::Threads => "threads",
+            ServeMode::EventLoop => "event-loop",
+        }
+    }
+}
+
 /// Tuning knobs for [`PredictServer`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling connections.
+    /// Worker threads (connection handlers in [`ServeMode::Threads`],
+    /// prediction workers in [`ServeMode::EventLoop`]).
     pub threads: usize,
     /// Capacity of the prediction LRU cache (entries).
     pub cache_capacity: usize,
-    /// Per-connection read timeout.
+    /// Per-connection read timeout ([`ServeMode::Threads`] only; the event
+    /// loop never blocks on a read).
     pub read_timeout: Duration,
+    /// Serving engine.
+    pub mode: ServeMode,
+    /// Admission bound: maximum in-flight `/predict` jobs (queued plus
+    /// executing). Further predictions get a fast `429` + `Retry-After`
+    /// instead of unbounded queueing. Event-loop mode only.
+    pub max_queue: usize,
+    /// How long a prediction worker waits for more requests to coalesce
+    /// into one batched forest pass. Zero (the default) adds no artificial
+    /// delay: a worker batches whatever has already queued up behind it,
+    /// so batches grow naturally with backlog and stay at one row when the
+    /// server is keeping up. A positive window trades first-request latency
+    /// for larger batches. Event-loop mode only.
+    pub batch_window: Duration,
+    /// Largest micro-batch a worker will coalesce.
+    pub max_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +119,10 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(30),
+            mode: ServeMode::default(),
+            max_queue: 1024,
+            batch_window: Duration::ZERO,
+            max_batch: 64,
         }
     }
 }
@@ -74,13 +149,16 @@ pub fn parse_addr(addr: &str) -> Result<SocketAddr, String> {
 }
 
 /// Shared state every worker sees.
-struct ServerState {
-    bundle: ModelBundle,
-    bundle_id: u64,
-    metrics: Metrics,
-    cache: Mutex<LruCache<(u64, Vec<u64>), Prediction>>,
-    cache_capacity: usize,
-    shutdown: AtomicBool,
+pub(crate) struct ServerState {
+    pub(crate) bundle: ModelBundle,
+    pub(crate) bundle_id: u64,
+    /// The reduced forest compiled once into the level-order batch layout,
+    /// so micro-batches skip the per-call flatten.
+    pub(crate) flat: FlatForest,
+    pub(crate) metrics: Metrics,
+    pub(crate) cache: Mutex<LruCache<(u64, Vec<u64>), Prediction>>,
+    pub(crate) cache_capacity: usize,
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// A bound, not-yet-running server.
@@ -103,27 +181,31 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Asks the accept loop to exit, unblocking it with a dummy connection.
+    /// Asks the server to shut down gracefully: stop accepting, finish
+    /// in-flight requests, flush, exit. The dummy connection unblocks a
+    /// blocking acceptor (threads mode) or wakes `epoll_wait` (event loop).
     pub fn stop(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor; any error just means it is already gone.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
     }
 }
 
 impl PredictServer {
-    /// Binds the listener and prepares shared state.
+    /// Binds the listener and prepares shared state (including the flat
+    /// forest layout used by batched prediction).
     pub fn bind(addr: &str, bundle: ModelBundle, config: ServeConfig) -> Result<Self, String> {
         let sock_addr = parse_addr(addr)?;
         let listener =
             TcpListener::bind(sock_addr).map_err(|e| format!("bind {sock_addr}: {e}"))?;
         let bundle_id = bundle.content_id();
         let cache_capacity = config.cache_capacity.max(1);
+        let flat = FlatForest::from_forest(&bundle.predictor.model.reduced_forest);
         Ok(PredictServer {
             listener,
             state: Arc::new(ServerState {
                 bundle,
                 bundle_id,
+                flat,
                 metrics: Metrics::new(),
                 cache: Mutex::new(LruCache::new(cache_capacity)),
                 cache_capacity,
@@ -146,9 +228,29 @@ impl PredictServer {
         }
     }
 
-    /// Runs the accept loop until [`ServerHandle::stop`]; returns once all
-    /// workers have drained.
+    /// Runs the configured engine until [`ServerHandle::stop`]; returns
+    /// once in-flight work has drained.
     pub fn run(self) {
+        match self.config.mode {
+            ServeMode::Threads => self.run_threads(),
+            ServeMode::EventLoop => {
+                #[cfg(target_os = "linux")]
+                {
+                    crate::eventloop::run(self.listener, self.state, &self.config);
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    self.run_threads();
+                }
+            }
+        }
+    }
+
+    /// The legacy engine: a bounded worker-thread pool over blocking reads.
+    /// Accepted connections are dispatched over a bounded channel (the
+    /// acceptor blocks when all workers are busy and the backlog is full);
+    /// each worker owns a connection until it closes.
+    fn run_threads(self) {
         let threads = self.config.threads.max(1);
         // Bounded dispatch: at most 2 connections queued per worker.
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
@@ -205,7 +307,7 @@ impl PredictServer {
 /// Mints a process-unique request trace id: a boot-time salt (so ids from
 /// different server runs don't collide in aggregated logs) plus a sequence
 /// number. Echoed back to clients as the `X-BF-Trace-Id` response header.
-fn next_trace_id() -> String {
+pub(crate) fn next_trace_id() -> String {
     static SALT: OnceLock<u64> = OnceLock::new();
     static SEQ: AtomicU64 = AtomicU64::new(1);
     let salt = *SALT.get_or_init(|| {
@@ -218,7 +320,44 @@ fn next_trace_id() -> String {
     format!("bf-{:08x}-{seq:08x}", (salt ^ (salt >> 32)) as u32)
 }
 
-/// Serves every request on one connection.
+/// Reads the next request off a blocking buffered stream through a
+/// persistent [`RequestParser`], so pipelined bytes buffered past one
+/// request survive for the next iteration. `Ok(None)` is a clean EOF
+/// between requests.
+fn read_request_blocking<R: BufRead>(
+    parser: &mut RequestParser,
+    reader: &mut R,
+) -> Result<Option<Request>, HttpError> {
+    loop {
+        if let Some(req) = parser.next_request()? {
+            return Ok(Some(req));
+        }
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) => {
+                return Err(HttpError {
+                    status: 400,
+                    message: format!("read error: {e}"),
+                })
+            }
+        };
+        if available.is_empty() {
+            return if parser.has_partial() {
+                Err(HttpError {
+                    status: 400,
+                    message: "connection closed mid-request".into(),
+                })
+            } else {
+                Ok(None)
+            };
+        }
+        let n = available.len();
+        parser.push(available);
+        reader.consume(n);
+    }
+}
+
+/// Serves every request on one connection (threads mode).
 fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_nodelay(true);
@@ -227,13 +366,14 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
+    let mut parser = RequestParser::new();
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let started = Instant::now();
         let trace_id = next_trace_id();
-        let request = match Request::read_from(&mut reader) {
+        let request = match read_request_blocking(&mut parser, &mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return, // client closed between requests
             Err(HttpError { status, message }) => {
@@ -247,21 +387,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
             }
         };
         let close = request.wants_close();
-        let (route, response) = {
-            let mut span = bf_trace::span!(
-                "request",
-                method = request.method.as_str(),
-                path = request.path.as_str(),
-            );
-            if span.is_active() {
-                span.attr("trace_id", trace_id.as_str());
-            }
-            let (route, response) = handle_request(&request, state);
-            if span.is_active() {
-                span.attr("status", response.status);
-            }
-            (route, response)
-        };
+        let (route, response) = traced_handle(&request, state, &trace_id);
         let response = response.with_header("X-BF-Trace-Id", trace_id);
         state
             .metrics
@@ -272,7 +398,29 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
     }
 }
 
-fn elapsed_us(started: Instant) -> u64 {
+/// Routes one request inside a `request` trace span. Shared between the
+/// thread-pool engine and the event loop's inline (non-predict) path.
+pub(crate) fn traced_handle(
+    request: &Request,
+    state: &ServerState,
+    trace_id: &str,
+) -> (Route, Response) {
+    let mut span = bf_trace::span!(
+        "request",
+        method = request.method.as_str(),
+        path = request.path.as_str(),
+    );
+    if span.is_active() {
+        span.attr("trace_id", trace_id);
+    }
+    let (route, response) = handle_request(request, state);
+    if span.is_active() {
+        span.attr("status", response.status);
+    }
+    (route, response)
+}
+
+pub(crate) fn elapsed_us(started: Instant) -> u64 {
     started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
@@ -326,7 +474,7 @@ struct BottleneckResponse {
 }
 
 /// Routes one request. Returns the route label for metrics plus the answer.
-fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
+pub(crate) fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => (Route::Predict, handle_predict(request, state)),
         ("GET", "/bottleneck") => (Route::Bottleneck, handle_bottleneck(request, state)),
@@ -348,52 +496,49 @@ fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
     }
 }
 
+/// The validated rows of one `/predict` request.
+pub(crate) struct PredictItems {
+    /// One canonicalized characteristic vector per queried point.
+    rows: Vec<Vec<f64>>,
+    /// Whether the body was a JSON array (the answer mirrors the shape).
+    batch: bool,
+}
+
+/// One queued `/predict` request, as handed to a prediction worker.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+pub(crate) struct PredictJob {
+    pub(crate) request: Request,
+    pub(crate) started: Instant,
+    pub(crate) trace_id: String,
+}
+
+/// Handles a `/predict` request sequentially (threads mode and unit tests):
+/// the single-job case of the worker path below, with identical phase
+/// accounting.
 fn handle_predict(request: &Request, state: &ServerState) -> Response {
     // Parse phase: body decode, JSON parse, query validation.
     let parse_started = Instant::now();
     let parsed = {
         let _span = bf_trace::span!("parse", body_bytes = request.body.len());
-        parse_predict_chars(request, state)
+        parse_predict_items(request, state)
     };
     state
         .metrics
         .observe_phase(Phase::Parse, elapsed_us(parse_started));
-    let chars = match parsed {
-        Ok(chars) => chars,
+    let items = match parsed {
+        Ok(items) => items,
         Err(response) => return response,
     };
 
-    // Predict phase: cache lookup, forest walk on a miss.
+    // Predict phase: cache lookups, one forest pass over the misses.
     let predict_started = Instant::now();
-    let bundle = &state.bundle;
     let answered = {
         let mut span = bf_trace::span!("predict");
-        let key = (
-            state.bundle_id,
-            chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
-        );
-        let cached = state.cache.lock().unwrap().get(&key).cloned();
-        let answered = match cached {
-            Some(p) => {
-                state.metrics.cache_hit();
-                bf_trace::counter!("serve.predict_cache.hits");
-                Ok((p, true))
-            }
-            None => {
-                state.metrics.cache_miss();
-                bf_trace::counter!("serve.predict_cache.misses");
-                match bundle.predict(&chars) {
-                    Ok(p) => {
-                        state.cache.lock().unwrap().insert(key, p.clone());
-                        Ok((p, false))
-                    }
-                    Err(msg) => Err(Response::error(500, &format!("prediction failed: {msg}"))),
-                }
-            }
-        };
+        let answered = predict_rows(state, &items.rows);
         if span.is_active() {
-            if let Ok((_, was_cached)) = &answered {
-                span.attr("cached", *was_cached);
+            if let Ok(results) = &answered {
+                span.attr("rows", results.len() as u64);
+                span.attr("cached", results.iter().all(|(_, c)| *c));
             }
         }
         answered
@@ -401,27 +546,16 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
     state
         .metrics
         .observe_phase(Phase::Predict, elapsed_us(predict_started));
-    let (prediction, was_cached) = match answered {
-        Ok(hit) => hit,
-        Err(response) => return response,
+    let results = match answered {
+        Ok(results) => results,
+        Err(msg) => return Response::error(500, &format!("prediction failed: {msg}")),
     };
 
     // Serialize phase: building and encoding the answer.
     let serialize_started = Instant::now();
     let response = {
         let _span = bf_trace::span!("serialize");
-        let payload = PredictResponse {
-            workload: bundle.workload.clone(),
-            gpu: bundle.gpu_name.clone(),
-            characteristics: chars,
-            predicted_ms: prediction.predicted_ms,
-            counters: prediction.counters,
-            cached: was_cached,
-        };
-        match serde_json::to_string(&payload) {
-            Ok(json) => Response::json(200, json),
-            Err(e) => Response::error(500, &format!("serialize response: {e}")),
-        }
+        render_predictions(state, &items, results)
     };
     state
         .metrics
@@ -429,17 +563,252 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
     response
 }
 
+/// Processes one micro-batch of `/predict` jobs pulled off the admission
+/// queue: every job is parsed, then *all* their rows go through the forest
+/// in one coalesced pass, then per-job responses are rendered. Per-request
+/// metric and phase counts are identical to [`handle_predict`]; route
+/// metrics (`observe`) are recorded here too, so the event loop only ships
+/// bytes. Returns one response per job, in order.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+pub(crate) fn process_predict_jobs(state: &ServerState, jobs: &[PredictJob]) -> Vec<Response> {
+    // Parse every job first so the rows can be coalesced.
+    let mut parsed: Vec<Result<PredictItems, Response>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let parse_started = Instant::now();
+        let r = {
+            let _span = bf_trace::span!("parse", body_bytes = job.request.body.len());
+            parse_predict_items(&job.request, state)
+        };
+        state
+            .metrics
+            .observe_phase(Phase::Parse, elapsed_us(parse_started));
+        parsed.push(r);
+    }
+
+    // One forest pass over the union of all parsed rows. (Two identical
+    // misses inside one micro-batch are both evaluated rather than one
+    // waiting on the other's cache fill — same answer either way.)
+    let union: Vec<Vec<f64>> = parsed
+        .iter()
+        .flat_map(|p| p.as_ref().ok().map(|i| i.rows.clone()).unwrap_or_default())
+        .collect();
+    let predict_started = Instant::now();
+    let outcome = if union.is_empty() {
+        Ok(Vec::new())
+    } else {
+        let mut span = bf_trace::span!("predict");
+        let outcome = predict_rows(state, &union);
+        if span.is_active() {
+            span.attr("rows", union.len() as u64);
+            span.attr("jobs", jobs.len() as u64);
+        }
+        outcome
+    };
+    let predict_us = elapsed_us(predict_started);
+
+    // Split the results back per job and render.
+    let mut responses = Vec::with_capacity(jobs.len());
+    let mut cursor = 0usize;
+    for (job, p) in jobs.iter().zip(parsed) {
+        let response = match p {
+            Err(response) => response,
+            Ok(items) => {
+                state.metrics.observe_phase(Phase::Predict, predict_us);
+                match &outcome {
+                    Err(msg) => Response::error(500, &format!("prediction failed: {msg}")),
+                    Ok(results) => {
+                        let slice = results[cursor..cursor + items.rows.len()].to_vec();
+                        cursor += items.rows.len();
+                        let serialize_started = Instant::now();
+                        let response = {
+                            let _span = bf_trace::span!("serialize");
+                            render_predictions(state, &items, slice)
+                        };
+                        state
+                            .metrics
+                            .observe_phase(Phase::Serialize, elapsed_us(serialize_started));
+                        response
+                    }
+                }
+            }
+        };
+        let mut span = bf_trace::span!(
+            "request",
+            method = job.request.method.as_str(),
+            path = job.request.path.as_str(),
+        );
+        if span.is_active() {
+            span.attr("trace_id", job.trace_id.as_str());
+            span.attr("status", response.status);
+            span.attr("batched_with", jobs.len() as u64);
+        }
+        drop(span);
+        state
+            .metrics
+            .observe(Route::Predict, response.status, elapsed_us(job.started));
+        responses.push(response);
+    }
+    responses
+}
+
+/// Evaluates canonicalized characteristic rows: per-row cache lookups, then
+/// one pass per tree over all misses through the pre-flattened forest.
+/// Returns `(prediction, was_cached)` per row, in order. Bit-identical to
+/// calling [`ModelBundle::predict`] row by row.
+pub(crate) fn predict_rows(
+    state: &ServerState,
+    rows: &[Vec<f64>],
+) -> Result<Vec<(Prediction, bool)>, String> {
+    let mut out: Vec<Option<(Prediction, bool)>> = Vec::with_capacity(rows.len());
+    out.resize_with(rows.len(), || None);
+    let mut misses = Vec::new();
+    {
+        let mut cache = state.cache.lock().unwrap();
+        for (i, chars) in rows.iter().enumerate() {
+            let key = (
+                state.bundle_id,
+                chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+            );
+            match cache.get(&key).cloned() {
+                Some(p) => out[i] = Some((p, true)),
+                None => misses.push((i, key)),
+            }
+        }
+    }
+    for _ in 0..(rows.len() - misses.len()) {
+        state.metrics.cache_hit();
+        bf_trace::counter!("serve.predict_cache.hits");
+    }
+    for _ in 0..misses.len() {
+        state.metrics.cache_miss();
+        bf_trace::counter!("serve.predict_cache.misses");
+    }
+
+    if !misses.is_empty() {
+        let predictor = &state.bundle.predictor;
+        let want = predictor.counters.characteristics.len();
+        for (i, _) in &misses {
+            if rows[*i].len() != want {
+                return Err(format!(
+                    "expected {want} characteristics, got {}",
+                    rows[*i].len()
+                ));
+            }
+        }
+        // Counter models per row (cheap, closed-form), then the reduced
+        // forest over the whole miss set in one pass per tree. The counter
+        // rows double as the exposed per-counter predictions — exactly the
+        // values `ModelBundle::predict` reports.
+        let counter_rows: Vec<Vec<f64>> = misses
+            .iter()
+            .map(|(i, _)| predictor.counters.predict(&rows[*i]))
+            .collect();
+        let times = state
+            .flat
+            .predict_batch(&counter_rows)
+            .map_err(|e| e.to_string())?;
+        state.metrics.observe_batch(misses.len() as u64);
+        let mut cache = state.cache.lock().unwrap();
+        for (((i, key), values), predicted_ms) in misses.into_iter().zip(counter_rows).zip(times) {
+            let counters = predictor
+                .counters
+                .models
+                .iter()
+                .zip(values)
+                .map(|(m, v)| (m.counter.clone(), v))
+                .collect();
+            let p = Prediction {
+                predicted_ms,
+                counters,
+            };
+            cache.insert(key, p.clone());
+            out[i] = Some((p, false));
+        }
+    }
+    Ok(out.into_iter().map(|o| o.expect("row answered")).collect())
+}
+
+/// Renders the answer for one `/predict` request: a single object, or an
+/// array mirroring an array body.
+fn render_predictions(
+    state: &ServerState,
+    items: &PredictItems,
+    results: Vec<(Prediction, bool)>,
+) -> Response {
+    let payloads: Vec<PredictResponse> = items
+        .rows
+        .iter()
+        .zip(results)
+        .map(|(chars, (prediction, cached))| PredictResponse {
+            workload: state.bundle.workload.clone(),
+            gpu: state.bundle.gpu_name.clone(),
+            characteristics: chars.clone(),
+            predicted_ms: prediction.predicted_ms,
+            counters: prediction.counters,
+            cached,
+        })
+        .collect();
+    let encoded = if items.batch {
+        serde_json::to_string(&payloads)
+    } else {
+        serde_json::to_string(&payloads[0])
+    };
+    match encoded {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
 /// The parse/validate half of `/predict`: from raw body bytes to the exact
-/// characteristic vector the forest expects, or the error response to send.
-fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64>, Response> {
+/// canonicalized characteristic rows the forest expects, or the error
+/// response to send. A body whose first non-whitespace byte is `[` is a
+/// batch of queries; anything else is a single query.
+pub(crate) fn parse_predict_items(
+    request: &Request,
+    state: &ServerState,
+) -> Result<PredictItems, Response> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => return Err(Response::error(400, "request body is not UTF-8")),
     };
-    let query: PredictRequest = match serde_json::from_str(body) {
+    let is_batch = body
+        .bytes()
+        .find(|b| !b.is_ascii_whitespace())
+        .map(|b| b == b'[')
+        .unwrap_or(false);
+    if !is_batch {
+        let query: PredictRequest = match serde_json::from_str(body) {
+            Ok(q) => q,
+            Err(e) => return Err(Response::error(400, &format!("bad JSON body: {e}"))),
+        };
+        let row =
+            chars_for_query(query, state).map_err(|(status, msg)| Response::error(status, &msg))?;
+        return Ok(PredictItems {
+            rows: vec![row],
+            batch: false,
+        });
+    }
+    let queries: Vec<PredictRequest> = match serde_json::from_str(body) {
         Ok(q) => q,
         Err(e) => return Err(Response::error(400, &format!("bad JSON body: {e}"))),
     };
+    if queries.is_empty() {
+        return Err(Response::error(400, "batch body must not be empty"));
+    }
+    let rows = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            chars_for_query(q, state)
+                .map_err(|(status, msg)| Response::error(status, &format!("item {i}: {msg}")))
+        })
+        .collect::<Result<Vec<_>, Response>>()?;
+    Ok(PredictItems { rows, batch: true })
+}
+
+/// Validates one query against the bundle and resolves it to a
+/// canonicalized characteristic vector.
+fn chars_for_query(query: PredictRequest, state: &ServerState) -> Result<Vec<f64>, (u16, String)> {
     let bundle = &state.bundle;
 
     if let Some(w) = &query.workload {
@@ -448,9 +817,9 @@ fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64
             _ => w.eq_ignore_ascii_case(&bundle.workload),
         };
         if !matches {
-            return Err(Response::error(
+            return Err((
                 422,
-                &format!(
+                format!(
                     "bundle was trained for workload {:?}, not {w:?}",
                     bundle.workload
                 ),
@@ -459,9 +828,9 @@ fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64
     }
     if let Some(g) = &query.gpu {
         if !g.eq_ignore_ascii_case(&bundle.gpu_name) {
-            return Err(Response::error(
+            return Err((
                 422,
-                &format!(
+                format!(
                     "bundle was trained on {} (fingerprint {:#x}); predictions for {g:?} \
                      need a bundle trained on that GPU",
                     bundle.gpu_name, bundle.gpu_fingerprint
@@ -470,11 +839,11 @@ fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64
         }
     }
 
-    if let Some(chars) = query.characteristics {
+    let chars = if let Some(chars) = query.characteristics {
         if chars.len() != bundle.characteristics.len() {
-            return Err(Response::error(
+            return Err((
                 422,
-                &format!(
+                format!(
                     "expected {} characteristics {:?}, got {}",
                     bundle.characteristics.len(),
                     bundle.characteristics,
@@ -482,27 +851,35 @@ fn parse_predict_chars(request: &Request, state: &ServerState) -> Result<Vec<f64
                 ),
             ));
         }
-        Ok(chars)
+        chars
     } else {
         let size = match query.size {
             Some(s) if s.is_finite() && s > 0.0 => s,
-            Some(_) => {
-                return Err(Response::error(
-                    422,
-                    "size must be a positive finite number",
-                ))
-            }
-            None => {
-                return Err(Response::error(
-                    400,
-                    "body needs either size or characteristics",
-                ))
-            }
+            Some(_) => return Err((422, "size must be a positive finite number".into())),
+            None => return Err((400, "body needs either size or characteristics".into())),
         };
         bundle
             .characteristics_for(size, query.threads, query.sweeps)
-            .map_err(|msg| Response::error(422, &msg))
+            .map_err(|msg| (422, msg))?
+    };
+    canonicalize_chars(chars)
+}
+
+/// Canonicalizes a characteristic vector for prediction and cache keying:
+/// non-finite values are a 422 (a NaN/inf query is meaningless to the
+/// forest, and NaN's many bit patterns would fragment the bitwise cache
+/// key), and `-0.0` collapses to `+0.0` (equal to every tree threshold, so
+/// both spellings must share one cache entry).
+fn canonicalize_chars(mut chars: Vec<f64>) -> Result<Vec<f64>, (u16, String)> {
+    for (i, c) in chars.iter_mut().enumerate() {
+        if !c.is_finite() {
+            return Err((422, format!("characteristic {i} must be finite, got {c}")));
+        }
+        if *c == 0.0 {
+            *c = 0.0; // normalize -0.0
+        }
     }
+    Ok(chars)
 }
 
 fn handle_bottleneck(request: &Request, state: &ServerState) -> Response {
@@ -555,5 +932,30 @@ mod tests {
         let e = parse_addr("not-an-addr").unwrap_err();
         assert!(e.contains("host:port"), "{e}");
         assert!(parse_addr("127.0.0.1:notaport").is_err());
+    }
+
+    #[test]
+    fn serve_mode_names_round_trip() {
+        for mode in [ServeMode::Threads, ServeMode::EventLoop] {
+            assert_eq!(ServeMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(ServeMode::from_name("legacy"), Some(ServeMode::Threads));
+        assert_eq!(ServeMode::from_name("epoll"), Some(ServeMode::EventLoop));
+        assert_eq!(ServeMode::from_name("tokio"), None);
+    }
+
+    #[test]
+    fn canonicalize_rejects_non_finite_and_collapses_negative_zero() {
+        let ok = canonicalize_chars(vec![4096.0, -0.0, 2.5]).unwrap();
+        assert_eq!(ok[1].to_bits(), 0.0f64.to_bits(), "-0.0 must become +0.0");
+        assert_eq!(ok, vec![4096.0, 0.0, 2.5]);
+        let err = canonicalize_chars(vec![1.0, f64::NAN]).unwrap_err();
+        assert_eq!(err.0, 422);
+        assert!(err.1.contains("characteristic 1"), "{}", err.1);
+        assert_eq!(canonicalize_chars(vec![f64::INFINITY]).unwrap_err().0, 422);
+        assert_eq!(
+            canonicalize_chars(vec![f64::NEG_INFINITY]).unwrap_err().0,
+            422
+        );
     }
 }
