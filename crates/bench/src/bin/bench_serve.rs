@@ -29,8 +29,17 @@
 //! closed-loop throughput. `--quick` / `BF_QUICK=1` shrinks the request
 //! counts; `--out FILE` redirects the artifact; `--model BUNDLE.json`
 //! benchmarks an existing bundle instead of training a quick one.
+//!
+//! A fourth section exercises the model registry on the event loop: the
+//! same closed-loop load in steady state, during continuous live `default`
+//! promotions between two bundles (reload under load), and with a shadow
+//! model replaying every request. Gates: zero errors in all three, at
+//! least one promotion and one replay, and shadow p99 within noise of
+//! steady state (the replay must stay off the hot path).
 
-use bf_serve::{ModelBundle, PredictServer, ServeConfig, ServeMode, ServerHandle};
+use bf_serve::{
+    AliasUpdate, ModelBundle, PredictServer, Registry, ServeConfig, ServeMode, ServerHandle,
+};
 use blackforest::artifact::write_artifact;
 use blackforest::{BlackForest, ModelConfig, Workload};
 use gpu_sim::GpuConfig;
@@ -39,6 +48,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -84,6 +94,25 @@ struct ModeReport {
     scenarios: Vec<Scenario>,
 }
 
+/// The registry scenarios: the same closed-loop load in steady state, with
+/// `default` hot-swapped between two bundles mid-flight, and with a shadow
+/// model replaying every request off the hot path.
+#[derive(Debug, Serialize)]
+struct RegistryReport {
+    /// Live alias promotions performed during the reload scenario.
+    swaps: u64,
+    steady: Scenario,
+    reload: Scenario,
+    shadow: Scenario,
+    /// Reload p99 / steady p99 — swap cost visible to clients.
+    reload_p99_ratio: f64,
+    /// Shadow p99 / steady p99 — gated: shadow must be off the hot path.
+    shadow_p99_ratio: f64,
+    /// Requests the shadow engine actually replayed.
+    shadow_replayed_requests: u64,
+    shadow_mean_rel_delta: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     benchmark: String,
@@ -95,6 +124,7 @@ struct BenchReport {
     batch_rows: usize,
     open_loop_rate_rps: f64,
     modes: Vec<ModeReport>,
+    registry: RegistryReport,
     closed_throughput_speedup: f64,
     closed_p99_speedup: f64,
 }
@@ -469,6 +499,119 @@ fn bench_mode(bundle: &ModelBundle, mode: ServeMode, load: &Load) -> ModeReport 
     }
 }
 
+/// Benchmarks the registry path on the event loop: identical closed-loop
+/// load in steady state, during continuous live alias promotion between
+/// two bundles, and with a shadow model attached. Swaps go through the
+/// same `set_alias` path the admin API uses.
+fn bench_registry(a: &ModelBundle, b: &ModelBundle, load: &Load) -> RegistryReport {
+    let registry = Arc::new(Registry::new());
+    let id_a = registry.load_bundle(a.clone()).expect("load bundle a");
+    let id_b = registry.load_bundle(b.clone()).expect("load bundle b");
+    registry
+        .set_alias(AliasUpdate {
+            alias: "default".into(),
+            id: Some(id_a),
+            create: true,
+            ..AliasUpdate::default()
+        })
+        .expect("publish default");
+    let server = PredictServer::bind_registry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServeConfig {
+            threads: SERVER_THREADS,
+            cache_capacity: CACHE_CAPACITY,
+            mode: ServeMode::EventLoop,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind registry benchmark server");
+    let (handle, join): (ServerHandle, _) = server.spawn();
+    let addr = handle.addr();
+    let per_client = (load.closed_requests / 2).max(CLOSED_CLIENTS as u64) / CLOSED_CLIENTS as u64;
+
+    // Warm up sockets and both compiled forests outside the measured window.
+    run_closed(addr, 1, 20, false, true);
+
+    let t0 = Instant::now();
+    let tally = run_closed(addr, CLOSED_CLIENTS, per_client, false, true);
+    let steady = summarize("registry-steady", "keep-alive", 1, t0.elapsed(), tally);
+
+    // Reload under load: a swapper thread promotes `default` back and
+    // forth for the whole measured window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let swapper = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let id = if swaps.is_multiple_of(2) { id_b } else { id_a };
+                registry
+                    .set_alias(AliasUpdate {
+                        alias: "default".into(),
+                        id: Some(id),
+                        ..AliasUpdate::default()
+                    })
+                    .expect("live promotion");
+                swaps += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            swaps
+        })
+    };
+    let t0 = Instant::now();
+    let tally = run_closed(addr, CLOSED_CLIENTS, per_client, false, true);
+    let reload = summarize("registry-reload", "keep-alive", 1, t0.elapsed(), tally);
+    stop.store(true, Ordering::Relaxed);
+    let swaps = swapper.join().expect("swapper thread");
+
+    // Shadow replay: pin default back to a, attach b as its shadow, and
+    // re-run the steady load. The replay happens on the shadow thread;
+    // the client-visible p99 must not move materially.
+    registry
+        .set_alias(AliasUpdate {
+            alias: "default".into(),
+            id: Some(id_a),
+            shadow: Some(id_b),
+            ..AliasUpdate::default()
+        })
+        .expect("attach shadow");
+    let t0 = Instant::now();
+    let tally = run_closed(addr, CLOSED_CLIENTS, per_client, false, true);
+    let shadow = summarize("registry-shadow", "keep-alive", 1, t0.elapsed(), tally);
+    let shadow_report = registry.shadow_report();
+
+    handle.stop();
+    join.join().expect("server thread exits");
+
+    for s in [&steady, &reload, &shadow] {
+        println!(
+            "  {:>15}: {:>7} req  {:>9.1} req/s  p50 {:>6}us  p99 {:>7}us  errors {}",
+            s.scenario,
+            s.requests,
+            s.throughput_rps,
+            s.p50_us,
+            s.p99_us,
+            s.transport_errors + s.non_200,
+        );
+    }
+    println!(
+        "  {swaps} live promotions; shadow replayed {} requests (mean rel delta {:.4})",
+        shadow_report.requests, shadow_report.mean_rel_delta
+    );
+    RegistryReport {
+        swaps,
+        reload_p99_ratio: reload.p99_us as f64 / steady.p99_us.max(1) as f64,
+        shadow_p99_ratio: shadow.p99_us as f64 / steady.p99_us.max(1) as f64,
+        steady,
+        reload,
+        shadow,
+        shadow_replayed_requests: shadow_report.requests,
+        shadow_mean_rel_delta: shadow_report.mean_rel_delta,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = bf_bench::quick_mode();
@@ -488,20 +631,33 @@ fn main() {
         "Bench",
         "Serving throughput/latency: blocking pool vs event loop",
     );
-    let bundle = match model {
-        Some(path) => ModelBundle::load(&path).expect("load --model bundle"),
+    let train_quick = |seed: u64| -> ModelBundle {
+        let gpu = GpuConfig::gtx580();
+        let bf = BlackForest::new(gpu.clone()).with_config(ModelConfig::quick(seed));
+        let sizes: Vec<usize> = (12..=15).map(|e| 1usize << e).collect();
+        let report = bf
+            .analyze(
+                Workload::Reduce(bf_kernels::reduce::ReduceVariant::Reduce1),
+                &sizes,
+            )
+            .expect("train quick bundle");
+        ModelBundle::from_report(&report, &gpu, &sizes, true)
+    };
+    // The registry scenarios hot-swap between two models, which must share
+    // a characteristic schema and GPU fingerprint — so that pair is always
+    // a freshly trained quick duo; --model only drives the engine
+    // comparison.
+    let (bundle, pair_a, pair_b) = match model {
+        Some(path) => {
+            let loaded = ModelBundle::load(&path).expect("load --model bundle");
+            println!("training a quick reduce1 pair for the registry scenarios...");
+            (loaded, train_quick(81), train_quick(82))
+        }
         None => {
-            println!("training a quick reduce1 bundle for the benchmark...");
-            let gpu = GpuConfig::gtx580();
-            let bf = BlackForest::new(gpu.clone()).with_config(ModelConfig::quick(81));
-            let sizes: Vec<usize> = (12..=15).map(|e| 1usize << e).collect();
-            let report = bf
-                .analyze(
-                    Workload::Reduce(bf_kernels::reduce::ReduceVariant::Reduce1),
-                    &sizes,
-                )
-                .expect("train quick bundle");
-            ModelBundle::from_report(&report, &gpu, &sizes, true)
+            println!("training a quick reduce1 pair for the benchmark...");
+            let a = train_quick(81);
+            let b = train_quick(82);
+            (a.clone(), a, b)
         }
     };
 
@@ -525,6 +681,8 @@ fn main() {
         bench_mode(&bundle, ServeMode::Threads, &load),
         bench_mode(&bundle, ServeMode::EventLoop, &load),
     ];
+    println!("registry scenarios (event loop):");
+    let registry = bench_registry(&pair_a, &pair_b, &load);
 
     // Hard gates: a load test with transport errors measured a broken
     // server, and the event loop must not regress closed-loop throughput.
@@ -542,6 +700,28 @@ fn main() {
             );
         }
     }
+    // Registry gates: hot reload and shadow replay must be invisible as
+    // errors, the swapper must actually have swapped, the shadow must
+    // actually have replayed — and shadowing must stay off the hot path:
+    // its p99 may not exceed steady state beyond measurement noise.
+    for s in [&registry.steady, &registry.reload, &registry.shadow] {
+        assert_eq!(s.transport_errors, 0, "{}: transport errors", s.scenario);
+        assert_eq!(s.non_200, 0, "{}: non-200 responses", s.scenario);
+    }
+    assert!(
+        registry.swaps > 0,
+        "reload scenario performed no promotions"
+    );
+    assert!(
+        registry.shadow_replayed_requests > 0,
+        "shadow scenario replayed nothing"
+    );
+    let steady_p99 = registry.steady.p99_us as f64;
+    let shadow_p99 = registry.shadow.p99_us as f64;
+    assert!(
+        shadow_p99 <= (steady_p99 * 2.0).max(steady_p99 + 2_000.0),
+        "shadow replay regressed p99: {shadow_p99}us vs steady {steady_p99}us"
+    );
     let closed = |m: &ModeReport| {
         m.scenarios
             .iter()
@@ -566,6 +746,7 @@ fn main() {
         batch_rows: BATCH_ROWS,
         open_loop_rate_rps: load.open_rate_rps,
         modes,
+        registry,
         closed_throughput_speedup: event_rps / legacy_rps,
         closed_p99_speedup: legacy_p99 / event_p99.max(1.0),
     };

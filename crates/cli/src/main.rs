@@ -10,11 +10,13 @@
 //!   bottleneck report.
 //! * `predict --workload W --size N [--gpu NAME]` — problem-scaling
 //!   prediction for an unseen size.
+//! * `models [--addr HOST:PORT]` — query a running server's model
+//!   registry (`GET /v1/models`).
 //! * `lint --workload W [--format json] [--oracle]` — static analysis with
 //!   clippy-style diagnostics; no simulation unless `--oracle` is given.
 
 use bf_analyze::{LintOptions, Severity};
-use bf_serve::{ModelBundle, PredictServer, ServeConfig};
+use bf_serve::{AliasUpdate, ModelBundle, PredictServer, Registry, ServeConfig};
 use blackforest::collect::CollectOptions;
 use blackforest::model::ModelConfig;
 use blackforest::{BlackForest, SplitStrategy, Workload};
@@ -34,8 +36,10 @@ COMMANDS:
     collect  --workload W [--gpu NAME] [--out FILE] [--quick]
     analyze  --workload W [--gpu NAME] [--quick]
     train    --workload W --save BUNDLE.json [--gpu NAME] [--quick]
-    serve    --model BUNDLE.json [--addr HOST:PORT] [--threads N] [--cache-size N]
+    serve    --model BUNDLE.json [--shadow BUNDLE.json] [--admin]
+             [--addr HOST:PORT] [--threads N] [--cache-size N]
              [--mode event-loop|threads] [--max-queue N] [--batch-window USEC]
+    models   [--addr HOST:PORT]  query a running server's model registry
     predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
     hwscale  --workload W --target NAME [--gpu NAME] [--quick]
     lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
@@ -54,7 +58,15 @@ OPTIONS:
     --size N        problem size to predict (predict)
     --model FILE    a bundle from `train --save`: predict answers offline
                     from it (no re-profiling), serve exposes it over HTTP
-    --addr H:P      serve listen address (default 127.0.0.1:7878)
+    --shadow FILE   serve also loads this bundle as the shadow of the
+                    default alias: every /predict is asynchronously
+                    replayed against it off the hot path, and the paired
+                    predictions feed the divergence report at
+                    GET /v1/models/shadow/report (and bf_shadow_* metrics)
+    --admin         serve enables the mutating admin API
+                    (POST /v1/models/load|unload|alias); off by default
+    --addr H:P      serve listen address (default 127.0.0.1:7878);
+                    for models: the server to query
     --cache-size N  serve prediction-LRU capacity in entries (default 4096)
     --mode M        serving engine: event-loop (nonblocking epoll with
                     keep-alive, pipelining, and adaptive micro-batching;
@@ -91,15 +103,19 @@ OPTIONS:
 
 SERVING:
     train writes a self-contained model bundle (forest + counter models +
-    GPU fingerprint + sweep metadata). serve answers POST /predict,
-    GET /bottleneck, GET /healthz and GET /metrics from it; predictions
-    are bit-identical to the in-process chain. Example:
+    GPU fingerprint + sweep metadata). serve fronts a hot-reloadable model
+    registry with it: POST /predict (the `default` alias), per-model
+    POST /v1/models/{id-or-alias}/predict, GET /v1/models, GET /bottleneck,
+    GET /healthz, GET /readyz, and GET /metrics; predictions are
+    bit-identical to the in-process chain. With --admin, bundles can be
+    loaded and aliases swapped at runtime with zero downtime. Example:
 
         blackforest train --workload reduce1 --quick --save reduce1.json
         blackforest serve --model reduce1.json --addr 127.0.0.1:7878 &
         curl -s -X POST 127.0.0.1:7878/predict -d '{\"size\": 65536}'
         curl -s -X POST 127.0.0.1:7878/predict \\
              -d '[{\"size\": 65536}, {\"size\": 131072}]'
+        blackforest models --addr 127.0.0.1:7878
 
     POST /predict also accepts a JSON array and answers with an array of
     predictions in the same order (one HTTP round-trip, one forest pass).
@@ -117,6 +133,8 @@ struct Args {
     out: Option<PathBuf>,
     save: Option<PathBuf>,
     model: Option<PathBuf>,
+    shadow: Option<PathBuf>,
+    admin: bool,
     size: Option<f64>,
     target: Option<String>,
     addr: Option<String>,
@@ -166,6 +184,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         save: None,
         model: None,
+        shadow: None,
+        admin: false,
         size: None,
         target: None,
         addr: None,
@@ -230,6 +250,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--model" => {
                 args.model = Some(PathBuf::from(it.next().ok_or("--model needs a value")?))
             }
+            "--shadow" => {
+                args.shadow = Some(PathBuf::from(it.next().ok_or("--shadow needs a value")?))
+            }
+            "--admin" => args.admin = true,
             "--target" => args.target = Some(it.next().ok_or("--target needs a value")?.clone()),
             "--size" => {
                 args.size = Some(
@@ -303,6 +327,42 @@ fn load_bundle(path: &Path) -> Result<ModelBundle, String> {
     ModelBundle::load(path).map_err(|e| format!("--model {}: {e}", path.display()))
 }
 
+/// A one-shot HTTP GET against a BlackForest server (`models` subcommand).
+/// `Connection: close` keeps the read loop trivial: everything after the
+/// header block is the body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let sock_addr = bf_serve::parse_addr(addr)?;
+    let mut stream =
+        std::net::TcpStream::connect_timeout(&sock_addr, std::time::Duration::from_secs(5))
+            .map_err(|e| format!("cannot connect to {addr}: {e} (is the server running?)"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading answer from {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP answer from {addr}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed HTTP status line from {addr}"))?;
+    if status != 200 {
+        return Err(format!("{addr}{path} answered {status}: {}", body.trim()));
+    }
+    Ok(body.to_string())
+}
+
 /// Default sweep of the primary problem characteristic per workload.
 fn default_sizes(workload: Workload, quick: bool) -> Vec<usize> {
     match workload {
@@ -357,6 +417,7 @@ fn command_span_name(command: &str) -> &'static str {
         "analyze" => "analyze_cmd",
         "train" => "train",
         "serve" => "serve",
+        "models" => "models",
         "predict" => "predict_cmd",
         "hwscale" => "hwscale",
         "lint" => "lint",
@@ -507,7 +568,6 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                 .model
                 .clone()
                 .ok_or("serve needs --model BUNDLE.json")?;
-            let bundle = load_bundle(&path)?;
             let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
             // Validate eagerly so a bad --addr fails before we advertise.
             bf_serve::parse_addr(&addr)?;
@@ -526,21 +586,73 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                 mode,
                 max_queue: args.max_queue.unwrap_or(1024),
                 batch_window: std::time::Duration::from_micros(args.batch_window_us.unwrap_or(0)),
+                admin: args.admin,
                 ..ServeConfig::default()
             };
-            let (workload_name, gpu_name) = (bundle.workload.clone(), bundle.gpu_name.clone());
-            let server = PredictServer::bind(&addr, bundle, config.clone())?;
+            // Load + publish through a registry so --shadow can attach to
+            // the default alias before the socket starts answering.
+            let registry = std::sync::Arc::new(Registry::new());
+            let id = registry
+                .load_path(&path)
+                .map_err(|e| format!("--model {}: {e}", path.display()))?;
+            registry
+                .set_alias(AliasUpdate {
+                    alias: "default".into(),
+                    id: Some(id),
+                    create: true,
+                    ..AliasUpdate::default()
+                })
+                .map_err(|e| e.to_string())?;
+            let shadow_id = match &args.shadow {
+                Some(shadow_path) => {
+                    let sid = registry
+                        .load_path(shadow_path)
+                        .map_err(|e| format!("--shadow {}: {e}", shadow_path.display()))?;
+                    registry
+                        .set_alias(AliasUpdate {
+                            alias: "default".into(),
+                            shadow: Some(sid),
+                            ..AliasUpdate::default()
+                        })
+                        .map_err(|e| format!("--shadow {}: {e}", shadow_path.display()))?;
+                    Some(sid)
+                }
+                None => None,
+            };
+            let resolved = registry.resolve("default").map_err(|e| e.to_string())?;
+            let (workload_name, gpu_name) = (
+                resolved.model.bundle.workload.clone(),
+                resolved.model.bundle.gpu_name.clone(),
+            );
+            let server = PredictServer::bind_registry(&addr, registry, config.clone())?;
             let local = server.local_addr();
             println!(
-                "serving {workload_name} ({gpu_name}) bundle {} on http://{local}  \
-                 [{} engine, {} workers, cache {}, queue {}]",
+                "serving {workload_name} ({gpu_name}) bundle {} ({:016x}) on http://{local}  \
+                 [{} engine, {} workers, cache {}, queue {}{}]",
                 path.display(),
+                id,
                 config.mode.name(),
                 config.threads,
                 config.cache_capacity,
-                config.max_queue
+                config.max_queue,
+                if config.admin { ", admin" } else { "" }
             );
-            println!("routes: POST /predict, GET /bottleneck, GET /healthz, GET /metrics");
+            if let Some(sid) = shadow_id {
+                println!(
+                    "shadow: {} ({sid:016x}) replaying every default-alias prediction; \
+                     report at GET /v1/models/shadow/report",
+                    args.shadow.as_ref().unwrap().display()
+                );
+            }
+            println!(
+                "routes: POST /predict, POST /v1/models/{{id-or-alias}}/predict, \
+                 GET /v1/models, GET /bottleneck, GET /healthz, GET /readyz, GET /metrics{}",
+                if config.admin {
+                    ", POST /v1/models/load|unload|alias"
+                } else {
+                    ""
+                }
+            );
             // Warm-start the persistent simulation cache (if configured) so
             // the index is loaded before the first request needs it.
             if let Some(disk) = gpu_sim::diskcache::from_env() {
@@ -551,6 +663,47 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                 );
             }
             server.run();
+            Ok(ExitCode::SUCCESS)
+        }
+        "models" => {
+            let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
+            let body = http_get(&addr, "/v1/models")?;
+            let report: bf_serve::ModelsReport = serde_json::from_str(&body)
+                .map_err(|e| format!("unexpected /v1/models answer from {addr}: {e}"))?;
+            println!("registry at http://{addr} (epoch {})", report.epoch);
+            println!("models:");
+            for m in &report.models {
+                println!(
+                    "  {}  {:<8} {:<8} {:>3} trees  {:>8} reqs  {}",
+                    m.id,
+                    m.workload,
+                    m.gpu,
+                    m.trees,
+                    m.served_requests,
+                    m.source.as_deref().unwrap_or("-"),
+                );
+            }
+            println!("aliases:");
+            for a in &report.aliases {
+                let mut extras = String::new();
+                if let Some(split) = &a.split {
+                    extras.push_str(&format!(
+                        "  split {}% -> {}",
+                        split.percent,
+                        a.split_secondary.as_deref().unwrap_or("?")
+                    ));
+                }
+                if let Some(shadow) = &a.shadow {
+                    extras.push_str(&format!("  shadow {shadow}"));
+                }
+                println!("  {:<12} -> {}{extras}", a.alias, a.primary);
+            }
+            if !report.draining.is_empty() {
+                println!("draining:");
+                for d in &report.draining {
+                    println!("  {}  {} live refs", d.id, d.refs);
+                }
+            }
             Ok(ExitCode::SUCCESS)
         }
         "predict" => {

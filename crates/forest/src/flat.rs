@@ -141,6 +141,26 @@ impl FlatForest {
         self.trees.len()
     }
 
+    /// Touches every node of every compiled tree in one linear pass and
+    /// returns a checksum of the visited layout. The model registry runs
+    /// this before publishing a freshly loaded bundle, so the compiled
+    /// arrays are faulted into memory (and the checksum recorded as proof
+    /// a warm pass happened) before the first live request can reach the
+    /// model — a hot swap never pays first-touch cost on the serving path.
+    pub fn warm(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for tree in &self.trees {
+            for i in 0..tree.feature.len() {
+                acc = acc
+                    .wrapping_mul(0x0100_0000_01b3)
+                    .wrapping_add(u64::from(tree.feature[i]))
+                    .wrapping_add(tree.threshold[i].to_bits())
+                    .wrapping_add(u64::from(tree.left[i]));
+            }
+        }
+        acc
+    }
+
     /// Predicts one row — identical result (and bit pattern) to
     /// [`RandomForest::predict_row`].
     pub fn predict_row(&self, row: &[f64]) -> Result<f64> {
@@ -312,6 +332,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.predict_batch(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn warm_checksum_is_deterministic_and_layout_sensitive() {
+        let (x, y) = training_data(60);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(12).with_seed(27),
+        )
+        .unwrap();
+        let flat = FlatForest::from_forest(&f);
+        let a = flat.warm();
+        let b = flat.warm();
+        assert_eq!(a, b, "warm must be a pure function of the layout");
+        assert_eq!(FlatForest::from_forest(&f).warm(), a);
+        // A different forest yields a different layout checksum.
+        let g = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams::default().with_trees(12).with_seed(28),
+        )
+        .unwrap();
+        assert_ne!(FlatForest::from_forest(&g).warm(), a);
     }
 
     #[test]

@@ -39,11 +39,13 @@ use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::metrics::Route;
 use crate::server::process_predict_jobs;
 use crate::server::{
-    elapsed_us, next_trace_id, traced_handle, PredictJob, ServeConfig, ServerState,
+    elapsed_us, next_trace_id, predict_model_key, resolve_predict_target, traced_handle,
+    PredictJob, ServeConfig, ServerState,
 };
 use crate::sys::{
     Epoll, EpollEvent, WakePipe, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
+use bf_registry::RegistryReader;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -310,6 +312,7 @@ fn handle_readable(
     conn: &mut Conn,
     token: u64,
     state: &ServerState,
+    registry_reader: &mut RegistryReader,
     queue: &JobQueue,
     max_queue: usize,
 ) {
@@ -337,7 +340,15 @@ fn handle_readable(
     }
     while !conn.stop_reading {
         match conn.parser.next_request() {
-            Ok(Some(request)) => dispatch(conn, token, request, state, queue, max_queue),
+            Ok(Some(request)) => dispatch(
+                conn,
+                token,
+                request,
+                state,
+                registry_reader,
+                queue,
+                max_queue,
+            ),
             Ok(None) => break,
             Err(HttpError { status, message }) => {
                 // Same accounting as the blocking engine: parse failures
@@ -375,13 +386,16 @@ fn handle_readable(
     }
 }
 
-/// Routes one parsed request: `/predict` goes through admission control to
-/// the workers; everything else is answered inline.
+/// Routes one parsed request: `/predict` (and its per-model variants) is
+/// resolved to a model *here* — so a hot swap cannot change what the
+/// request predicts with while it waits — then goes through admission
+/// control to the workers; everything else is answered inline.
 fn dispatch(
     conn: &mut Conn,
     token: u64,
     request: Request,
     state: &ServerState,
+    registry_reader: &mut RegistryReader,
     queue: &JobQueue,
     max_queue: usize,
 ) {
@@ -394,7 +408,22 @@ fn dispatch(
         // Honor `Connection: close`: this is the last request we parse.
         conn.stop_reading = true;
     }
-    if request.method == "POST" && request.path == "/predict" {
+    let predict_key = if request.method == "POST" {
+        predict_model_key(&request.path)
+    } else {
+        None
+    };
+    if let Some(key) = predict_key {
+        let resolved = match resolve_predict_target(&request.path, key, registry_reader) {
+            Ok(r) => r,
+            Err(response) => {
+                state
+                    .metrics
+                    .observe(Route::Predict, response.status, elapsed_us(started));
+                respond_inline(conn, seq, response, trace_id, close);
+                return;
+            }
+        };
         if state.metrics.queue_depth() >= max_queue as u64 {
             state.metrics.queue_reject();
             bf_trace::counter!("serve.queue.rejections");
@@ -415,11 +444,12 @@ fn dispatch(
                     request,
                     started,
                     trace_id,
+                    resolved,
                 },
             });
         }
     } else {
-        let (route, response) = traced_handle(&request, state, &trace_id);
+        let (route, response) = traced_handle(&request, state, registry_reader, &trace_id);
         state
             .metrics
             .observe(route, response.status, elapsed_us(started));
@@ -486,6 +516,9 @@ pub(crate) fn run(listener: TcpListener, state: Arc<ServerState>, config: &Serve
 
     let mut slots: Vec<Slot> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
+    // The loop's registry view: one atomic epoch check per resolve, a
+    // table re-read only after a publication.
+    let mut registry_reader = state.registry.reader();
     let mut events = vec![
         EpollEvent {
             events: 0,
@@ -571,7 +604,7 @@ pub(crate) fn run(listener: TcpListener, state: Arc<ServerState>, config: &Serve
             if ev_mask & (EPOLLIN | EPOLLRDHUP) != 0 {
                 let conn = slots[idx].conn.as_mut().expect("live conn");
                 if !conn.stop_reading {
-                    handle_readable(conn, token, &state, &queue, max_queue);
+                    handle_readable(conn, token, &state, &mut registry_reader, &queue, max_queue);
                 }
             }
             service_conn(&mut slots, &mut free, &epoll, idx);

@@ -27,16 +27,22 @@ pub enum Route {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// Registry read endpoints (`GET /v1/models`, the shadow report).
+    Models,
+    /// Admin mutations (`POST /v1/models/load|unload|alias`).
+    Admin,
     /// Anything else (404/405/parse failures).
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 5] = [
+    const ALL: [Route; 7] = [
         Route::Predict,
         Route::Bottleneck,
         Route::Healthz,
         Route::Metrics,
+        Route::Models,
+        Route::Admin,
         Route::Other,
     ];
 
@@ -46,7 +52,9 @@ impl Route {
             Route::Bottleneck => 1,
             Route::Healthz => 2,
             Route::Metrics => 3,
-            Route::Other => 4,
+            Route::Models => 4,
+            Route::Admin => 5,
+            Route::Other => 6,
         }
     }
 
@@ -56,6 +64,8 @@ impl Route {
             Route::Bottleneck => "bottleneck",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
+            Route::Models => "models",
+            Route::Admin => "admin",
             Route::Other => "other",
         }
     }
@@ -116,7 +126,7 @@ impl<const N: usize> AtomicArray<N> {
 /// Shared counters for one server instance.
 pub struct Metrics {
     started: Instant,
-    requests: AtomicArray<5>,
+    requests: AtomicArray<7>,
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
@@ -136,6 +146,11 @@ pub struct Metrics {
     // +Inf. Tracks how well micro-batching coalesces concurrent requests.
     batch_buckets: AtomicArray<8>,
     batch_sum: AtomicU64,
+    // Prediction-cache evictions attributed to the evicted entry's model
+    // (the cache key's content-id component), so multi-model cache churn
+    // is visible per bundle. Mutex-guarded: evictions are rare relative to
+    // lookups, and only the evicting thread touches it.
+    cache_evictions: std::sync::Mutex<std::collections::BTreeMap<u64, u64>>,
 }
 
 impl Default for Metrics {
@@ -163,6 +178,7 @@ impl Metrics {
             queue_rejections: AtomicU64::new(0),
             batch_buckets: AtomicArray::default(),
             batch_sum: AtomicU64::new(0),
+            cache_evictions: std::sync::Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -200,6 +216,27 @@ impl Metrics {
     /// Records a prediction-cache miss.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one prediction-cache eviction, attributed to the model the
+    /// evicted entry belonged to.
+    pub fn cache_evicted(&self, model_id: u64) {
+        *self
+            .cache_evictions
+            .lock()
+            .unwrap()
+            .entry(model_id)
+            .or_insert(0) += 1;
+    }
+
+    /// Total evictions recorded for one model.
+    pub fn cache_evictions_for(&self, model_id: u64) -> u64 {
+        self.cache_evictions
+            .lock()
+            .unwrap()
+            .get(&model_id)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// A `/predict` job entered the admission queue.
@@ -355,6 +392,13 @@ impl Metrics {
         out.push_str(&format!("bf_prediction_cache_entries {cache_len}\n"));
         out.push_str("# TYPE bf_prediction_cache_capacity gauge\n");
         out.push_str(&format!("bf_prediction_cache_capacity {cache_capacity}\n"));
+        out.push_str("# HELP bf_cache_evictions_total Prediction-cache evictions, per model.\n");
+        out.push_str("# TYPE bf_cache_evictions_total counter\n");
+        for (model, n) in self.cache_evictions.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "bf_cache_evictions_total{{model=\"{model:016x}\"}} {n}\n"
+            ));
+        }
 
         out.push_str("# HELP bf_queue_depth In-flight /predict jobs (queued + executing).\n");
         out.push_str("# TYPE bf_queue_depth gauge\n");
@@ -467,6 +511,20 @@ mod tests {
         assert!(text.contains("bf_prediction_cache_entries 1"));
         assert!(text.contains("bf_sim_cache_hits_total"));
         assert!(text.contains("bf_sim_cache_misses_total"));
+    }
+
+    #[test]
+    fn cache_evictions_render_per_model() {
+        let m = Metrics::new();
+        m.cache_evicted(0xabc);
+        m.cache_evicted(0xabc);
+        m.cache_evicted(0xdef);
+        assert_eq!(m.cache_evictions_for(0xabc), 2);
+        assert_eq!(m.cache_evictions_for(0xdef), 1);
+        assert_eq!(m.cache_evictions_for(0x123), 0);
+        let text = m.render(0, 0);
+        assert!(text.contains("bf_cache_evictions_total{model=\"0000000000000abc\"} 2"));
+        assert!(text.contains("bf_cache_evictions_total{model=\"0000000000000def\"} 1"));
     }
 
     #[test]

@@ -13,32 +13,58 @@
 //! Both engines share the same routing, validation, prediction, metrics,
 //! and cache code in this module, so their responses are byte-identical.
 //!
+//! Since PR 8 the server fronts a [`Registry`] of N concurrently loaded
+//! bundles instead of one frozen bundle. Prediction requests resolve their
+//! model **at dispatch time** and carry the resolved `Arc` for their whole
+//! lifetime, so an in-flight request never fails or mixes models across a
+//! hot swap; new requests see the new routing table on their next resolve
+//! (one atomic epoch check — the hot path never blocks on a reload).
+//!
 //! Routes:
 //!
 //! * `POST /predict` — JSON query → predicted time + per-counter
-//!   predictions. The body may also be a JSON *array* of queries; the
-//!   answer is then an array, evaluated through the forest in one batched
-//!   pass and bit-identical to asking one by one.
-//! * `GET /bottleneck[?k=N]` — top-k permutation-importance findings.
-//! * `GET /healthz` — liveness + bundle identity.
-//! * `GET /metrics` — Prometheus-style text exposition.
+//!   predictions, answered by the `default` alias. The body may also be a
+//!   JSON *array* of queries; the answer is then an array, evaluated
+//!   through the forest in one batched pass and bit-identical to asking
+//!   one by one.
+//! * `POST /v1/models/{id-or-alias}/predict` — the same, addressed to a
+//!   specific content id (16 hex digits) or alias.
+//! * `GET /v1/models` — the registry inventory (models, aliases, draining).
+//! * `GET /v1/models/shadow/report` — the streaming shadow divergence
+//!   report.
+//! * `POST /v1/models/load|unload|alias` — admin mutations; `403` unless
+//!   the server was started with the admin API enabled, `409` on unknown
+//!   aliases, GPU-fingerprint mismatches, and unload-while-aliased.
+//! * `GET /bottleneck[?k=N]` — top-k permutation-importance findings of
+//!   the default model.
+//! * `GET /healthz` — liveness + registry identity.
+//! * `GET /readyz` — readiness: `200` only once the `default` alias
+//!   resolves to a warmed bundle, `503` before (and during initial load).
+//! * `GET /metrics` — Prometheus-style text exposition (server + registry
+//!   + shadow counters).
 //!
 //! Repeated queries are answered from an LRU cache keyed on
-//! `(bundle content id, exact query bits)`. Query vectors are canonicalized
-//! before keying: non-finite characteristics are rejected with 422 (NaN
-//! bit patterns would otherwise fragment the key space — and a NaN query
-//! is meaningless to the forest anyway), and negative zero collapses to
+//! `(resolved bundle content id, exact query bits)` — the content id is
+//! part of the key, so an alias swap can never serve a stale model's
+//! cached prediction. Query vectors are canonicalized before keying:
+//! non-finite characteristics are rejected with 422 (NaN bit patterns
+//! would otherwise fragment the key space — and a NaN query is
+//! meaningless to the forest anyway), and negative zero collapses to
 //! `+0.0` so `-0.0` and `0.0` — equal to every tree split — share one
 //! cache entry.
 
-use crate::bundle::{ModelBundle, Prediction};
 use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::lru::LruCache;
 use crate::metrics::{Metrics, Phase, Route};
-use bf_forest::FlatForest;
+use bf_registry::bundle::{ModelBundle, Prediction};
+use bf_registry::registry::parse_id_hex;
+use bf_registry::{
+    AliasUpdate, LoadedModel, Registry, RegistryError, RegistryReader, Resolved, ShadowJob, Split,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -109,6 +135,10 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Largest micro-batch a worker will coalesce.
     pub max_batch: usize,
+    /// Enables the mutating admin API (`POST /v1/models/load|unload|alias`).
+    /// Off by default: a server exposed without `--admin` answers those
+    /// routes with `403`.
+    pub admin: bool,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +153,7 @@ impl Default for ServeConfig {
             max_queue: 1024,
             batch_window: Duration::ZERO,
             max_batch: 64,
+            admin: false,
         }
     }
 }
@@ -150,14 +181,14 @@ pub fn parse_addr(addr: &str) -> Result<SocketAddr, String> {
 
 /// Shared state every worker sees.
 pub(crate) struct ServerState {
-    pub(crate) bundle: ModelBundle,
-    pub(crate) bundle_id: u64,
-    /// The reduced forest compiled once into the level-order batch layout,
-    /// so micro-batches skip the per-call flatten.
-    pub(crate) flat: FlatForest,
+    /// The model registry: every loaded bundle, alias routing, shadow
+    /// engine, and drain graveyard.
+    pub(crate) registry: Arc<Registry>,
     pub(crate) metrics: Metrics,
     pub(crate) cache: Mutex<LruCache<(u64, Vec<u64>), Prediction>>,
     pub(crate) cache_capacity: usize,
+    /// Whether the mutating admin routes are enabled.
+    pub(crate) admin: bool,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -168,7 +199,8 @@ pub struct PredictServer {
     config: ServeConfig,
 }
 
-/// A remote control for a running server: its address and a `stop` switch.
+/// A remote control for a running server: its address, registry, and a
+/// `stop` switch.
 #[derive(Clone)]
 pub struct ServerHandle {
     state: Arc<ServerState>,
@@ -181,6 +213,12 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The registry the server routes from — usable to load bundles and
+    /// swap aliases in-process (tests, benches, embedded operators).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.state.registry)
+    }
+
     /// Asks the server to shut down gracefully: stop accepting, finish
     /// in-flight requests, flush, exit. The dummy connection unblocks a
     /// blocking acceptor (threads mode) or wakes `epoll_wait` (event loop).
@@ -191,24 +229,48 @@ impl ServerHandle {
 }
 
 impl PredictServer {
-    /// Binds the listener and prepares shared state (including the flat
-    /// forest layout used by batched prediction).
+    /// Binds the listener around a single bundle: a fresh registry is
+    /// created, the bundle loaded (compiled + warmed) and published as the
+    /// `default` alias. Compatibility constructor — multi-model callers
+    /// use [`PredictServer::bind_registry`].
     pub fn bind(addr: &str, bundle: ModelBundle, config: ServeConfig) -> Result<Self, String> {
+        let registry = Arc::new(Registry::new());
+        let id = registry
+            .load_bundle(bundle)
+            .map_err(|e| format!("load bundle: {e}"))?;
+        registry
+            .set_alias(AliasUpdate {
+                alias: "default".into(),
+                id: Some(id),
+                create: true,
+                ..AliasUpdate::default()
+            })
+            .map_err(|e| format!("alias default: {e}"))?;
+        Self::bind_registry(addr, registry, config)
+    }
+
+    /// Binds the listener over an existing registry. The registry may
+    /// still be empty: the server answers `503` on `/readyz` (and on
+    /// `/predict`) until a `default` alias is published, which makes
+    /// "bind the socket first, load bundles behind it" the natural
+    /// zero-downtime startup order.
+    pub fn bind_registry(
+        addr: &str,
+        registry: Arc<Registry>,
+        config: ServeConfig,
+    ) -> Result<Self, String> {
         let sock_addr = parse_addr(addr)?;
         let listener =
             TcpListener::bind(sock_addr).map_err(|e| format!("bind {sock_addr}: {e}"))?;
-        let bundle_id = bundle.content_id();
         let cache_capacity = config.cache_capacity.max(1);
-        let flat = FlatForest::from_forest(&bundle.predictor.model.reduced_forest);
         Ok(PredictServer {
             listener,
             state: Arc::new(ServerState {
-                bundle,
-                bundle_id,
-                flat,
+                registry,
                 metrics: Metrics::new(),
                 cache: Mutex::new(LruCache::new(cache_capacity)),
                 cache_capacity,
+                admin: config.admin,
                 shutdown: AtomicBool::new(false),
             }),
             config,
@@ -357,7 +419,9 @@ fn read_request_blocking<R: BufRead>(
     }
 }
 
-/// Serves every request on one connection (threads mode).
+/// Serves every request on one connection (threads mode). The connection
+/// owns a registry reader: model resolution costs one atomic epoch check
+/// per request.
 fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_nodelay(true);
@@ -367,6 +431,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
     });
     let mut writer = BufWriter::new(stream);
     let mut parser = RequestParser::new();
+    let mut registry_reader = state.registry.reader();
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
             return;
@@ -387,7 +452,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
             }
         };
         let close = request.wants_close();
-        let (route, response) = traced_handle(&request, state, &trace_id);
+        let (route, response) = traced_handle(&request, state, &mut registry_reader, &trace_id);
         let response = response.with_header("X-BF-Trace-Id", trace_id);
         state
             .metrics
@@ -403,6 +468,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, timeout: Duration) {
 pub(crate) fn traced_handle(
     request: &Request,
     state: &ServerState,
+    registry_reader: &mut RegistryReader,
     trace_id: &str,
 ) -> (Route, Response) {
     let mut span = bf_trace::span!(
@@ -413,7 +479,7 @@ pub(crate) fn traced_handle(
     if span.is_active() {
         span.attr("trace_id", trace_id);
     }
-    let (route, response) = handle_request(request, state);
+    let (route, response) = handle_request(request, state, registry_reader);
     if span.is_active() {
         span.attr("status", response.status);
     }
@@ -447,6 +513,9 @@ struct PredictRequest {
 struct PredictResponse {
     workload: String,
     gpu: String,
+    /// Content id of the bundle that answered (16 hex digits) — the
+    /// client-visible attribution used by the hot-reload tests.
+    model: String,
     characteristics: Vec<f64>,
     predicted_ms: f64,
     /// `(counter, predicted value)` pairs in retained-feature order.
@@ -467,25 +536,107 @@ struct HealthResponse {
 }
 
 #[derive(Debug, Serialize)]
+struct ReadyResponse {
+    ready: bool,
+    /// Content id of the default model when ready.
+    default: Option<String>,
+    /// What is missing when not ready.
+    reason: Option<String>,
+}
+
+#[derive(Debug, Serialize)]
 struct BottleneckResponse {
     workload: String,
     gpu: String,
     findings: Vec<blackforest::bottleneck::BottleneckFinding>,
 }
 
+/// The predict-target key a path addresses: `/predict` is the `default`
+/// alias; `/v1/models/{key}/predict` names a content id or alias.
+pub(crate) fn predict_model_key(path: &str) -> Option<&str> {
+    if path == "/predict" {
+        return Some("default");
+    }
+    let rest = path.strip_prefix("/v1/models/")?;
+    let key = rest.strip_suffix("/predict")?;
+    (!key.is_empty() && !key.contains('/')).then_some(key)
+}
+
+/// Resolves a predict target, mapping failures to the HTTP answer: a bare
+/// `/predict` with no ready default is `503` (the server is up but not
+/// ready), an explicitly addressed unknown model is `404`.
+pub(crate) fn resolve_predict_target(
+    path: &str,
+    key: &str,
+    registry_reader: &mut RegistryReader,
+) -> Result<Resolved, Response> {
+    registry_reader.resolve(key).map_err(|e| {
+        if path == "/predict" {
+            Response::error(
+                503,
+                &format!("no ready model at alias \"default\" ({e}); load a bundle first"),
+            )
+        } else {
+            Response::error(e.http_status().max(404), &e.to_string())
+        }
+    })
+}
+
 /// Routes one request. Returns the route label for metrics plus the answer.
-pub(crate) fn handle_request(request: &Request, state: &ServerState) -> (Route, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => (Route::Predict, handle_predict(request, state)),
+pub(crate) fn handle_request(
+    request: &Request,
+    state: &ServerState,
+    registry_reader: &mut RegistryReader,
+) -> (Route, Response) {
+    // Revalidate the reader's cached table (one atomic load) on every
+    // request, not just resolves — otherwise a reader serving only
+    // non-predict traffic would pin a retired table's models and stall
+    // their drain.
+    let _ = registry_reader.table();
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    if let Some(key) = predict_model_key(path) {
+        if method != "POST" {
+            return (
+                Route::Other,
+                Response::error(405, "method not allowed for this path"),
+            );
+        }
+        let resolved = match resolve_predict_target(path, key, registry_reader) {
+            Ok(r) => r,
+            Err(response) => return (Route::Predict, response),
+        };
+        return (Route::Predict, handle_predict(request, state, &resolved));
+    }
+    match (method, path) {
         ("GET", "/bottleneck") => (Route::Bottleneck, handle_bottleneck(request, state)),
         ("GET", "/healthz") => (Route::Healthz, handle_healthz(state)),
+        ("GET", "/readyz") => (Route::Healthz, handle_readyz(state)),
         ("GET", "/metrics") => {
             let body = state
                 .metrics
-                .render(state.cache.lock().unwrap().len(), state.cache_capacity);
+                .render(state.cache.lock().unwrap().len(), state.cache_capacity)
+                + &state.registry.render_metrics();
             (Route::Metrics, Response::text(200, body))
         }
-        (_, "/predict" | "/bottleneck" | "/healthz" | "/metrics") => (
+        ("GET", "/v1/models") => (Route::Models, handle_models_list(state)),
+        ("GET", "/v1/models/shadow/report") => (Route::Models, handle_shadow_report(state)),
+        ("POST", "/v1/models/load") => (Route::Admin, handle_admin_load(request, state)),
+        ("POST", "/v1/models/unload") => (Route::Admin, handle_admin_unload(request, state)),
+        ("POST", "/v1/models/alias") => (Route::Admin, handle_admin_alias(request, state)),
+        (
+            _,
+            "/predict"
+            | "/bottleneck"
+            | "/healthz"
+            | "/readyz"
+            | "/metrics"
+            | "/v1/models"
+            | "/v1/models/shadow/report"
+            | "/v1/models/load"
+            | "/v1/models/unload"
+            | "/v1/models/alias",
+        ) => (
             Route::Other,
             Response::error(405, "method not allowed for this path"),
         ),
@@ -504,23 +655,26 @@ pub(crate) struct PredictItems {
     batch: bool,
 }
 
-/// One queued `/predict` request, as handed to a prediction worker.
+/// One queued `/predict` request, as handed to a prediction worker. The
+/// model was resolved at dispatch time: swaps concurrent with the queue
+/// wait cannot change (or mix) what this request predicts with.
 #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
 pub(crate) struct PredictJob {
     pub(crate) request: Request,
     pub(crate) started: Instant,
     pub(crate) trace_id: String,
+    pub(crate) resolved: Resolved,
 }
 
 /// Handles a `/predict` request sequentially (threads mode and unit tests):
 /// the single-job case of the worker path below, with identical phase
 /// accounting.
-fn handle_predict(request: &Request, state: &ServerState) -> Response {
+fn handle_predict(request: &Request, state: &ServerState, resolved: &Resolved) -> Response {
     // Parse phase: body decode, JSON parse, query validation.
     let parse_started = Instant::now();
     let parsed = {
         let _span = bf_trace::span!("parse", body_bytes = request.body.len());
-        parse_predict_items(request, state)
+        parse_predict_items(request, &resolved.model)
     };
     state
         .metrics
@@ -534,7 +688,7 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
     let predict_started = Instant::now();
     let answered = {
         let mut span = bf_trace::span!("predict");
-        let answered = predict_rows(state, &items.rows);
+        let answered = predict_rows(state, &resolved.model, &items.rows);
         if span.is_active() {
             if let Ok(results) = &answered {
                 span.attr("rows", results.len() as u64);
@@ -550,12 +704,14 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
         Ok(results) => results,
         Err(msg) => return Response::error(500, &format!("prediction failed: {msg}")),
     };
+    resolved.model.record_served(items.rows.len() as u64);
+    submit_shadow(state, resolved, &items.rows, &results);
 
     // Serialize phase: building and encoding the answer.
     let serialize_started = Instant::now();
     let response = {
         let _span = bf_trace::span!("serialize");
-        render_predictions(state, &items, results)
+        render_predictions(&resolved.model, &items, results)
     };
     state
         .metrics
@@ -563,12 +719,37 @@ fn handle_predict(request: &Request, state: &ServerState) -> Response {
     response
 }
 
+/// Replays an answered request against the resolved shadow model, off the
+/// hot path (bounded queue, drop-on-full — never blocks the caller).
+fn submit_shadow(
+    state: &ServerState,
+    resolved: &Resolved,
+    rows: &[Vec<f64>],
+    results: &[(Prediction, bool)],
+) {
+    let Some(shadow) = &resolved.shadow else {
+        return;
+    };
+    state.registry.submit_shadow(ShadowJob {
+        shadow: Arc::clone(shadow),
+        primary_id: resolved.model.content_id,
+        workload: resolved.model.bundle.workload.clone(),
+        rows: rows.to_vec(),
+        primary_ms: results.iter().map(|(p, _)| p.predicted_ms).collect(),
+    });
+}
+
+/// Per-job outcome of a coalesced forest pass: `(prediction, cache hit)`
+/// per row, or the render-time error message.
+type JobPredictions = Result<Vec<(Prediction, bool)>, String>;
+
 /// Processes one micro-batch of `/predict` jobs pulled off the admission
-/// queue: every job is parsed, then *all* their rows go through the forest
-/// in one coalesced pass, then per-job responses are rendered. Per-request
-/// metric and phase counts are identical to [`handle_predict`]; route
-/// metrics (`observe`) are recorded here too, so the event loop only ships
-/// bytes. Returns one response per job, in order.
+/// queue: every job is parsed, then the rows of jobs sharing a resolved
+/// model are coalesced into one forest pass per model, then per-job
+/// responses are rendered. Per-request metric and phase counts are
+/// identical to [`handle_predict`]; route metrics (`observe`) are recorded
+/// here too, so the event loop only ships bytes. Returns one response per
+/// job, in order.
 #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
 pub(crate) fn process_predict_jobs(state: &ServerState, jobs: &[PredictJob]) -> Vec<Response> {
     // Parse every job first so the rows can be coalesced.
@@ -577,7 +758,7 @@ pub(crate) fn process_predict_jobs(state: &ServerState, jobs: &[PredictJob]) -> 
         let parse_started = Instant::now();
         let r = {
             let _span = bf_trace::span!("parse", body_bytes = job.request.body.len());
-            parse_predict_items(&job.request, state)
+            parse_predict_items(&job.request, &job.resolved.model)
         };
         state
             .metrics
@@ -585,44 +766,76 @@ pub(crate) fn process_predict_jobs(state: &ServerState, jobs: &[PredictJob]) -> 
         parsed.push(r);
     }
 
-    // One forest pass over the union of all parsed rows. (Two identical
-    // misses inside one micro-batch are both evaluated rather than one
-    // waiting on the other's cache fill — same answer either way.)
-    let union: Vec<Vec<f64>> = parsed
-        .iter()
-        .flat_map(|p| p.as_ref().ok().map(|i| i.rows.clone()).unwrap_or_default())
-        .collect();
+    // Group parse-clean jobs by resolved model: one forest pass per model
+    // over the union of its jobs' rows. (A batch spanning a hot swap
+    // simply forms two groups — jobs never mix models.)
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (j, p) in parsed.iter().enumerate() {
+        if p.is_err() {
+            continue;
+        }
+        let id = jobs[j].resolved.model.content_id;
+        match groups.iter_mut().find(|(gid, _)| *gid == id) {
+            Some((_, members)) => members.push(j),
+            None => groups.push((id, vec![j])),
+        }
+    }
     let predict_started = Instant::now();
-    let outcome = if union.is_empty() {
-        Ok(Vec::new())
-    } else {
+    let mut job_results: Vec<Option<JobPredictions>> = (0..jobs.len()).map(|_| None).collect();
+    for (_, members) in &groups {
+        let model = &jobs[members[0]].resolved.model;
+        let union: Vec<Vec<f64>> = members
+            .iter()
+            .flat_map(|&j| {
+                parsed[j]
+                    .as_ref()
+                    .ok()
+                    .map(|i| i.rows.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
         let mut span = bf_trace::span!("predict");
-        let outcome = predict_rows(state, &union);
+        let outcome = predict_rows(state, model, &union);
         if span.is_active() {
             span.attr("rows", union.len() as u64);
-            span.attr("jobs", jobs.len() as u64);
+            span.attr("jobs", members.len() as u64);
+            span.attr("model", model.id_hex().as_str());
         }
-        outcome
-    };
+        drop(span);
+        match outcome {
+            Ok(results) => {
+                let mut cursor = 0usize;
+                for &j in members {
+                    let n = parsed[j].as_ref().map(|i| i.rows.len()).unwrap_or(0);
+                    job_results[j] = Some(Ok(results[cursor..cursor + n].to_vec()));
+                    cursor += n;
+                }
+            }
+            Err(msg) => {
+                for &j in members {
+                    job_results[j] = Some(Err(msg.clone()));
+                }
+            }
+        }
+    }
     let predict_us = elapsed_us(predict_started);
 
-    // Split the results back per job and render.
+    // Render per job.
     let mut responses = Vec::with_capacity(jobs.len());
-    let mut cursor = 0usize;
-    for (job, p) in jobs.iter().zip(parsed) {
+    for ((job, p), outcome) in jobs.iter().zip(parsed).zip(job_results) {
         let response = match p {
             Err(response) => response,
             Ok(items) => {
                 state.metrics.observe_phase(Phase::Predict, predict_us);
-                match &outcome {
+                match outcome.expect("parsed job was grouped") {
                     Err(msg) => Response::error(500, &format!("prediction failed: {msg}")),
                     Ok(results) => {
-                        let slice = results[cursor..cursor + items.rows.len()].to_vec();
-                        cursor += items.rows.len();
+                        job.resolved.model.record_served(items.rows.len() as u64);
+                        submit_shadow(state, &job.resolved, &items.rows, &results);
                         let serialize_started = Instant::now();
                         let response = {
                             let _span = bf_trace::span!("serialize");
-                            render_predictions(state, &items, slice)
+                            render_predictions(&job.resolved.model, &items, results)
                         };
                         state
                             .metrics
@@ -651,12 +864,14 @@ pub(crate) fn process_predict_jobs(state: &ServerState, jobs: &[PredictJob]) -> 
     responses
 }
 
-/// Evaluates canonicalized characteristic rows: per-row cache lookups, then
-/// one pass per tree over all misses through the pre-flattened forest.
-/// Returns `(prediction, was_cached)` per row, in order. Bit-identical to
-/// calling [`ModelBundle::predict`] row by row.
+/// Evaluates canonicalized characteristic rows against one resolved model:
+/// per-row cache lookups, then one pass per tree over all misses through
+/// the model's pre-flattened forest. Returns `(prediction, was_cached)`
+/// per row, in order. Bit-identical to calling [`ModelBundle::predict`]
+/// row by row.
 pub(crate) fn predict_rows(
     state: &ServerState,
+    model: &Arc<LoadedModel>,
     rows: &[Vec<f64>],
 ) -> Result<Vec<(Prediction, bool)>, String> {
     let mut out: Vec<Option<(Prediction, bool)>> = Vec::with_capacity(rows.len());
@@ -666,9 +881,13 @@ pub(crate) fn predict_rows(
         let mut cache = state.cache.lock().unwrap();
         for (i, chars) in rows.iter().enumerate() {
             let key = (
-                state.bundle_id,
+                model.content_id,
                 chars.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
             );
+            // The multi-model cache-scoping invariant: every key carries
+            // the *resolved* bundle's content id, so an alias swap can
+            // never surface another model's cached prediction.
+            debug_assert_eq!(key.0, model.bundle.content_id());
             match cache.get(&key).cloned() {
                 Some(p) => out[i] = Some((p, true)),
                 None => misses.push((i, key)),
@@ -685,7 +904,7 @@ pub(crate) fn predict_rows(
     }
 
     if !misses.is_empty() {
-        let predictor = &state.bundle.predictor;
+        let predictor = &model.bundle.predictor;
         let want = predictor.counters.characteristics.len();
         for (i, _) in &misses {
             if rows[*i].len() != want {
@@ -703,7 +922,7 @@ pub(crate) fn predict_rows(
             .iter()
             .map(|(i, _)| predictor.counters.predict(&rows[*i]))
             .collect();
-        let times = state
+        let times = model
             .flat
             .predict_batch(&counter_rows)
             .map_err(|e| e.to_string())?;
@@ -721,7 +940,10 @@ pub(crate) fn predict_rows(
                 predicted_ms,
                 counters,
             };
-            cache.insert(key, p.clone());
+            if let Some((evicted_key, _)) = cache.insert(key, p.clone()) {
+                state.metrics.cache_evicted(evicted_key.0);
+                bf_trace::counter!("serve.predict_cache.evictions");
+            }
             out[i] = Some((p, false));
         }
     }
@@ -731,7 +953,7 @@ pub(crate) fn predict_rows(
 /// Renders the answer for one `/predict` request: a single object, or an
 /// array mirroring an array body.
 fn render_predictions(
-    state: &ServerState,
+    model: &LoadedModel,
     items: &PredictItems,
     results: Vec<(Prediction, bool)>,
 ) -> Response {
@@ -740,8 +962,9 @@ fn render_predictions(
         .iter()
         .zip(results)
         .map(|(chars, (prediction, cached))| PredictResponse {
-            workload: state.bundle.workload.clone(),
-            gpu: state.bundle.gpu_name.clone(),
+            workload: model.bundle.workload.clone(),
+            gpu: model.bundle.gpu_name.clone(),
+            model: model.id_hex(),
             characteristics: chars.clone(),
             predicted_ms: prediction.predicted_ms,
             counters: prediction.counters,
@@ -765,7 +988,7 @@ fn render_predictions(
 /// batch of queries; anything else is a single query.
 pub(crate) fn parse_predict_items(
     request: &Request,
-    state: &ServerState,
+    model: &LoadedModel,
 ) -> Result<PredictItems, Response> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
@@ -781,8 +1004,8 @@ pub(crate) fn parse_predict_items(
             Ok(q) => q,
             Err(e) => return Err(Response::error(400, &format!("bad JSON body: {e}"))),
         };
-        let row =
-            chars_for_query(query, state).map_err(|(status, msg)| Response::error(status, &msg))?;
+        let row = chars_for_query(query, &model.bundle)
+            .map_err(|(status, msg)| Response::error(status, &msg))?;
         return Ok(PredictItems {
             rows: vec![row],
             batch: false,
@@ -799,7 +1022,7 @@ pub(crate) fn parse_predict_items(
         .into_iter()
         .enumerate()
         .map(|(i, q)| {
-            chars_for_query(q, state)
+            chars_for_query(q, &model.bundle)
                 .map_err(|(status, msg)| Response::error(status, &format!("item {i}: {msg}")))
         })
         .collect::<Result<Vec<_>, Response>>()?;
@@ -808,9 +1031,7 @@ pub(crate) fn parse_predict_items(
 
 /// Validates one query against the bundle and resolves it to a
 /// canonicalized characteristic vector.
-fn chars_for_query(query: PredictRequest, state: &ServerState) -> Result<Vec<f64>, (u16, String)> {
-    let bundle = &state.bundle;
-
+fn chars_for_query(query: PredictRequest, bundle: &ModelBundle) -> Result<Vec<f64>, (u16, String)> {
     if let Some(w) = &query.workload {
         let matches = match (blackforest::Workload::from_name(w), bundle.workload()) {
             (Some(a), Some(b)) => a == b,
@@ -883,7 +1104,14 @@ fn canonicalize_chars(mut chars: Vec<f64>) -> Result<Vec<f64>, (u16, String)> {
 }
 
 fn handle_bottleneck(request: &Request, state: &ServerState) -> Response {
-    let findings = &state.bundle.bottlenecks.findings;
+    let resolved = match state.registry.resolve("default") {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::error(503, &format!("no ready model at alias \"default\" ({e})"))
+        }
+    };
+    let bundle = &resolved.model.bundle;
+    let findings = &bundle.bottlenecks.findings;
     let k = match request.query_param("k") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(k) if k >= 1 => k,
@@ -892,8 +1120,8 @@ fn handle_bottleneck(request: &Request, state: &ServerState) -> Response {
         None => findings.len(),
     };
     let payload = BottleneckResponse {
-        workload: state.bundle.workload.clone(),
-        gpu: state.bundle.gpu_name.clone(),
+        workload: bundle.workload.clone(),
+        gpu: bundle.gpu_name.clone(),
         findings: findings.iter().take(k).cloned().collect(),
     };
     match serde_json::to_string(&payload) {
@@ -902,19 +1130,226 @@ fn handle_bottleneck(request: &Request, state: &ServerState) -> Response {
     }
 }
 
+/// Liveness: always `200` while the process serves; identifies the default
+/// model when one is published.
 fn handle_healthz(state: &ServerState) -> Response {
-    let payload = HealthResponse {
-        status: "ok".into(),
-        workload: state.bundle.workload.clone(),
-        gpu: state.bundle.gpu_name.clone(),
-        schema_version: state.bundle.schema_version,
-        bundle_id: format!("{:016x}", state.bundle_id),
-        trees: state.bundle.predictor.model.reduced_forest.n_trees(),
-        selected: state.bundle.selected.clone(),
+    match state.registry.resolve("default") {
+        Ok(resolved) => {
+            let bundle = &resolved.model.bundle;
+            let payload = HealthResponse {
+                status: "ok".into(),
+                workload: bundle.workload.clone(),
+                gpu: bundle.gpu_name.clone(),
+                schema_version: bundle.schema_version,
+                bundle_id: resolved.model.id_hex(),
+                trees: resolved.model.flat.n_trees(),
+                selected: bundle.selected.clone(),
+            };
+            match serde_json::to_string(&payload) {
+                Ok(json) => Response::json(200, json),
+                Err(e) => Response::error(500, &format!("serialize response: {e}")),
+            }
+        }
+        // Alive but not ready: liveness stays 200 — readiness is /readyz.
+        Err(_) => Response::json(
+            200,
+            "{\"status\":\"ok\",\"workload\":null,\"bundle_id\":null}".into(),
+        ),
+    }
+}
+
+/// Readiness: `200` only once the `default` alias resolves to a loaded
+/// (and therefore warmed — warm-up precedes publication) bundle; `503`
+/// before, including during initial load.
+fn handle_readyz(state: &ServerState) -> Response {
+    let (status, payload) = match state.registry.resolve("default") {
+        Ok(resolved) => (
+            200,
+            ReadyResponse {
+                ready: true,
+                default: Some(resolved.model.id_hex()),
+                reason: None,
+            },
+        ),
+        Err(e) => (
+            503,
+            ReadyResponse {
+                ready: false,
+                default: None,
+                reason: Some(e.to_string()),
+            },
+        ),
     };
     match serde_json::to_string(&payload) {
+        Ok(json) => Response::json(status, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+fn handle_models_list(state: &ServerState) -> Response {
+    match serde_json::to_string(&state.registry.list()) {
         Ok(json) => Response::json(200, json),
         Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+fn handle_shadow_report(state: &ServerState) -> Response {
+    match serde_json::to_string(&state.registry.shadow_report()) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("serialize response: {e}")),
+    }
+}
+
+/// Decodes an admin JSON body, with the admin gate applied first.
+fn admin_body<T: serde::Deserialize>(
+    request: &Request,
+    state: &ServerState,
+) -> Result<T, Response> {
+    if !state.admin {
+        return Err(Response::error(
+            403,
+            "admin API disabled; restart the server with --admin to enable \
+             /v1/models/load|unload|alias",
+        ));
+    }
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(body).map_err(|e| Response::error(400, &format!("bad JSON body: {e}")))
+}
+
+fn registry_error_response(e: &RegistryError) -> Response {
+    Response::error(e.http_status(), &e.to_string())
+}
+
+#[derive(Deserialize)]
+struct AdminLoadBody {
+    /// Path of the bundle JSON to load, resolved on the server host.
+    path: String,
+}
+
+fn handle_admin_load(request: &Request, state: &ServerState) -> Response {
+    let body: AdminLoadBody = match admin_body(request, state) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    match state.registry.load_path(Path::new(&body.path)) {
+        Ok(id) => Response::json(200, format!("{{\"id\":\"{id:016x}\",\"loaded\":true}}")),
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+#[derive(Deserialize)]
+struct AdminUnloadBody {
+    /// Content id (16 hex digits) of the model to unload.
+    id: String,
+}
+
+fn handle_admin_unload(request: &Request, state: &ServerState) -> Response {
+    let body: AdminUnloadBody = match admin_body(request, state) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(id) = parse_id_hex(&body.id) else {
+        return Response::error(
+            400,
+            &format!("bad id {:?}: expected 16 hex digits", body.id),
+        );
+    };
+    match state.registry.unload(id) {
+        Ok(()) => {
+            let draining = state.registry.sweep_drained();
+            Response::json(
+                200,
+                format!("{{\"id\":\"{id:016x}\",\"unloaded\":true,\"draining\":{draining}}}"),
+            )
+        }
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+#[derive(Deserialize)]
+struct AdminSplitBody {
+    /// Secondary model id (16 hex digits).
+    id: String,
+    /// Percent of traffic (0–100) to the secondary.
+    percent: u8,
+}
+
+#[derive(Deserialize)]
+struct AdminAliasBody {
+    /// Alias to create or update.
+    alias: String,
+    /// New primary model id (16 hex digits); omitted keeps the current.
+    id: Option<String>,
+    /// Create the alias if missing (otherwise 409).
+    create: Option<bool>,
+    /// Allow a GPU-fingerprint change (otherwise 409).
+    force: Option<bool>,
+    /// Percentage A/B split to install (replaces any existing).
+    split: Option<AdminSplitBody>,
+    /// Shadow model id (16 hex digits) to attach (replaces any existing).
+    shadow: Option<String>,
+}
+
+fn handle_admin_alias(request: &Request, state: &ServerState) -> Response {
+    let body: AdminAliasBody = match admin_body(request, state) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let parse_id = |field: &str, raw: &str| -> Result<u64, Response> {
+        parse_id_hex(raw).ok_or_else(|| {
+            Response::error(400, &format!("bad {field} {raw:?}: expected 16 hex digits"))
+        })
+    };
+    let id = match body
+        .id
+        .as_deref()
+        .map(|raw| parse_id("id", raw))
+        .transpose()
+    {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    let shadow = match body
+        .shadow
+        .as_deref()
+        .map(|raw| parse_id("shadow", raw))
+        .transpose()
+    {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let split = match body
+        .split
+        .as_ref()
+        .map(|s| {
+            parse_id("split.id", &s.id).map(|secondary| Split {
+                secondary,
+                percent: s.percent,
+            })
+        })
+        .transpose()
+    {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let update = AliasUpdate {
+        alias: body.alias.clone(),
+        id,
+        create: body.create.unwrap_or(false),
+        force: body.force.unwrap_or(false),
+        split,
+        shadow,
+    };
+    match state.registry.set_alias(update) {
+        Ok(target) => Response::json(
+            200,
+            format!(
+                "{{\"alias\":{:?},\"primary\":\"{:016x}\"}}",
+                body.alias, target.primary
+            ),
+        ),
+        Err(e) => registry_error_response(&e),
     }
 }
 
@@ -957,5 +1392,23 @@ mod tests {
             canonicalize_chars(vec![f64::NEG_INFINITY]).unwrap_err().0,
             422
         );
+    }
+
+    #[test]
+    fn predict_model_key_routes_root_and_versioned_paths() {
+        assert_eq!(predict_model_key("/predict"), Some("default"));
+        assert_eq!(
+            predict_model_key("/v1/models/canary/predict"),
+            Some("canary")
+        );
+        assert_eq!(
+            predict_model_key("/v1/models/00000000000000ab/predict"),
+            Some("00000000000000ab")
+        );
+        assert_eq!(predict_model_key("/v1/models"), None);
+        assert_eq!(predict_model_key("/v1/models//predict"), None);
+        assert_eq!(predict_model_key("/v1/models/a/b/predict"), None);
+        assert_eq!(predict_model_key("/v1/models/shadow/report"), None);
+        assert_eq!(predict_model_key("/healthz"), None);
     }
 }
