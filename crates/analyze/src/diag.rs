@@ -10,10 +10,18 @@
 //! | BF-W002 | warning  | global load or store coalescing efficiency < 50%   |
 //! | BF-W003 | warning  | theoretical occupancy < 50%                        |
 //! | BF-W004 | warning  | >= 20% of branches diverge                         |
+//! | BF-W005 | warning  | one basic block carries >= 50% of attributed cost  |
 //! | BF-I101 | info     | roofline classification (always, one per launch)   |
 //! | BF-E001 | error    | malformed trace or impossible launch               |
 //! | BF-E002 | error    | differential-oracle divergence                     |
+//! | BF-E003 | error    | per-block attribution violates conservation        |
+//!
+//! With `--blocks`, the mechanism warnings (W001/W002/W004) are emitted per
+//! basic block instead of per launch ([`diagnose_blocks`]), each carrying
+//! the block's attributed cost so reports rank findings by how much of the
+//! launch they actually touch.
 
+use crate::attr::{BlockAttribution, BlockLevelAnalysis};
 use crate::walk::StaticLaunchAnalysis;
 use gpu_sim::occupancy::OccupancyLimiter;
 use gpu_sim::{GpuConfig, SimError};
@@ -27,12 +35,16 @@ pub const UNCOALESCED: &str = "BF-W002";
 pub const LOW_OCCUPANCY: &str = "BF-W003";
 /// Branch-divergence warning.
 pub const DIVERGENCE: &str = "BF-W004";
+/// Hot-block warning: a single basic block dominates the attributed cost.
+pub const HOT_BLOCK: &str = "BF-W005";
 /// Roofline classification note.
 pub const ROOFLINE: &str = "BF-I101";
 /// Malformed trace / impossible launch.
 pub const MALFORMED: &str = "BF-E001";
 /// Static-vs-dynamic oracle divergence.
 pub const ORACLE_DIVERGENCE: &str = "BF-E002";
+/// Per-block attribution fails to conserve a launch-level counter.
+pub const CONSERVATION: &str = "BF-E003";
 
 /// Coalescing efficiency below this fraction raises [`UNCOALESCED`].
 pub const COALESCING_THRESHOLD: f64 = 0.5;
@@ -40,6 +52,9 @@ pub const COALESCING_THRESHOLD: f64 = 0.5;
 pub const OCCUPANCY_THRESHOLD: f64 = 0.5;
 /// Divergent-branch fraction at or above this raises [`DIVERGENCE`].
 pub const DIVERGENCE_THRESHOLD: f64 = 0.2;
+/// A block's attributed cost share at or above this raises [`HOT_BLOCK`]
+/// (only meaningful when the launch has more than one block).
+pub const HOT_BLOCK_THRESHOLD: f64 = 0.5;
 
 /// How bad a diagnostic is; orders `Info < Warning < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -100,7 +115,7 @@ impl std::fmt::Display for Severity {
 
 /// Where a diagnostic points: kernel, launch position, and (when the finding
 /// is tied to a concrete instruction) block/warp/instruction indices.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Span {
     /// Kernel name.
     pub kernel: String,
@@ -150,7 +165,7 @@ impl Span {
 
 /// One finding: a stable code, a severity, where it is, what it means, and
 /// what to do about it.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Diagnostic {
     /// Stable code (BF-Wxxx catalogue).
     pub code: String,
@@ -162,6 +177,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Suggested fix.
     pub suggestion: String,
+    /// Attributed cost of the finding (full-grid-scaled issue slots of the
+    /// owning basic block); `None` for launch-level findings. Block-level
+    /// lints sort on this, so the most expensive problems surface first.
+    pub cost: Option<f64>,
 }
 
 impl Diagnostic {
@@ -186,6 +205,70 @@ pub fn malformed(kernel: &str, launch: usize, err: &SimError) -> Diagnostic {
         span: Span::launch(kernel, launch),
         message: format!("launch cannot be analyzed: {err}"),
         suggestion: "fix the kernel trace or launch configuration; see the error detail".into(),
+        cost: None,
+    }
+}
+
+const BANK_CONFLICT_HINT: &str = "use sequential addressing or pad the shared array so \
+                                  consecutive lanes hit distinct banks";
+const LOAD_HINT: &str =
+    "make consecutive lanes read consecutive addresses (structure-of-arrays layout)";
+const STORE_HINT: &str =
+    "write full warps to contiguous addresses, or stage results through shared memory";
+const DIVERGENCE_HINT: &str = "restructure thread->work mapping so whole warps take the same \
+                               path (e.g. strided reduction indexing)";
+
+/// The occupancy check — shared by launch-level and block-level diagnosis
+/// (occupancy is a property of the launch configuration, not of any block).
+fn occupancy_check(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Option<Diagnostic> {
+    if a.occupancy.theoretical >= OCCUPANCY_THRESHOLD {
+        return None;
+    }
+    let limiter = a.occupancy.limiter;
+    let hint = match limiter {
+        OccupancyLimiter::BlockSlots => {
+            "increase the block size so fewer, larger blocks fill the warp slots"
+        }
+        OccupancyLimiter::WarpSlots => "reduce the block size or rebalance warps per block",
+        OccupancyLimiter::Registers => {
+            "reduce per-thread register use (or cap it with launch bounds)"
+        }
+        OccupancyLimiter::SharedMemory => "reduce per-block shared-memory allocation",
+        OccupancyLimiter::GridSize => "launch more blocks to fill the machine",
+    };
+    Some(Diagnostic {
+        code: LOW_OCCUPANCY.to_string(),
+        severity: Severity::Warning,
+        span: Span::launch(&a.kernel, launch),
+        message: format!(
+            "theoretical occupancy limited to {:.1}% by {} ({} blocks/SM, {} warps of {})",
+            a.occupancy.theoretical * 100.0,
+            limiter.name(),
+            a.occupancy.blocks_per_sm,
+            a.occupancy.warps_per_sm,
+            gpu.max_warps_per_sm
+        ),
+        suggestion: hint.into(),
+        cost: None,
+    })
+}
+
+/// The always-emitted roofline note (launch-level by nature).
+fn roofline_note(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Diagnostic {
+    let roofline = a.roofline(gpu);
+    Diagnostic {
+        code: ROOFLINE.to_string(),
+        severity: Severity::Info,
+        span: Span::launch(&a.kernel, launch),
+        message: format!(
+            "{} (arithmetic intensity {:.2} ops/byte; est. compute {:.2}us vs memory {:.2}us)",
+            roofline.bound.label(),
+            roofline.arithmetic_intensity,
+            roofline.compute_seconds * 1e6,
+            roofline.memory_seconds * 1e6
+        ),
+        suggestion: "informational; optimise the dominating side first".into(),
+        cost: None,
     }
 }
 
@@ -204,23 +287,14 @@ pub fn diagnose(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Vec
                 "{}-way shared-memory bank conflict ({} of {} shared accesses conflicted)",
                 a.shared.max_degree, a.shared.conflicted, a.shared.accesses
             ),
-            suggestion: "use sequential addressing or pad the shared array so consecutive \
-                         lanes hit distinct banks"
-                .into(),
+            suggestion: BANK_CONFLICT_HINT.into(),
+            cost: None,
         });
     }
 
     for (what, summary, hint) in [
-        (
-            "load",
-            &a.loads,
-            "make consecutive lanes read consecutive addresses (structure-of-arrays layout)",
-        ),
-        (
-            "store",
-            &a.stores,
-            "write full warps to contiguous addresses, or stage results through shared memory",
-        ),
+        ("load", &a.loads, LOAD_HINT),
+        ("store", &a.stores, STORE_HINT),
     ] {
         if summary.requests > 0 && summary.efficiency() < COALESCING_THRESHOLD {
             let worst = summary.worst.expect("accesses recorded imply a worst span");
@@ -236,37 +310,13 @@ pub fn diagnose(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Vec
                     summary.requests
                 ),
                 suggestion: hint.into(),
+                cost: None,
             });
         }
     }
 
-    if a.occupancy.theoretical < OCCUPANCY_THRESHOLD {
-        let limiter = a.occupancy.limiter;
-        let hint = match limiter {
-            OccupancyLimiter::BlockSlots => {
-                "increase the block size so fewer, larger blocks fill the warp slots"
-            }
-            OccupancyLimiter::WarpSlots => "reduce the block size or rebalance warps per block",
-            OccupancyLimiter::Registers => {
-                "reduce per-thread register use (or cap it with launch bounds)"
-            }
-            OccupancyLimiter::SharedMemory => "reduce per-block shared-memory allocation",
-            OccupancyLimiter::GridSize => "launch more blocks to fill the machine",
-        };
-        out.push(Diagnostic {
-            code: LOW_OCCUPANCY.to_string(),
-            severity: Severity::Warning,
-            span: span(),
-            message: format!(
-                "theoretical occupancy limited to {:.1}% by {} ({} blocks/SM, {} warps of {})",
-                a.occupancy.theoretical * 100.0,
-                limiter.name(),
-                a.occupancy.blocks_per_sm,
-                a.occupancy.warps_per_sm,
-                gpu.max_warps_per_sm
-            ),
-            suggestion: hint.into(),
-        });
+    if let Some(d) = occupancy_check(gpu, a, launch) {
+        out.push(d);
     }
 
     if a.divergence.branches > 0 {
@@ -283,29 +333,165 @@ pub fn diagnose(gpu: &GpuConfig, a: &StaticLaunchAnalysis, launch: usize) -> Vec
                     a.divergence.divergent,
                     a.divergence.branches
                 ),
-                suggestion: "restructure thread->work mapping so whole warps take the same \
-                             path (e.g. strided reduction indexing)"
-                    .into(),
+                suggestion: DIVERGENCE_HINT.into(),
+                cost: None,
             });
         }
     }
 
-    let roofline = a.roofline(gpu);
-    out.push(Diagnostic {
-        code: ROOFLINE.to_string(),
-        severity: Severity::Info,
-        span: span(),
-        message: format!(
-            "{} (arithmetic intensity {:.2} ops/byte; est. compute {:.2}us vs memory {:.2}us)",
-            roofline.bound.label(),
-            roofline.arithmetic_intensity,
-            roofline.compute_seconds * 1e6,
-            roofline.memory_seconds * 1e6
-        ),
-        suggestion: "informational; optimise the dominating side first".into(),
-    });
-
+    out.push(roofline_note(gpu, a, launch));
     out
+}
+
+/// Block-level diagnosis: the mechanism warnings (W001/W002/W004) are
+/// emitted once per offending *basic block* with the block's attributed
+/// cost share in the message and its full-grid-scaled issue-slot cost in
+/// [`Diagnostic::cost`], plus the hot-block check (W005) and the
+/// launch-level occupancy and roofline checks that have no block scope.
+pub fn diagnose_blocks(
+    gpu: &GpuConfig,
+    a: &StaticLaunchAnalysis,
+    blocks: &BlockLevelAnalysis,
+    launch: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let block_span = |b: &BlockAttribution| Span::launch(&blocks.kernel, launch).at(b.first_seen);
+    let tag = |b: &BlockAttribution, share: f64| {
+        format!(
+            "[block {} ~{:.0}% of attributed cost]",
+            b.id_hex(),
+            share * 100.0
+        )
+    };
+
+    for b in &blocks.blocks {
+        let share = blocks.cost_share(b);
+        let cost = Some(b.cost() * blocks.scale);
+
+        if b.shared.max_degree >= 2 {
+            out.push(Diagnostic {
+                code: BANK_CONFLICT.to_string(),
+                severity: Severity::Warning,
+                span: block_span(b),
+                message: format!(
+                    "{}-way shared-memory bank conflict in basic block ({} of {} shared \
+                     accesses conflicted) {}",
+                    b.shared.max_degree,
+                    b.shared.conflicted,
+                    b.shared.accesses,
+                    tag(b, share)
+                ),
+                suggestion: BANK_CONFLICT_HINT.into(),
+                cost,
+            });
+        }
+
+        for (what, summary, hint) in [
+            ("load", &b.loads, LOAD_HINT),
+            ("store", &b.stores, STORE_HINT),
+        ] {
+            if summary.requests > 0 && summary.efficiency() < COALESCING_THRESHOLD {
+                out.push(Diagnostic {
+                    code: UNCOALESCED.to_string(),
+                    severity: Severity::Warning,
+                    span: block_span(b),
+                    message: format!(
+                        "uncoalesced global {}s in basic block: {:.1}% efficiency \
+                         ({} transactions for {} requests) {}",
+                        what,
+                        summary.efficiency() * 100.0,
+                        summary.transactions,
+                        summary.requests,
+                        tag(b, share)
+                    ),
+                    suggestion: hint.into(),
+                    cost,
+                });
+            }
+        }
+
+        if b.divergence.branches > 0 {
+            let frac = b.divergence.divergent as f64 / b.divergence.branches as f64;
+            if frac >= DIVERGENCE_THRESHOLD {
+                out.push(Diagnostic {
+                    code: DIVERGENCE.to_string(),
+                    severity: Severity::Warning,
+                    span: block_span(b),
+                    message: format!(
+                        "{:.0}% of branches in basic block diverge ({} of {}); diverged \
+                         paths serialise {}",
+                        frac * 100.0,
+                        b.divergence.divergent,
+                        b.divergence.branches,
+                        tag(b, share)
+                    ),
+                    suggestion: DIVERGENCE_HINT.into(),
+                    cost,
+                });
+            }
+        }
+    }
+
+    if blocks.blocks.len() >= 2 {
+        let top = &blocks.blocks[0];
+        let share = blocks.top_share();
+        if share >= HOT_BLOCK_THRESHOLD {
+            out.push(Diagnostic {
+                code: HOT_BLOCK.to_string(),
+                severity: Severity::Warning,
+                span: block_span(top),
+                message: format!(
+                    "basic block {} dominates the launch: {:.0}% of attributed issue-slot \
+                     cost across {} blocks ({} instructions, {} occurrences)",
+                    top.id_hex(),
+                    share * 100.0,
+                    blocks.blocks.len(),
+                    top.instructions,
+                    top.occurrences
+                ),
+                suggestion: "optimisation effort concentrates here; fix this block's \
+                             warnings first, or restructure to spread its work"
+                    .into(),
+                cost: Some(top.cost() * blocks.scale),
+            });
+        }
+    }
+
+    if let Some(d) = occupancy_check(gpu, a, launch) {
+        out.push(d);
+    }
+    out.push(roofline_note(gpu, a, launch));
+    out
+}
+
+/// Builds a [`CONSERVATION`] error from failing conservation checks.
+pub fn conservation_violation(
+    kernel: &str,
+    launch: usize,
+    failures: &[crate::attr::ConservationCheck],
+) -> Diagnostic {
+    let detail: Vec<String> = failures
+        .iter()
+        .map(|c| {
+            format!(
+                "{}: attributed {} vs launch total {} (rel {:.2e})",
+                c.counter, c.attributed, c.launch_total, c.rel_error
+            )
+        })
+        .collect();
+    Diagnostic {
+        code: CONSERVATION.to_string(),
+        severity: Severity::Error,
+        span: Span::launch(kernel, launch),
+        message: format!(
+            "per-block attribution does not conserve launch totals: {}",
+            detail.join("; ")
+        ),
+        suggestion: "the attribution walk and the launch walk disagree — one of them has a \
+                     bug; bisect against the shared counting rules in bf-analyze::walk"
+            .into(),
+        cost: None,
+    }
 }
 
 #[cfg(test)]

@@ -25,13 +25,34 @@
 //!   sweeps; divergence beyond float noise means one side has a bug. This is
 //!   the sanitizer that keeps the simulator's causal structure honest as it
 //!   grows.
+//! * **Basic-block attribution** ([`attr`]) — the same walk split by basic
+//!   block (segmented at branch/barrier boundaries with stable
+//!   content-derived ids), under a hard conservation invariant: per-block
+//!   counters sum back to the launch totals bit-for-bit. Block-level
+//!   diagnostics rank findings by attributed cost ([`diag::diagnose_blocks`],
+//!   `BF-W005` hot-block, `BF-E003` conservation violation).
+//! * **What-if estimation** ([`whatif`]) — each warning's hypothetical fix
+//!   (conflict-free shared offsets, coalesced global addresses, converged
+//!   branches) is applied to the traces, counters are re-derived statically,
+//!   and both vectors go through a trained model ([`WhatIfModel`]) to price
+//!   the fix in predicted milliseconds.
 
+pub mod attr;
 pub mod diag;
 pub mod lint;
 pub mod oracle;
 pub mod walk;
+pub mod whatif;
 
-pub use diag::{diagnose, Diagnostic, Severity, Span};
-pub use lint::{lint_applications, lint_workload, render_text, LintOptions, LintReport, WORKLOADS};
+pub use attr::{
+    application_block_profile, attribute_launch, block_profile, check_conservation,
+    AppBlockProfile, BlockAttribution, BlockLevelAnalysis, ConservationCheck, APP_HOT_BLOCK_SHARE,
+};
+pub use diag::{diagnose, diagnose_blocks, Diagnostic, Severity, Span};
+pub use lint::{
+    lint_applications, lint_applications_with, lint_workload, lint_workload_with, render_text,
+    workload_sweep, workload_sweep_with_chars, LintConfig, LintOptions, LintReport, WORKLOADS,
+};
 pub use oracle::{check_application, check_launch, compare, OracleReport, REL_TOLERANCE};
 pub use walk::{analyze_launch, BoundKind, Roofline, StaticCounts, StaticLaunchAnalysis};
+pub use whatif::{static_counter_values, whatif_scenarios, Fix, FixedKernel, WhatIfModel};

@@ -1,22 +1,34 @@
 //! The `bf lint` driver: sweep a workload, collect diagnostics, optionally
 //! run the differential oracle, and render the report.
 //!
-//! The JSON schema (version 1, documented in `DESIGN.md`) is stable: fields
-//! are only added, never renamed or removed, and `schema_version` is bumped
-//! on any breaking change.
+//! The JSON schema (documented in `DESIGN.md`) is stable: fields are only
+//! added, never renamed or removed, and `schema_version` is bumped on any
+//! breaking change. Plain runs emit version 1 (new optional fields serialize
+//! as `null`, which v1 consumers ignore); enabling `--blocks` or `--what-if`
+//! emits version 2, which adds the per-block cost table, the conservation
+//! rollup, and the model-priced what-if ranking.
+//!
+//! Output is fully deterministic: diagnostics are deduplicated by
+//! `(code, kernel, block, warp, instruction)` — the span minus the launch
+//! index, so per-launch repeats of the same finding fold into one entry with
+//! an occurrence count — and sorted by severity, attributed cost, code, and
+//! span, making JSON reports diff-stable across runs.
 
+use crate::attr::{self, BlockAttribution};
 use crate::diag::{self, Diagnostic, Severity};
 use crate::oracle::{self, OracleReport};
 use crate::walk::analyze_launch;
+use crate::whatif::{self, WhatIfModel};
 use bf_kernels::matmul::matmul_application;
 use bf_kernels::nw::nw_application;
 use bf_kernels::reduce::{reduce_application, ReduceVariant};
 use bf_kernels::stencil::stencil_application;
 use bf_kernels::Application;
 use gpu_sim::GpuConfig;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-/// Options for a lint run.
+/// Options for a lint run (the stable, flag-free subset; see [`LintConfig`]
+/// for the block/what-if extensions).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LintOptions {
     /// Use the small quick sweep instead of the full one.
@@ -26,9 +38,36 @@ pub struct LintOptions {
     pub oracle: bool,
 }
 
+/// Full configuration of a lint run, including the schema-version-2
+/// features. [`LintOptions`] converts losslessly into the v1 subset.
+#[derive(Clone, Copy, Default)]
+pub struct LintConfig<'a> {
+    /// Use the small quick sweep instead of the full one.
+    pub quick: bool,
+    /// Also run the static-vs-dynamic differential oracle.
+    pub oracle: bool,
+    /// Attribute counters to basic blocks: block-level diagnostics, the
+    /// per-block cost table, and the conservation check (BF-E003).
+    pub blocks: bool,
+    /// Price each applicable fix through a trained model (implies block
+    /// attribution is meaningful but does not require `blocks`).
+    pub what_if: Option<&'a dyn WhatIfModel>,
+}
+
+impl From<LintOptions> for LintConfig<'static> {
+    fn from(o: LintOptions) -> Self {
+        LintConfig {
+            quick: o.quick,
+            oracle: o.oracle,
+            blocks: false,
+            what_if: None,
+        }
+    }
+}
+
 /// A diagnostic plus how many launches it fired on (duplicates across a
 /// sweep are folded; the span points at the first occurrence).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AggregatedDiagnostic {
     /// The representative diagnostic (first occurrence).
     pub diagnostic: Diagnostic,
@@ -37,7 +76,7 @@ pub struct AggregatedDiagnostic {
 }
 
 /// Per-kernel rollup across every launch of the sweep that used the kernel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelSummary {
     /// Kernel name.
     pub kernel: String,
@@ -57,7 +96,7 @@ pub struct KernelSummary {
 }
 
 /// Oracle rollup for the report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OracleSummary {
     /// Launches checked.
     pub launches_checked: usize,
@@ -70,7 +109,7 @@ pub struct OracleSummary {
 }
 
 /// Severity tallies.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct SeveritySummary {
     /// Info diagnostics.
     pub info: usize,
@@ -80,10 +119,77 @@ pub struct SeveritySummary {
     pub errors: usize,
 }
 
+/// One basic block in the v2 report's cost table: a kernel's code region
+/// with its attributed, full-grid-scaled cost aggregated over the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockCostEntry {
+    /// Kernel name.
+    pub kernel: String,
+    /// Content-derived block id, 16 hex digits.
+    pub block_id: String,
+    /// Grid block of the first occurrence.
+    pub block: usize,
+    /// Warp of the first occurrence.
+    pub warp: usize,
+    /// Instruction index where the block starts (first occurrence).
+    pub instruction: usize,
+    /// Instructions in the block body.
+    pub instructions: usize,
+    /// Merged span occurrences across warps, blocks, and launches.
+    pub occurrences: u64,
+    /// Attributed issue-slot cost, scaled to full grids, summed over the
+    /// sweep.
+    pub cost: f64,
+    /// This block's share of its kernel's total attributed cost.
+    pub cost_share: f64,
+    /// Scaled shared-memory replays attributed to the block.
+    pub shared_replays: f64,
+    /// Scaled global transactions (loads + stores) attributed to the block.
+    pub global_transactions: f64,
+    /// Scaled divergent branches attributed to the block.
+    pub divergent_branches: f64,
+}
+
+/// Conservation rollup: how the per-block attribution sums compared to the
+/// launch totals across the sweep.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ConservationSummary {
+    /// Launches whose attribution was checked.
+    pub launches_checked: usize,
+    /// Counter comparisons performed (25 per launch).
+    pub counters_checked: usize,
+    /// Comparisons that were bit-for-bit identical.
+    pub exact: usize,
+    /// Largest relative error across all comparisons.
+    pub max_rel_error: f64,
+    /// Comparisons beyond the 1e-9 tolerance (each raises BF-E003).
+    pub violations: usize,
+}
+
+/// One priced what-if suggestion: predicted time with and without the fix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfEntry {
+    /// Application the fix applies to.
+    pub application: String,
+    /// Diagnostic code the fix addresses (BF-W001/W002/W004).
+    pub code: String,
+    /// Fix label ("conflict-free-shared", ...).
+    pub fix: String,
+    /// Model-predicted time of the unmodified application, ms.
+    pub baseline_ms: f64,
+    /// Model-predicted time with the fix applied, ms.
+    pub fixed_ms: f64,
+    /// `baseline_ms - fixed_ms` (positive = the fix is predicted to help).
+    pub delta_ms: f64,
+    /// `baseline_ms / fixed_ms`.
+    pub speedup: f64,
+}
+
 /// The full lint report: the unit of the `--format json` output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LintReport {
-    /// Schema version; bumped on breaking changes.
+    /// Schema version; 1 for plain runs, 2 when block attribution or
+    /// what-if pricing is present.
     pub schema_version: u32,
     /// GPU preset name.
     pub gpu: String,
@@ -101,6 +207,12 @@ pub struct LintReport {
     pub oracle: Option<OracleSummary>,
     /// Severity tallies over all (pre-aggregation) diagnostics.
     pub summary: SeveritySummary,
+    /// Per-block cost table, cost-ranked per kernel (`--blocks`).
+    pub blocks: Option<Vec<BlockCostEntry>>,
+    /// Conservation rollup (`--blocks`).
+    pub conservation: Option<ConservationSummary>,
+    /// Model-priced fixes, biggest predicted win first (`--what-if`).
+    pub what_if: Option<Vec<WhatIfEntry>>,
 }
 
 impl LintReport {
@@ -124,14 +236,33 @@ pub const WORKLOADS: &[&str] = &[
 /// Builds the sweep of applications for a named workload, mirroring the
 /// paper's parameter ranges (`--quick` trims them for CI).
 pub fn workload_sweep(workload: &str, quick: bool) -> Option<Vec<Application>> {
-    let apps = match workload {
+    workload_sweep_with_chars(workload, quick).map(|(apps, _)| apps)
+}
+
+/// One application's named characteristics — the values `collect` would put
+/// in the dataset's characteristic columns, which is what a [`WhatIfModel`]
+/// predicts from.
+pub type AppCharacteristics = Vec<(String, f64)>;
+
+/// Like [`workload_sweep`] but also returns each application's
+/// [`AppCharacteristics`].
+pub fn workload_sweep_with_chars(
+    workload: &str,
+    quick: bool,
+) -> Option<(Vec<Application>, Vec<AppCharacteristics>)> {
+    let mut apps = Vec::new();
+    let mut chars: Vec<Vec<(String, f64)>> = Vec::new();
+    match workload {
         "matmul" => {
             let sizes: &[usize] = if quick {
                 &[64, 128]
             } else {
                 &[64, 128, 256, 512]
             };
-            sizes.iter().map(|&n| matmul_application(n)).collect()
+            for &n in sizes {
+                apps.push(matmul_application(n));
+                chars.push(vec![("size".to_string(), n as f64)]);
+            }
         }
         "nw" => {
             let lengths: &[usize] = if quick {
@@ -139,18 +270,23 @@ pub fn workload_sweep(workload: &str, quick: bool) -> Option<Vec<Application>> {
             } else {
                 &[256, 512, 1024, 2048]
             };
-            lengths.iter().map(|&n| nw_application(n, 10)).collect()
+            for &n in lengths {
+                apps.push(nw_application(n, 10));
+                chars.push(vec![("size".to_string(), n as f64)]);
+            }
         }
         "stencil" => {
             let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256] };
             let sweeps: &[usize] = if quick { &[1] } else { &[1, 2, 4] };
-            let mut apps = Vec::new();
             for &n in sizes {
                 for &s in sweeps {
                     apps.push(stencil_application(n, s));
+                    chars.push(vec![
+                        ("size".to_string(), n as f64),
+                        ("sweeps".to_string(), s as f64),
+                    ]);
                 }
             }
-            apps
         }
         name => {
             let variant = *ReduceVariant::ALL.iter().find(|v| v.name() == name)?;
@@ -164,16 +300,18 @@ pub fn workload_sweep(workload: &str, quick: bool) -> Option<Vec<Application>> {
             } else {
                 &[64, 128, 256, 512]
             };
-            let mut apps = Vec::new();
             for &n in sizes {
                 for &t in threads {
                     apps.push(reduce_application(variant, n, t));
+                    chars.push(vec![
+                        ("size".to_string(), n as f64),
+                        ("threads".to_string(), t as f64),
+                    ]);
                 }
             }
-            apps
         }
-    };
-    Some(apps)
+    }
+    Some((apps, chars))
 }
 
 /// Lints one workload sweep on a GPU: static analysis + diagnostics over
@@ -182,22 +320,53 @@ pub fn workload_sweep(workload: &str, quick: bool) -> Option<Vec<Application>> {
 /// Launches that cannot be analyzed (malformed trace, impossible launch)
 /// produce a `BF-E001` error diagnostic instead of aborting the run.
 pub fn lint_workload(gpu: &GpuConfig, workload: &str, opts: LintOptions) -> Option<LintReport> {
-    let apps = workload_sweep(workload, opts.quick)?;
-    Some(lint_applications(gpu, workload, &apps, opts))
+    lint_workload_with(gpu, workload, &opts.into())
 }
 
-/// Lints an explicit set of applications (the engine behind
-/// [`lint_workload`]; exposed for custom sweeps and tests).
+/// [`lint_workload`] with the full configuration (blocks, what-if).
+pub fn lint_workload_with(gpu: &GpuConfig, workload: &str, cfg: &LintConfig) -> Option<LintReport> {
+    let (apps, chars) = workload_sweep_with_chars(workload, cfg.quick)?;
+    Some(lint_applications_with(gpu, workload, &apps, &chars, cfg))
+}
+
+/// Lints an explicit set of applications (v1-compatible entry point).
 pub fn lint_applications(
     gpu: &GpuConfig,
     workload: &str,
     apps: &[Application],
     opts: LintOptions,
 ) -> LintReport {
+    lint_applications_with(gpu, workload, apps, &[], &opts.into())
+}
+
+/// Merged per-block accumulator keyed by (kernel, block id).
+struct BlockAgg {
+    kernel: String,
+    id: u64,
+    first: BlockAttribution,
+    cost: f64,
+    occurrences: u64,
+    shared_replays: f64,
+    global_transactions: f64,
+    divergent_branches: f64,
+}
+
+/// Lints an explicit set of applications with the full configuration.
+/// `chars` supplies per-application characteristics for what-if pricing
+/// (parallel to `apps`; pass `&[]` when no model is involved).
+pub fn lint_applications_with(
+    gpu: &GpuConfig,
+    workload: &str,
+    apps: &[Application],
+    chars: &[Vec<(String, f64)>],
+    cfg: &LintConfig,
+) -> LintReport {
     let mut all: Vec<Diagnostic> = Vec::new();
     let mut launches = 0usize;
     let mut kernels: Vec<KernelSummary> = Vec::new();
     let mut oracle_reports: Vec<OracleReport> = Vec::new();
+    let mut block_aggs: Vec<BlockAgg> = Vec::new();
+    let mut conservation = ConservationSummary::default();
 
     for app in apps {
         for (i, kernel) in app.launches.iter().enumerate() {
@@ -209,7 +378,62 @@ pub fn lint_applications(
                     continue;
                 }
             };
-            all.extend(diag::diagnose(gpu, &a, i));
+
+            if cfg.blocks {
+                // analyze_launch validated the traces, so attribution over
+                // the same traces cannot fail.
+                let battr = attr::attribute_launch(gpu, kernel.as_ref())
+                    .expect("attribution of an analyzable launch");
+                let checks = attr::check_conservation(&battr, &a);
+                conservation.launches_checked += 1;
+                conservation.counters_checked += checks.len();
+                for c in &checks {
+                    conservation.max_rel_error = conservation.max_rel_error.max(c.rel_error);
+                    if c.exact {
+                        conservation.exact += 1;
+                    }
+                }
+                let failures: Vec<_> = checks.into_iter().filter(|c| !c.ok).collect();
+                if !failures.is_empty() {
+                    conservation.violations += failures.len();
+                    all.push(diag::conservation_violation(&a.kernel, i, &failures));
+                }
+                all.extend(diag::diagnose_blocks(gpu, &a, &battr, i));
+
+                for b in &battr.blocks {
+                    let cost = b.cost() * battr.scale;
+                    let sr =
+                        (b.counts.shared_load_replay + b.counts.shared_store_replay) * battr.scale;
+                    let gt = (b.counts.global_load_transactions
+                        + b.counts.global_store_transactions)
+                        * battr.scale;
+                    let db = b.counts.divergent_branch * battr.scale;
+                    match block_aggs
+                        .iter_mut()
+                        .find(|e| e.kernel == battr.kernel && e.id == b.id)
+                    {
+                        Some(e) => {
+                            e.cost += cost;
+                            e.occurrences += b.occurrences;
+                            e.shared_replays += sr;
+                            e.global_transactions += gt;
+                            e.divergent_branches += db;
+                        }
+                        None => block_aggs.push(BlockAgg {
+                            kernel: battr.kernel.clone(),
+                            id: b.id,
+                            first: b.clone(),
+                            cost,
+                            occurrences: b.occurrences,
+                            shared_replays: sr,
+                            global_transactions: gt,
+                            divergent_branches: db,
+                        }),
+                    }
+                }
+            } else {
+                all.extend(diag::diagnose(gpu, &a, i));
+            }
 
             let entry = match kernels.iter_mut().find(|k| k.kernel == a.kernel) {
                 Some(e) => e,
@@ -242,7 +466,7 @@ pub fn lint_applications(
                 entry.bound = a.roofline(gpu).bound.label().to_string();
             }
 
-            if opts.oracle {
+            if cfg.oracle {
                 match oracle::check_launch(gpu, kernel.as_ref(), i) {
                     Ok(r) => {
                         if r.divergent() {
@@ -271,6 +495,7 @@ pub fn lint_applications(
                                 suggestion: "static walk and simulator disagree — one of them \
                                              has a bug; bisect against gpu-sim's counting rules"
                                     .into(),
+                                cost: None,
                             });
                         }
                         oracle_reports.push(r);
@@ -281,6 +506,58 @@ pub fn lint_applications(
         }
     }
 
+    // What-if pricing: re-derive static counters under each applicable fix
+    // and push both vectors through the model.
+    let what_if = cfg.what_if.map(|model| {
+        let mut entries: Vec<WhatIfEntry> = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            let Some(app_chars) = chars.get(i) else {
+                continue;
+            };
+            let scenarios = match whatif::whatif_scenarios(gpu, app) {
+                Ok(s) => s,
+                Err(e) => {
+                    all.push(diag::malformed(&app.name, 0, &e));
+                    continue;
+                }
+            };
+            for s in scenarios {
+                let priced = model
+                    .predict_ms(app_chars, &s.baseline)
+                    .and_then(|b| model.predict_ms(app_chars, &s.fixed).map(|f| (b, f)));
+                match priced {
+                    Ok((baseline_ms, fixed_ms)) => entries.push(WhatIfEntry {
+                        application: app.name.clone(),
+                        code: s.fix.code().to_string(),
+                        fix: s.fix.label().to_string(),
+                        baseline_ms,
+                        fixed_ms,
+                        delta_ms: baseline_ms - fixed_ms,
+                        speedup: baseline_ms / fixed_ms.max(1e-12),
+                    }),
+                    Err(e) => all.push(Diagnostic {
+                        code: diag::MALFORMED.to_string(),
+                        severity: Severity::Error,
+                        span: diag::Span::launch(&app.name, 0),
+                        message: format!("what-if pricing failed for fix `{}`: {e}", s.fix.label()),
+                        suggestion: "check that the model bundle matches the workload and \
+                                     provides every required characteristic"
+                            .into(),
+                        cost: None,
+                    }),
+                }
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.delta_ms
+                .partial_cmp(&a.delta_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.application.cmp(&b.application))
+                .then_with(|| a.code.cmp(&b.code))
+        });
+        entries
+    });
+
     let mut summary = SeveritySummary::default();
     for d in &all {
         match d.severity {
@@ -290,29 +567,59 @@ pub fn lint_applications(
         }
     }
 
-    // Fold duplicates: one entry per (code, kernel), errors first.
+    // Fold duplicates: one entry per (code, kernel, block, warp,
+    // instruction) — the span minus the launch index, so the same finding
+    // repeated across a sweep's launches folds while distinct code
+    // locations stay separate.
     let mut aggregated: Vec<AggregatedDiagnostic> = Vec::new();
     for d in all {
-        match aggregated
-            .iter_mut()
-            .find(|a| a.diagnostic.code == d.code && a.diagnostic.span.kernel == d.span.kernel)
-        {
-            Some(a) => a.occurrences += 1,
+        match aggregated.iter_mut().find(|a| {
+            a.diagnostic.code == d.code
+                && a.diagnostic.span.kernel == d.span.kernel
+                && a.diagnostic.span.block == d.span.block
+                && a.diagnostic.span.warp == d.span.warp
+                && a.diagnostic.span.instruction == d.span.instruction
+        }) {
+            Some(a) => {
+                a.occurrences += 1;
+                // Keep the largest attributed cost among the folded spans so
+                // ranking reflects the worst occurrence.
+                if let (Some(c), Some(existing)) = (d.cost, a.diagnostic.cost) {
+                    if c > existing {
+                        a.diagnostic.cost = Some(c);
+                    }
+                } else if a.diagnostic.cost.is_none() {
+                    a.diagnostic.cost = d.cost;
+                }
+            }
             None => aggregated.push(AggregatedDiagnostic {
                 diagnostic: d,
                 occurrences: 1,
             }),
         }
     }
+    // Deterministic order: severity (errors first), attributed cost
+    // (biggest first; launch-level findings without a cost sort after
+    // block-level ones of equal severity), then code and span.
     aggregated.sort_by(|a, b| {
-        b.diagnostic
-            .severity
-            .cmp(&a.diagnostic.severity)
-            .then_with(|| a.diagnostic.code.cmp(&b.diagnostic.code))
-            .then_with(|| a.diagnostic.span.kernel.cmp(&b.diagnostic.span.kernel))
+        let da = &a.diagnostic;
+        let db = &b.diagnostic;
+        db.severity
+            .cmp(&da.severity)
+            .then_with(|| {
+                let ca = da.cost.unwrap_or(-1.0);
+                let cb = db.cost.unwrap_or(-1.0);
+                cb.partial_cmp(&ca).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| da.code.cmp(&db.code))
+            .then_with(|| da.span.kernel.cmp(&db.span.kernel))
+            .then_with(|| da.span.launch.cmp(&db.span.launch))
+            .then_with(|| da.span.block.cmp(&db.span.block))
+            .then_with(|| da.span.warp.cmp(&db.span.warp))
+            .then_with(|| da.span.instruction.cmp(&db.span.instruction))
     });
 
-    let oracle = opts.oracle.then(|| OracleSummary {
+    let oracle = cfg.oracle.then(|| OracleSummary {
         launches_checked: oracle_reports.len(),
         counters_checked: oracle_reports.iter().map(|r| r.checks.len()).sum(),
         max_rel_error: oracle_reports
@@ -322,8 +629,53 @@ pub fn lint_applications(
         divergent_launches: oracle_reports.iter().filter(|r| r.divergent()).count(),
     });
 
+    let blocks = cfg.blocks.then(|| {
+        let mut entries: Vec<BlockCostEntry> = block_aggs
+            .iter()
+            .map(|e| {
+                let kernel_total: f64 = block_aggs
+                    .iter()
+                    .filter(|o| o.kernel == e.kernel)
+                    .map(|o| o.cost)
+                    .sum();
+                BlockCostEntry {
+                    kernel: e.kernel.clone(),
+                    block_id: e.first.id_hex(),
+                    block: e.first.first_seen.block,
+                    warp: e.first.first_seen.warp,
+                    instruction: e.first.first_seen.instruction,
+                    instructions: e.first.instructions,
+                    occurrences: e.occurrences,
+                    cost: e.cost,
+                    cost_share: if kernel_total > 0.0 {
+                        e.cost / kernel_total
+                    } else {
+                        0.0
+                    },
+                    shared_replays: e.shared_replays,
+                    global_transactions: e.global_transactions,
+                    divergent_branches: e.divergent_branches,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.kernel.cmp(&b.kernel).then_with(|| {
+                b.cost
+                    .partial_cmp(&a.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.block_id.cmp(&b.block_id))
+            })
+        });
+        entries
+    });
+
+    let schema_version = if cfg.blocks || cfg.what_if.is_some() {
+        2
+    } else {
+        1
+    };
     LintReport {
-        schema_version: 1,
+        schema_version,
         gpu: gpu.name.clone(),
         workload: workload.to_string(),
         applications: apps.len(),
@@ -332,6 +684,9 @@ pub fn lint_applications(
         kernels,
         oracle,
         summary,
+        blocks,
+        conservation: cfg.blocks.then_some(conservation),
+        what_if,
     }
 }
 
@@ -362,6 +717,39 @@ pub fn render_text(report: &LintReport) -> String {
                 k.min_store_efficiency_pct,
                 k.max_bank_conflict_degree,
                 k.bound
+            ));
+        }
+    }
+    if let Some(blocks) = &report.blocks {
+        out.push_str("\nhot basic blocks (attributed issue-slot cost):\n");
+        for b in blocks.iter().take(12) {
+            out.push_str(&format!(
+                "  {:<28} block {}  {:>5.1}%  cost {:>12.0}  replays {:>10.0}  trans {:>10.0}\n",
+                b.kernel,
+                b.block_id,
+                b.cost_share * 100.0,
+                b.cost,
+                b.shared_replays,
+                b.global_transactions
+            ));
+        }
+    }
+    if let Some(c) = &report.conservation {
+        out.push_str(&format!(
+            "\nconservation: {} launches, {} counter sums, {} exact, max rel error {:.2e}, \
+             {} violations\n",
+            c.launches_checked, c.counters_checked, c.exact, c.max_rel_error, c.violations
+        ));
+    }
+    if let Some(entries) = &report.what_if {
+        out.push_str("\nwhat-if (model-priced fixes, biggest predicted win first):\n");
+        if entries.is_empty() {
+            out.push_str("  no applicable fixes\n");
+        }
+        for e in entries {
+            out.push_str(&format!(
+                "  {:<16} {}  {:<22} {:>9.4}ms -> {:>9.4}ms  delta {:>+9.4}ms  x{:.2}\n",
+                e.application, e.code, e.fix, e.baseline_ms, e.fixed_ms, e.delta_ms, e.speedup
             ));
         }
     }
@@ -519,5 +907,160 @@ mod tests {
         for a in &report.diagnostics {
             assert!(text.contains(&a.diagnostic.code));
         }
+    }
+
+    #[test]
+    fn blocks_mode_bumps_schema_and_reports_block_table() {
+        let cfg = LintConfig {
+            quick: true,
+            oracle: false,
+            blocks: true,
+            what_if: None,
+        };
+        let report = lint_workload_with(&fermi(), "reduce1", &cfg).unwrap();
+        assert_eq!(report.schema_version, 2);
+        let blocks = report.blocks.as_ref().expect("block table present");
+        assert!(!blocks.is_empty());
+        // Cost-ranked within each kernel.
+        for w in blocks.windows(2) {
+            if w[0].kernel == w[1].kernel {
+                assert!(w[0].cost >= w[1].cost);
+            }
+        }
+        let c = report.conservation.expect("conservation rollup present");
+        assert_eq!(c.violations, 0, "conservation must hold: {c:?}");
+        assert!(c.launches_checked > 0);
+        assert_eq!(c.exact, c.counters_checked, "all sums should be exact");
+        // Block-level warnings carry attributed costs.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.diagnostic.cost.is_some()));
+    }
+
+    #[test]
+    fn reduce1_blocks_mode_flags_a_hot_block() {
+        let cfg = LintConfig {
+            quick: true,
+            oracle: false,
+            blocks: true,
+            what_if: None,
+        };
+        let report = lint_workload_with(&fermi(), "reduce1", &cfg).unwrap();
+        // The conflicted inner-loop block dominates reduce1's cost.
+        assert!(
+            codes(&report).contains(&diag::HOT_BLOCK),
+            "{:?}",
+            codes(&report)
+        );
+    }
+
+    #[test]
+    fn deduplication_folds_repeats_and_ordering_is_deterministic() {
+        let cfg = LintConfig {
+            quick: true,
+            oracle: false,
+            blocks: true,
+            what_if: None,
+        };
+        let r1 = lint_workload_with(&fermi(), "reduce1", &cfg).unwrap();
+        let r2 = lint_workload_with(&fermi(), "reduce1", &cfg).unwrap();
+        assert_eq!(r1.to_json(), r2.to_json(), "reports must be diff-stable");
+        // The quick sweep has 4 applications; per-launch repeats of the same
+        // (code, location) finding must fold into one entry with a count.
+        assert!(r1.diagnostics.iter().any(|d| d.occurrences > 1));
+        // Sorted by severity desc, then cost desc within a severity.
+        let sevs: Vec<_> = r1
+            .diagnostics
+            .iter()
+            .map(|d| d.diagnostic.severity)
+            .collect();
+        let mut sorted = sevs.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(sevs, sorted);
+        for w in r1.diagnostics.windows(2) {
+            if w[0].diagnostic.severity == w[1].diagnostic.severity {
+                let c0 = w[0].diagnostic.cost.unwrap_or(-1.0);
+                let c1 = w[1].diagnostic.cost.unwrap_or(-1.0);
+                assert!(c0 >= c1);
+            }
+        }
+    }
+
+    /// A stub model: predicted ms = sum of overridden counter values scaled
+    /// down, so lower counters -> lower predicted time.
+    struct CounterSumModel;
+
+    impl WhatIfModel for CounterSumModel {
+        fn predict_ms(
+            &self,
+            _chars: &[(String, f64)],
+            overrides: &[(String, f64)],
+        ) -> Result<f64, String> {
+            Ok(overrides
+                .iter()
+                .filter(|(n, _)| n == "inst_issued")
+                .map(|(_, v)| v)
+                .sum::<f64>()
+                * 1e-6)
+        }
+    }
+
+    #[test]
+    fn what_if_prices_fixes_and_ranks_by_delta() {
+        let cfg = LintConfig {
+            quick: true,
+            oracle: false,
+            blocks: true,
+            what_if: Some(&CounterSumModel),
+        };
+        let report = lint_workload_with(&fermi(), "reduce1", &cfg).unwrap();
+        assert_eq!(report.schema_version, 2);
+        let entries = report.what_if.as_ref().expect("what-if entries present");
+        assert!(!entries.is_empty(), "reduce1 has applicable fixes");
+        let conflict = entries
+            .iter()
+            .find(|e| e.fix == "conflict-free-shared")
+            .expect("bank-conflict fix priced");
+        assert!(
+            conflict.delta_ms > 0.0,
+            "removing conflicts must lower predicted time: {conflict:?}"
+        );
+        assert!(conflict.speedup > 1.0);
+        for w in entries.windows(2) {
+            assert!(w[0].delta_ms >= w[1].delta_ms);
+        }
+    }
+
+    #[test]
+    fn v1_report_fixture_round_trips() {
+        // A checked-in schema_version-1 report (written before the block /
+        // what-if fields existed) must still load: absent keys deserialize
+        // as None, and the old launch-level fields keep their meaning.
+        let json = include_str!("../tests/fixtures/lint_v1.json");
+        let report: LintReport = serde_json::from_str(json).expect("fixture deserializes");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.workload, "reduce1");
+        assert!(report.launches > 0);
+        assert!(report.blocks.is_none());
+        assert!(report.conservation.is_none());
+        assert!(report.what_if.is_none());
+        assert!(!report.diagnostics.is_empty());
+        assert_eq!(report.diagnostics[0].diagnostic.code, "BF-W001");
+        assert!(report.diagnostics[0].diagnostic.cost.is_none());
+        // And a report serialized today still carries every v1 field.
+        let now = lint_workload(
+            &fermi(),
+            "reduce1",
+            LintOptions {
+                quick: true,
+                oracle: false,
+            },
+        )
+        .unwrap();
+        for key in ["diagnostics", "kernels", "summary", "schema_version"] {
+            assert!(now.to_json().contains(&format!("\"{key}\"")));
+        }
+        assert_eq!(now.schema_version, 1);
     }
 }

@@ -93,7 +93,71 @@ pub struct StaticCounts {
 }
 
 impl StaticCounts {
-    fn scaled(&self, factor: f64) -> StaticCounts {
+    /// Counter (name, value) pairs in declaration order — the single source
+    /// of truth for iterating every field, used by the per-block attribution
+    /// conservation check so a newly added counter cannot silently escape
+    /// coverage (the array length is pinned to the struct).
+    pub fn fields(&self) -> [(&'static str, f64); 25] {
+        [
+            ("inst_executed", self.inst_executed),
+            ("inst_issued", self.inst_issued),
+            ("thread_inst_executed", self.thread_inst_executed),
+            ("branch", self.branch),
+            ("divergent_branch", self.divergent_branch),
+            ("shared_load", self.shared_load),
+            ("shared_store", self.shared_store),
+            ("shared_load_replay", self.shared_load_replay),
+            ("shared_store_replay", self.shared_store_replay),
+            ("gld_request", self.gld_request),
+            ("gst_request", self.gst_request),
+            ("gld_requested_bytes", self.gld_requested_bytes),
+            ("gst_requested_bytes", self.gst_requested_bytes),
+            ("global_load_transactions", self.global_load_transactions),
+            ("global_store_transactions", self.global_store_transactions),
+            ("l2_write_transactions", self.l2_write_transactions),
+            ("dram_write_transactions", self.dram_write_transactions),
+            ("warps_launched", self.warps_launched),
+            ("blocks_launched", self.blocks_launched),
+            ("barriers", self.barriers),
+            ("alu_warp_instructions", self.alu_warp_instructions),
+            ("alu_thread_ops", self.alu_thread_ops),
+            ("load_traffic_bytes", self.load_traffic_bytes),
+            ("store_traffic_bytes", self.store_traffic_bytes),
+            ("dram_read_bytes_bound", self.dram_read_bytes_bound),
+        ]
+    }
+
+    /// Adds another count set field-by-field (used when summing per-block
+    /// attributions back into launch totals).
+    pub fn add(&mut self, other: &StaticCounts) {
+        self.inst_executed += other.inst_executed;
+        self.inst_issued += other.inst_issued;
+        self.thread_inst_executed += other.thread_inst_executed;
+        self.branch += other.branch;
+        self.divergent_branch += other.divergent_branch;
+        self.shared_load += other.shared_load;
+        self.shared_store += other.shared_store;
+        self.shared_load_replay += other.shared_load_replay;
+        self.shared_store_replay += other.shared_store_replay;
+        self.gld_request += other.gld_request;
+        self.gst_request += other.gst_request;
+        self.gld_requested_bytes += other.gld_requested_bytes;
+        self.gst_requested_bytes += other.gst_requested_bytes;
+        self.global_load_transactions += other.global_load_transactions;
+        self.global_store_transactions += other.global_store_transactions;
+        self.l2_write_transactions += other.l2_write_transactions;
+        self.dram_write_transactions += other.dram_write_transactions;
+        self.warps_launched += other.warps_launched;
+        self.blocks_launched += other.blocks_launched;
+        self.barriers += other.barriers;
+        self.alu_warp_instructions += other.alu_warp_instructions;
+        self.alu_thread_ops += other.alu_thread_ops;
+        self.load_traffic_bytes += other.load_traffic_bytes;
+        self.store_traffic_bytes += other.store_traffic_bytes;
+        self.dram_read_bytes_bound += other.dram_read_bytes_bound;
+    }
+
+    pub(crate) fn scaled(&self, factor: f64) -> StaticCounts {
         let mut s = *self;
         for f in [
             &mut s.inst_executed,
@@ -351,7 +415,7 @@ pub fn analyze_launch(gpu: &GpuConfig, kernel: &dyn KernelTrace) -> Result<Stati
 /// match so a drift against `gpu_sim::sm` is a one-screen diff (and the
 /// differential oracle catches it anyway).
 #[allow(clippy::too_many_arguments)]
-fn walk_instruction(
+pub(crate) fn walk_instruction(
     gpu: &GpuConfig,
     instr: &WarpInstruction,
     loc: Location,

@@ -15,7 +15,7 @@
 //! * `lint --workload W [--format json] [--oracle]` — static analysis with
 //!   clippy-style diagnostics; no simulation unless `--oracle` is given.
 
-use bf_analyze::{LintOptions, Severity};
+use bf_analyze::Severity;
 use bf_serve::{AliasUpdate, ModelBundle, PredictServer, Registry, ServeConfig};
 use blackforest::collect::CollectOptions;
 use blackforest::model::ModelConfig;
@@ -43,6 +43,7 @@ COMMANDS:
     predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
     hwscale  --workload W --target NAME [--gpu NAME] [--quick]
     lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
+             [--blocks] [--what-if --model BUNDLE.json]
              [--fail-on SEV] [--out FILE] [--quick]
 
     Every command also accepts --timing and --trace-out FILE.
@@ -83,6 +84,15 @@ OPTIONS:
     --oracle        lint also diffs static predictions against the dynamic
                     simulator (differential oracle; costs one simulation
                     per launch, divergence is a BF-E002 error)
+    --blocks        lint attributes counters to basic blocks: warnings get
+                    block-level spans ranked by attributed cost, the report
+                    gains a hot-block table and a conservation check
+                    (violations are BF-E003 errors), and the JSON schema
+                    moves to version 2
+    --what-if       lint prices each applicable fix (conflict-free shared
+                    offsets, coalesced global addresses, converged
+                    branches) through the --model bundle and ranks fixes
+                    by predicted time saved; requires --model
     --fail-on SEV   lowest severity that makes lint exit non-zero:
                     info, warning, or error (default). Errors always fail.
     --static-features   collect also appends static_* predictor columns
@@ -150,6 +160,8 @@ struct Args {
     sim_cache_dir: Option<String>,
     format: Option<String>,
     oracle: bool,
+    blocks: bool,
+    what_if: bool,
     fail_on: Option<String>,
     static_features: bool,
     timing: bool,
@@ -201,6 +213,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sim_cache_dir: None,
         format: None,
         oracle: false,
+        blocks: false,
+        what_if: false,
         fail_on: None,
         static_features: false,
         timing: false,
@@ -293,6 +307,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--format" => args.format = Some(it.next().ok_or("--format needs a value")?.clone()),
             "--oracle" => args.oracle = true,
+            "--blocks" => args.blocks = true,
+            "--what-if" => args.what_if = true,
             "--fail-on" => args.fail_on = Some(it.next().ok_or("--fail-on needs a value")?.clone()),
             "--static-features" => args.static_features = true,
             "--timing" => args.timing = true,
@@ -837,11 +853,33 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                 Some(s) => Severity::parse(s)
                     .ok_or_else(|| format!("bad --fail-on {s}; use info, warning, or error"))?,
             };
-            let opts = LintOptions {
+            // What-if pricing needs a trained bundle; load and check it
+            // against the linted workload before any analysis runs.
+            let bundle = if args.what_if {
+                let path = args
+                    .model
+                    .as_deref()
+                    .ok_or("lint --what-if needs --model BUNDLE.json")?;
+                let bundle = load_bundle(path)?;
+                let requested = workload_by_name(workload)?;
+                if bundle.workload() != Some(requested) {
+                    return Err(format!(
+                        "--model {} was trained for workload {}, not {workload}",
+                        path.display(),
+                        bundle.workload
+                    ));
+                }
+                Some(bundle)
+            } else {
+                None
+            };
+            let cfg = bf_analyze::LintConfig {
                 quick: args.quick,
                 oracle: args.oracle,
+                blocks: args.blocks,
+                what_if: bundle.as_ref().map(|b| b as &dyn bf_analyze::WhatIfModel),
             };
-            let report = bf_analyze::lint_workload(&gpu, workload, opts).ok_or_else(|| {
+            let report = bf_analyze::lint_workload_with(&gpu, workload, &cfg).ok_or_else(|| {
                 format!(
                     "unknown lint workload {workload}; one of: {}",
                     bf_analyze::WORKLOADS.join(", ")

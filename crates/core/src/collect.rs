@@ -202,6 +202,9 @@ fn static_features(gpu: &GpuConfig, app: &Application) -> Result<Vec<(String, f6
         dram_bytes += a.counts.dram_read_bytes_bound + a.counts.store_traffic_bytes;
         inst += a.counts.inst_executed;
     }
+    // Basic-block shape of the application: how concentrated the attributed
+    // cost is (share of the hottest block) and how many blocks dominate.
+    let blocks = bf_analyze::application_block_profile(gpu, app)?;
     Ok(vec![
         (
             "static_occupancy".to_string(),
@@ -231,6 +234,14 @@ fn static_features(gpu: &GpuConfig, app: &Application) -> Result<Vec<(String, f6
             },
         ),
         ("static_inst_executed".to_string(), inst),
+        (
+            "static_top_block_cost_share".to_string(),
+            blocks.top_block_cost_share,
+        ),
+        (
+            "static_hot_block_count".to_string(),
+            blocks.hot_block_count as f64,
+        ),
     ])
 }
 
@@ -499,6 +510,8 @@ mod tests {
             "static_coalescing_efficiency",
             "static_arith_intensity",
             "static_inst_executed",
+            "static_top_block_cost_share",
+            "static_hot_block_count",
         ] {
             assert!(ds.feature_index(col).is_some(), "missing column {col}");
         }
@@ -508,6 +521,13 @@ mod tests {
         // reduce1's strided shared addressing is the textbook conflict.
         for degree in ds.column("static_bank_conflict_degree").unwrap() {
             assert!(degree >= 2.0, "degree {degree}");
+        }
+        // Block-profile columns are well-formed shares/counts.
+        for share in ds.column("static_top_block_cost_share").unwrap() {
+            assert!(share > 0.0 && share <= 1.0, "share {share}");
+        }
+        for count in ds.column("static_hot_block_count").unwrap() {
+            assert!(count >= 1.0, "hot block count {count}");
         }
         // Off by default: the plain path is unchanged.
         let plain = collect_reduce(

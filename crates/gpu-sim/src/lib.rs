@@ -50,6 +50,7 @@
 
 pub mod arch;
 pub mod banks;
+pub mod blocks;
 pub mod builder;
 pub mod cache;
 pub mod coalesce;
@@ -66,6 +67,7 @@ pub mod steady;
 pub mod trace;
 
 pub use arch::{GpuArchitecture, GpuConfig};
+pub use blocks::{block_content_id, segment_stream, BlockSpan};
 pub use builder::TraceBuilder;
 pub use counters::{CounterSet, RawEvents};
 pub use diskcache::DiskCache;

@@ -172,8 +172,16 @@ impl BlockTrace {
             .sum()
     }
 
-    /// Checks structural validity: every warp must contain the same number
-    /// of barriers (otherwise the block would deadlock on real hardware).
+    /// Checks structural validity:
+    ///
+    /// * every warp must contain the same number of barriers (otherwise the
+    ///   block would deadlock on real hardware), and
+    /// * every memory instruction's address/offset vector must cover its
+    ///   active lanes — the convention is one slot per lane, so an active
+    ///   bit at lane `i` requires `addrs.len() > i`. A generator that emits
+    ///   fewer slots than it activates would otherwise have those lanes
+    ///   silently dropped by the coalescing and bank-conflict models,
+    ///   under-reporting accesses.
     pub fn validate(&self) -> crate::Result<()> {
         let barrier_count = |stream: &[WarpInstruction]| {
             stream
@@ -188,6 +196,38 @@ impl BlockTrace {
                 if got != expect {
                     return Err(crate::SimError::BadTrace(format!(
                         "warp {w} has {got} barriers, warp 0 has {expect}"
+                    )));
+                }
+            }
+        }
+        for (w, stream) in self.warps.iter().enumerate() {
+            for (i, instr) in stream.iter().enumerate() {
+                let (what, slots, mask) = match instr {
+                    WarpInstruction::LoadGlobal { addrs, mask, .. } => {
+                        ("global load addrs", addrs.len(), *mask)
+                    }
+                    WarpInstruction::StoreGlobal { addrs, mask, .. } => {
+                        ("global store addrs", addrs.len(), *mask)
+                    }
+                    WarpInstruction::LoadShared { offsets, mask, .. } => {
+                        ("shared load offsets", offsets.len(), *mask)
+                    }
+                    WarpInstruction::StoreShared { offsets, mask, .. } => {
+                        ("shared store offsets", offsets.len(), *mask)
+                    }
+                    _ => continue,
+                };
+                if mask == 0 {
+                    continue;
+                }
+                let highest = 31 - mask.leading_zeros() as usize;
+                if highest >= slots {
+                    return Err(crate::SimError::BadTrace(format!(
+                        "warp {w} instruction {i}: {what} has {slots} slots but \
+                         the lane mask ({} active lanes) activates lane {highest}; \
+                         active lanes without an address slot would be silently \
+                         dropped",
+                        mask.count_ones()
                     )));
                 }
             }
@@ -299,6 +339,54 @@ mod tests {
         let mut t = BlockTrace::with_warps(2);
         t.warps[0].push(WarpInstruction::Barrier);
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_active_lanes_without_address_slots() {
+        // Active lane 4 (bit 4 set) but only 3 address slots: the coalescer
+        // would silently skip lanes 3..=4.
+        let mut t = BlockTrace::with_warps(1);
+        t.warps[0].push(WarpInstruction::LoadGlobal {
+            addrs: vec![0, 4, 8],
+            width: 4,
+            mask: 0b1_0111,
+        });
+        let err = t.validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("global load addrs"), "unexpected error: {msg}");
+        assert!(msg.contains("lane 4"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn validate_rejects_short_shared_offset_vectors() {
+        let mut t = BlockTrace::with_warps(2);
+        for w in &mut t.warps {
+            w.push(WarpInstruction::StoreShared {
+                offsets: vec![0; 16],
+                width: 4,
+                mask: FULL_MASK,
+            });
+        }
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("shared store offsets"));
+    }
+
+    #[test]
+    fn validate_accepts_full_slot_vectors_with_sparse_masks() {
+        // The documented convention: one slot per lane, inactive lanes hold
+        // 0. A single active lane with 32 slots is valid.
+        let mut t = BlockTrace::with_warps(1);
+        t.warps[0].push(WarpInstruction::StoreGlobal {
+            addrs: vec![0; 32],
+            width: 4,
+            mask: 1,
+        });
+        t.warps[0].push(WarpInstruction::LoadShared {
+            offsets: vec![0; 32],
+            width: 4,
+            mask: 0,
+        });
+        assert!(t.validate().is_ok());
     }
 
     #[test]

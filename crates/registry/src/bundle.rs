@@ -237,6 +237,57 @@ impl ModelBundle {
             counters,
         })
     }
+
+    /// Runs the prediction chain with explicit counter overrides: the
+    /// characteristic vector is assembled by name (workload defaults fill
+    /// unsupplied secondaries), each retained counter is predicted as
+    /// usual, then any counter named in `overrides` is replaced with the
+    /// supplied value before the reduced forest prices the row.
+    ///
+    /// This is the engine behind the lint what-if estimator: the overrides
+    /// are statically derived counters of a hypothetical (baseline or
+    /// fixed) kernel, so the difference between two calls prices the fix
+    /// in predicted milliseconds. Overridden counters that the reduced
+    /// forest did not retain are ignored — they cannot influence the
+    /// prediction by construction.
+    pub fn predict_ms_with(
+        &self,
+        chars: &[(String, f64)],
+        overrides: &[(String, f64)],
+    ) -> Result<f64, String> {
+        let char_values: Vec<f64> = self
+            .characteristics
+            .iter()
+            .map(|name| {
+                chars
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .or_else(|| Workload::default_characteristic(name))
+                    .ok_or_else(|| format!("characteristic {name} required but not supplied"))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut row = self.predictor.counters.predict(&char_values);
+        for (i, m) in self.predictor.counters.models.iter().enumerate() {
+            if let Some((_, v)) = overrides.iter().find(|(n, _)| n == &m.counter) {
+                row[i] = *v;
+            }
+        }
+        self.predictor
+            .model
+            .predict_selected(&row)
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl bf_analyze::WhatIfModel for ModelBundle {
+    fn predict_ms(
+        &self,
+        characteristics: &[(String, f64)],
+        overrides: &[(String, f64)],
+    ) -> Result<f64, String> {
+        self.predict_ms_with(characteristics, overrides)
+    }
 }
 
 /// One answered prediction: the execution time and the intermediate

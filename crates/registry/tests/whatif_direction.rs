@@ -1,0 +1,110 @@
+//! End-to-end what-if acceptance: a quick-trained bundle must price the
+//! bank-conflict fix for the conflicted reduce variant in the same
+//! direction the simulator reports when the fix is actually applied to the
+//! traces.
+//!
+//! This closes the loop of the lint what-if estimator: the statically
+//! derived counter vectors of the baseline and hypothetically fixed kernel
+//! go through [`bf_registry::ModelBundle::predict_ms_with`], and the
+//! predicted delta's sign is checked against ground truth from
+//! [`gpu_sim::simulate_launch`] over the same [`bf_analyze::FixedKernel`]
+//! rewrite.
+
+use bf_analyze::{whatif_scenarios, Fix, FixedKernel, WhatIfModel};
+use bf_kernels::reduce::{reduce_application, ReduceVariant};
+use bf_registry::ModelBundle;
+use blackforest::{BlackForest, ModelConfig, Workload};
+use gpu_sim::{simulate_launch, GpuConfig};
+
+#[test]
+fn model_priced_bank_conflict_fix_agrees_with_simulator_direction() {
+    let gpu = GpuConfig::gtx580();
+
+    // Quick-train a reduce bundle. Within a single variant's sweep every
+    // counter co-varies with problem size, so the forest cannot learn what
+    // bank conflicts *cost* — conflict counters rank at the bottom of the
+    // importance ordering and a counter override moves nothing. Pooling the
+    // conflicted (reduce1) and conflict-free (reduce3) variants makes the
+    // replay/issue counters vary independently of size, which is exactly
+    // the signal the what-if estimator needs the model to carry.
+    let config = ModelConfig {
+        top_k: 10,
+        ..ModelConfig::quick(811)
+    };
+    let bf = BlackForest::new(gpu.clone()).with_config(config);
+    let sizes: Vec<usize> = (4..=9).map(|k| 1usize << (k + 9)).collect();
+    let mut data = bf
+        .collect(Workload::Reduce(ReduceVariant::Reduce1), &sizes)
+        .unwrap();
+    // The collector drops all-zero counter columns, so the conflict-free
+    // variant is missing the conflict counters entirely; pad them back as
+    // zeros (their true value) and reorder to the pooled schema.
+    let mut free = bf
+        .collect(Workload::Reduce(ReduceVariant::Reduce3), &sizes)
+        .unwrap();
+    for name in &data.feature_names {
+        if free.feature_index(name).is_none() {
+            free.add_constant_column(name, 0.0);
+        }
+    }
+    data.append(&free.select(&data.feature_names).unwrap())
+        .unwrap();
+    let report = bf
+        .analyze_dataset(Workload::Reduce(ReduceVariant::Reduce1), data)
+        .unwrap();
+    let bundle = ModelBundle::from_report(&report, &gpu, &sizes, true);
+
+    // The application under the lens: the interleaved, bank-conflicted
+    // reduction at a size inside the training range.
+    let size = 1usize << 14;
+    let threads = 128usize;
+    let app = reduce_application(ReduceVariant::Reduce1, size, threads);
+    let chars = vec![
+        ("size".to_string(), size as f64),
+        ("threads".to_string(), threads as f64),
+    ];
+
+    let scenarios = whatif_scenarios(&gpu, &app).unwrap();
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.fix == Fix::ConflictFreeShared)
+        .expect("reduce1 must have an applicable bank-conflict fix");
+
+    // Model-predicted direction.
+    let baseline_ms = bundle.predict_ms(&chars, &scenario.baseline).unwrap();
+    let fixed_ms = bundle.predict_ms(&chars, &scenario.fixed).unwrap();
+    assert!(
+        baseline_ms > 0.0 && fixed_ms > 0.0,
+        "predictions must be positive: baseline {baseline_ms} fixed {fixed_ms}"
+    );
+    assert!(
+        fixed_ms < baseline_ms,
+        "model must predict a speedup from removing bank conflicts: \
+         baseline {baseline_ms}ms vs fixed {fixed_ms}ms"
+    );
+
+    // Simulator ground truth over the identical trace rewrite.
+    let mut sim_base_ms = 0.0;
+    let mut sim_fixed_ms = 0.0;
+    for k in &app.launches {
+        sim_base_ms += simulate_launch(&gpu, k.as_ref()).unwrap().time_seconds * 1e3;
+        let fixed = FixedKernel {
+            inner: k.as_ref(),
+            fix: Fix::ConflictFreeShared,
+        };
+        sim_fixed_ms += simulate_launch(&gpu, &fixed).unwrap().time_seconds * 1e3;
+    }
+    assert!(
+        sim_fixed_ms < sim_base_ms,
+        "simulator must agree the fix helps: baseline {sim_base_ms}ms vs fixed {sim_fixed_ms}ms"
+    );
+
+    // Direction agreement is the acceptance criterion; both deltas must be
+    // speedups.
+    let model_delta = baseline_ms - fixed_ms;
+    let sim_delta = sim_base_ms - sim_fixed_ms;
+    assert!(
+        model_delta.signum() == sim_delta.signum(),
+        "model delta {model_delta}ms and simulator delta {sim_delta}ms disagree in direction"
+    );
+}
