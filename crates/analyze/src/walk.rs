@@ -501,13 +501,11 @@ pub(crate) fn walk_instruction(
             counts.gld_requested_bytes += requested as f64;
             counts.inst_executed += 1.0;
             counts.thread_inst_executed += lanes;
-            // Fermi coalesces into L1 lines; Kepler goes straight to 32B L2
-            // sectors (matching the dynamic transaction counter).
-            let segment = if gpu.l1_caches_globals {
-                gpu.l1_line as u32
-            } else {
-                32
-            };
+            // Line-tagged Fermi coalesces into whole L1 lines; every other
+            // path — L1-bypassing Kepler/Maxwell and the sector-tagged
+            // Pascal/Volta L1s — uses 32B sectors (matching the dynamic
+            // transaction counter).
+            let segment = gpu.load_segment_bytes();
             let ntrans = coalesce::coalesce(addrs, *width, *mask, segment).len();
             counts.global_load_transactions += ntrans as f64;
             counts.inst_issued += (ntrans as f64).max(1.0);

@@ -41,8 +41,36 @@ impl KernelTrace for SyntheticKernel {
     }
 }
 
+/// Any zoo preset — all five architecture generations, both memory-path
+/// variants — with randomly perturbed geometry on top: SM count,
+/// scheduler/dispatch width, bank count, and the full L1 mode matrix
+/// (line-tagged, bypassed, sectored). Conservation must hold on the whole
+/// configuration space, not just the shipped points.
 fn arb_gpu() -> impl Strategy<Value = GpuConfig> {
-    prop_oneof![Just(GpuConfig::gtx580()), Just(GpuConfig::k20m())]
+    (
+        0usize..GpuConfig::presets().len(),
+        1usize..=32,                                                  // num_sms
+        1usize..=4,                                                   // warp_schedulers
+        1usize..=2,                                                   // dispatch_per_scheduler
+        prop_oneof![Just(16usize), Just(32)],                         // shared_banks
+        any::<bool>(),                                                // l1_caches_globals
+        any::<bool>(),                                                // l1_sectored
+        prop_oneof![Just(524288usize), Just(1572864), Just(6291456)], // l2_size
+    )
+        .prop_map(
+            |(preset, num_sms, warp_schedulers, dispatch, banks, l1_globals, l1_sectored, l2)| {
+                GpuConfig {
+                    num_sms,
+                    warp_schedulers,
+                    dispatch_per_scheduler: dispatch,
+                    shared_banks: banks,
+                    l1_caches_globals: l1_globals,
+                    l1_sectored,
+                    l2_size: l2,
+                    ..GpuConfig::presets().swap_remove(preset)
+                }
+            },
+        )
 }
 
 fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
@@ -174,10 +202,10 @@ fn seeded_misattribution_is_caught() {
 
 /// Acceptance: conservation is green (and bit-for-bit) across the paper's
 /// workload sweeps — all seven reduce variants, Needleman-Wunsch, and the
-/// stencil — on both the Fermi and Kepler presets.
+/// stencil — on one representative of every architecture generation.
 #[test]
-fn conservation_holds_across_paper_workloads_on_both_gpus() {
-    for gpu in [GpuConfig::gtx580(), GpuConfig::k20m()] {
+fn conservation_holds_across_paper_workloads_on_every_architecture() {
+    for gpu in GpuConfig::arch_representatives() {
         for workload in [
             "reduce0", "reduce1", "reduce2", "reduce3", "reduce4", "reduce5", "reduce6", "nw",
             "stencil",
@@ -190,10 +218,11 @@ fn conservation_holds_across_paper_workloads_on_both_gpus() {
                     for c in check_conservation(&blocks, &launch) {
                         assert!(
                             c.ok && c.exact,
-                            "{} launch {i} on {}: counter {} drifted \
+                            "{} launch {i} on {} ({}): counter {} drifted \
                              (attributed {} vs launch {}, rel {:.3e})",
                             app.name,
                             gpu.name,
+                            gpu.arch.name(),
                             c.counter,
                             c.attributed,
                             c.launch_total,

@@ -1,40 +1,53 @@
 //! The differential oracle as an integration suite: static predictions must
-//! match dynamic counters across the paper's workload sweeps, on both GPU
-//! generations, for every launch of every application.
+//! match dynamic counters across the paper's workload sweeps, on every
+//! architecture generation in the zoo, for every launch of every
+//! application.
 //!
 //! Tolerances (see `DESIGN.md`): occupancy exact; counters within
 //! `REL_TOLERANCE` (float noise only). A failure here means the static walk
 //! and the cycle engine disagree about the machine's causal structure —
-//! i.e. somebody introduced a bug.
+//! i.e. somebody introduced a bug — and the panic names the GPU *and its
+//! architecture* so a generation-specific memory-path regression is
+//! immediately attributable.
 
 use bf_analyze::oracle::{check_application, compare, OracleReport};
 use bf_analyze::walk::analyze_launch;
+use bf_kernels::matmul::matmul_application;
 use bf_kernels::nw::nw_application;
 use bf_kernels::reduce::{reduce_application, ReduceVariant};
 use bf_kernels::stencil::stencil_application;
 use bf_kernels::Application;
 use gpu_sim::{simulate_launch, GpuConfig};
 
+/// One GPU per architecture generation: Fermi, Kepler, Maxwell, Pascal,
+/// Volta. Each generation exercises a different global-memory path
+/// (line-tagged L1 / L1 bypass / sector-tagged L1), so agreement here
+/// means the static walk models all three.
 fn gpus() -> Vec<GpuConfig> {
-    vec![GpuConfig::gtx580(), GpuConfig::k20m()]
+    GpuConfig::arch_representatives()
 }
 
 fn assert_agrees(gpu: &GpuConfig, app: &Application) {
-    let reports: Vec<OracleReport> =
-        check_application(gpu, app).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    let reports: Vec<OracleReport> = check_application(gpu, app)
+        .unwrap_or_else(|e| panic!("{} on {} ({}): {e}", app.name, gpu.name, gpu.arch.name()));
     for r in &reports {
         assert!(
             r.occupancy_ok,
-            "{} launch {} ({}): occupancy mismatch on {}",
-            app.name, r.launch, r.kernel, gpu.name
+            "{} launch {} ({}): occupancy mismatch on {} ({})",
+            app.name,
+            r.launch,
+            r.kernel,
+            gpu.name,
+            gpu.arch.name()
         );
         if let Some(c) = r.failures().into_iter().next() {
             panic!(
-                "{} launch {} ({}) on {}: {} diverged — static {} vs dynamic {} (rel {:.3e})",
+                "{} launch {} ({}) on {} ({}): {} diverged — static {} vs dynamic {} (rel {:.3e})",
                 app.name,
                 r.launch,
                 r.kernel,
                 gpu.name,
+                gpu.arch.name(),
                 c.counter,
                 c.static_value,
                 c.dynamic_value,
@@ -45,7 +58,7 @@ fn assert_agrees(gpu: &GpuConfig, app: &Application) {
 }
 
 #[test]
-fn reduce_sweep_agrees_on_both_gpus() {
+fn reduce_sweep_agrees_on_every_architecture() {
     // A representative slice of the paper's sweep (§5): every variant at one
     // size, plus the analysed variants (1, 2, 6) across sizes and block
     // sizes.
@@ -68,7 +81,16 @@ fn reduce_sweep_agrees_on_both_gpus() {
 }
 
 #[test]
-fn nw_sweep_agrees_on_both_gpus() {
+fn matmul_sweep_agrees_on_every_architecture() {
+    for gpu in gpus() {
+        for n in [32, 96, 256] {
+            assert_agrees(&gpu, &matmul_application(n));
+        }
+    }
+}
+
+#[test]
+fn nw_sweep_agrees_on_every_architecture() {
     for gpu in gpus() {
         for n in [64, 256, 1024, 2048] {
             assert_agrees(&gpu, &nw_application(n, 10));
@@ -77,13 +99,30 @@ fn nw_sweep_agrees_on_both_gpus() {
 }
 
 #[test]
-fn stencil_sweep_agrees_on_both_gpus() {
+fn stencil_sweep_agrees_on_every_architecture() {
     for gpu in gpus() {
         for n in [64, 128, 256] {
             for sweeps in [1, 2] {
                 assert_agrees(&gpu, &stencil_application(n, sweeps));
             }
         }
+    }
+}
+
+/// Every zoo preset — not just the per-generation representatives — clears
+/// the oracle on one kernel from each workload family. This is the cheap
+/// tripwire that a newly added config (however exotic its geometry) is
+/// internally consistent between the walk and the engine.
+#[test]
+fn whole_zoo_agrees_on_a_cross_workload_slice() {
+    for gpu in GpuConfig::presets() {
+        assert_agrees(
+            &gpu,
+            &reduce_application(ReduceVariant::Reduce1, 1 << 14, 256),
+        );
+        assert_agrees(&gpu, &matmul_application(64));
+        assert_agrees(&gpu, &nw_application(128, 10));
+        assert_agrees(&gpu, &stencil_application(64, 1));
     }
 }
 

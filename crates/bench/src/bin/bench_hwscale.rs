@@ -1,0 +1,133 @@
+//! Hardware-scaling *scope* sweep across the GPU zoo.
+//!
+//! The paper's §6.2 transfers a model between two fixed GPUs. With ten
+//! presets spanning five architecture generations, the interesting axis is
+//! *scope*: how wide may the training pool reach around the target before
+//! (or while) accuracy degrades? Every zoo GPU takes a turn as the
+//! held-out target; three pools are fitted per target — same architecture
+//! only, neighbouring generations, the whole zoo — and each is evaluated
+//! on the target's test split. The per-scope aggregates form the
+//! scope-vs-error curve tracked in `BENCH_hwscale.json` (a text snapshot
+//! lives in `results/hwscale.txt`).
+//!
+//! Pass `--quick` (or set `BF_QUICK=1`) to shrink the sweep and forest for
+//! smoke runs. The run fails (non-zero exit) if the sweep does not cover
+//! all five architectures, if any scope fails to serve every target, or if
+//! any evaluation produces a non-finite error — the structural guarantees
+//! CI asserts on.
+
+use blackforest::hwscale::{curve_table, sweep_scopes, HwScaleReport};
+use blackforest::model::ModelConfig;
+use blackforest::predict::HwFeatureStrategy;
+use blackforest::Workload;
+use gpu_sim::GpuConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    quick: bool,
+    host_threads: usize,
+    report: HwScaleReport,
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("BF_QUICK", "1");
+    }
+    let quick = bf_bench::quick_mode();
+    bf_bench::banner(
+        "HW-Scale",
+        "scope-vs-error curve across the five-generation GPU zoo",
+    );
+    let zoo = GpuConfig::presets();
+    let sizes = bf_bench::matmul_sweep();
+    let config = if quick {
+        ModelConfig::quick(2016)
+    } else {
+        ModelConfig {
+            seed: 2016,
+            ..ModelConfig::default()
+        }
+    };
+    println!(
+        "zoo: {}",
+        zoo.iter()
+            .map(|g| format!("{} ({})", g.name, g.arch.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "workload matrixMul, {} sizes, {} trees, quick: {quick}\n",
+        sizes.len(),
+        config.n_trees
+    );
+
+    let report = sweep_scopes(
+        Workload::MatMul,
+        &sizes,
+        &zoo,
+        &config,
+        HwFeatureStrategy::MixedImportance,
+    )
+    .expect("scope sweep");
+
+    print!("{}", curve_table(&report));
+    println!();
+    println!(
+        "{:<16} {:<10} {:<9} {:>8} {:>8} {:>8}  sources",
+        "scope", "target", "arch", "MAPE%", "R2", "overlap"
+    );
+    for e in &report.evaluations {
+        println!(
+            "{:<16} {:<10} {:<9} {:>8.2} {:>8.3} {:>8.2}  {}",
+            e.scope,
+            e.target,
+            e.target_arch,
+            e.mape,
+            e.r_squared,
+            e.similarity,
+            e.sources.join(",")
+        );
+    }
+
+    // Structural guarantees the artifact is trusted for.
+    assert_eq!(
+        report.architectures.len(),
+        5,
+        "zoo must cover all five architectures"
+    );
+    assert_eq!(report.curve.len(), 3, "curve must have all three scopes");
+    for p in &report.curve {
+        assert_eq!(
+            p.targets,
+            zoo.len(),
+            "scope {} must serve every zoo target",
+            p.scope
+        );
+        assert!(p.mean_mape.is_finite() && p.mean_r_squared.is_finite());
+    }
+    for e in &report.evaluations {
+        assert!(
+            e.mape.is_finite(),
+            "non-finite MAPE for {} under {}",
+            e.target,
+            e.scope
+        );
+        assert!(
+            !e.sources.contains(&e.target),
+            "target {} leaked into its own pool",
+            e.target
+        );
+    }
+
+    let bench = BenchReport {
+        benchmark: "hwscale_scope_sweep".to_string(),
+        quick,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        report,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize");
+    std::fs::write("BENCH_hwscale.json", &json).expect("write BENCH_hwscale.json");
+    println!("\nwrote BENCH_hwscale.json");
+}

@@ -1,33 +1,37 @@
 //! Regenerates Table 1: the performance counters used in the study, with
-//! their meanings and per-architecture availability.
+//! their meanings and per-architecture availability across the zoo.
 
 use bf_bench::banner;
 use gpu_sim::counters::COUNTER_CATALOG;
+use gpu_sim::GpuArchitecture;
 
 fn main() {
     banner("Table 1", "Performance counters used in this study");
-    println!("{:<28} {:<6} {:<7} meaning", "counter", "fermi", "kepler");
-    println!("{}", "-".repeat(100));
+    let archs = GpuArchitecture::all();
+    print!("{:<28}", "counter");
+    for a in archs {
+        print!(" {:<8}", a.name());
+    }
+    println!(" meaning");
+    println!("{}", "-".repeat(118));
     for c in COUNTER_CATALOG {
-        println!(
-            "{:<28} {:<6} {:<7} {}",
-            c.name,
-            if c.on_fermi { "yes" } else { "-" },
-            if c.on_kepler { "yes" } else { "-" },
-            c.meaning
-        );
+        print!("{:<28}", c.name);
+        for a in archs {
+            print!(" {:<8}", if c.on(a) { "yes" } else { "-" });
+        }
+        println!(" {}", c.meaning);
     }
     println!();
+    print!("{} counters total;", COUNTER_CATALOG.len());
+    for a in archs {
+        let n = COUNTER_CATALOG.iter().filter(|c| c.on(a)).count();
+        print!(" {} on {},", n, a.name());
+    }
     println!(
-        "{} counters total; {} Fermi-only, {} Kepler-only",
-        COUNTER_CATALOG.len(),
+        " {} on every architecture",
         COUNTER_CATALOG
             .iter()
-            .filter(|c| c.on_fermi && !c.on_kepler)
-            .count(),
-        COUNTER_CATALOG
-            .iter()
-            .filter(|c| !c.on_fermi && c.on_kepler)
-            .count(),
+            .filter(|c| archs.iter().all(|&a| c.on(a)))
+            .count()
     );
 }

@@ -41,7 +41,7 @@ COMMANDS:
              [--mode event-loop|threads] [--max-queue N] [--batch-window USEC]
     models   [--addr HOST:PORT]  query a running server's model registry
     predict  --size N (--model BUNDLE.json | --workload W) [--gpu NAME] [--quick]
-    hwscale  --workload W --target NAME [--gpu NAME] [--quick]
+    hwscale  --workload W [--target NAME] [--quick] [--out FILE]
     lint     --workload W [--gpu NAME] [--format text|json] [--oracle]
              [--blocks] [--what-if --model BUNDLE.json]
              [--fail-on SEV] [--out FILE] [--quick]
@@ -52,8 +52,10 @@ WORKLOADS:
     reduce0..reduce6, matmul, nw, stencil
 
 OPTIONS:
-    --gpu NAME      gtx580 (default), gtx480, gtx680, or k20m
-    --target NAME   target GPU for hardware scaling (hwscale)
+    --gpu NAME      gtx580 (default) or any zoo preset: gtx480, gtx680,
+                    k20m, gtx750ti, gtx980, gtx1080, p100, titanv, v100
+    --target NAME   hwscale prints only this held-out target's rows (the
+                    sweep itself always holds out every zoo GPU in turn)
     --out FILE      output path (collect: CSV; train: alias of --save)
     --save FILE     where train writes the model bundle (versioned JSON)
     --size N        problem size to predict (predict)
@@ -784,28 +786,11 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
         "hwscale" => {
             let workload =
                 workload_by_name(args.workload.as_deref().ok_or("hwscale needs --workload")?)?;
-            let target_name = args.target.clone().ok_or("hwscale needs --target")?;
-            let src_gpu = gpu_by_name(&args.gpu)?;
-            let tgt_gpu = gpu_by_name(&target_name)?;
-            let opts = blackforest::collect::CollectOptions {
-                include_machine_metrics: true,
-                drop_constant: false,
-                ..blackforest::collect::CollectOptions::default()
-            };
+            if let Some(t) = &args.target {
+                gpu_by_name(t)?;
+            }
+            let zoo = GpuConfig::presets();
             let sizes = default_sizes(workload, args.quick);
-            let mut bf_src = toolchain(args)?;
-            bf_src.gpu = src_gpu;
-            bf_src.collect = opts.clone();
-            let src = bf_src
-                .collect(workload, &sizes)
-                .map_err(|e| e.to_string())?;
-            let mut bf_tgt = toolchain(args)?;
-            bf_tgt.gpu = tgt_gpu;
-            bf_tgt.collect = opts;
-            let tgt = bf_tgt
-                .collect(workload, &sizes)
-                .map_err(|e| e.to_string())?;
-            let (tgt_train, tgt_test) = tgt.split(0.8, 2016);
             let cfg = if args.quick {
                 ModelConfig {
                     split_strategy: args.split_strategy()?,
@@ -818,31 +803,49 @@ fn run_command(args: &Args) -> Result<ExitCode, String> {
                     ..ModelConfig::default()
                 }
             };
-            let hw = blackforest::predict::HardwareScalingPredictor::fit(
-                &src,
-                &tgt_train,
+            let report = blackforest::hwscale::sweep_scopes(
+                workload,
+                &sizes,
+                &zoo,
                 &cfg,
                 blackforest::predict::HwFeatureStrategy::MixedImportance,
             )
             .map_err(|e| e.to_string())?;
             println!(
-                "{} -> {}: top-{} overlap {:.0}%, Spearman {:.2}",
-                args.gpu,
-                target_name,
-                cfg.top_k,
-                hw.similarity * 100.0,
-                hw.rank_correlation
+                "hardware-scaling scope sweep: {} across {} GPUs, {} architectures",
+                report.workload,
+                report.zoo.len(),
+                report.architectures.len()
             );
+            println!();
+            print!("{}", blackforest::hwscale::curve_table(&report));
+            println!();
             println!(
-                "source top: {:?}",
-                &hw.source_ranking[..6.min(hw.source_ranking.len())]
+                "{:<16} {:<10} {:<9} {:>8} {:>8} {:>8}  sources",
+                "scope", "target", "arch", "MAPE%", "R2", "overlap"
             );
-            println!(
-                "target top: {:?}",
-                &hw.target_ranking[..6.min(hw.target_ranking.len())]
-            );
-            let points = hw.evaluate(&tgt_test, "size").map_err(|e| e.to_string())?;
-            println!("{}", blackforest::report::prediction_table(&points, "size"));
+            for e in report.evaluations.iter().filter(|e| {
+                args.target
+                    .as_deref()
+                    .is_none_or(|t| e.target.eq_ignore_ascii_case(t))
+            }) {
+                println!(
+                    "{:<16} {:<10} {:<9} {:>8.2} {:>8.3} {:>8.2}  {}",
+                    e.scope,
+                    e.target,
+                    e.target_arch,
+                    e.mape,
+                    e.r_squared,
+                    e.similarity,
+                    e.sources.join(",")
+                );
+            }
+            if let Some(out) = &args.out {
+                let json = serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("serialize hwscale report: {e}"))?;
+                write_artifact(out, &json)?;
+                println!("\nwrote {}", out.display());
+            }
             Ok(ExitCode::SUCCESS)
         }
         "lint" => {

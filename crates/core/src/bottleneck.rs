@@ -87,9 +87,12 @@ pub fn categorize(counter: &str) -> BottleneckCategory {
         "shared_replay_overhead"
         | "l1_shared_bank_conflict"
         | "shared_load_replay"
-        | "shared_store_replay" => BottleneckCategory::SharedMemoryConflicts,
+        | "shared_store_replay"
+        | "shared_ld_bank_conflict"
+        | "shared_st_bank_conflict" => BottleneckCategory::SharedMemoryConflicts,
         "l1_global_load_hit"
         | "l1_global_load_miss"
+        | "global_hit_rate"
         | "global_load_transaction"
         | "global_store_transaction"
         | "l2_read_transactions"

@@ -664,4 +664,41 @@ mod tests {
         assert!(ds.feature_index("shared_load_replay").is_some());
         assert!(ds.feature_index("l1_global_load_hit").is_none());
     }
+
+    /// End-to-end availability-mask check across the zoo: for every
+    /// preset, the collected dataset's counter columns are *exactly* the
+    /// counters the architecture's mask admits — no foreign counter leaks
+    /// into training data, and nothing the architecture produces is lost.
+    #[test]
+    fn collected_columns_match_each_architectures_counter_mask() {
+        for gpu in GpuConfig::presets() {
+            let opts = CollectOptions {
+                drop_constant: false,
+                ..CollectOptions::default()
+            };
+            let ds = collect_reduce(&gpu, ReduceVariant::Reduce1, &[1 << 12], &[128], &opts)
+                .unwrap_or_else(|e| panic!("collect on {} ({}): {e}", gpu.name, gpu.arch.name()));
+            let available = gpu_sim::counters::counters_for(gpu.arch);
+            for name in &ds.feature_names {
+                if matches!(name.as_str(), "size" | "threads") {
+                    continue;
+                }
+                assert!(
+                    available.contains(&name.as_str()),
+                    "counter {} leaked into {} ({}) training data",
+                    name,
+                    gpu.name,
+                    gpu.arch.name()
+                );
+            }
+            for c in available {
+                assert!(
+                    ds.feature_index(c).is_some(),
+                    "counter {c} missing from {} ({}) dataset",
+                    gpu.name,
+                    gpu.arch.name()
+                );
+            }
+        }
+    }
 }

@@ -52,6 +52,7 @@ pub mod collect;
 pub mod countermodel;
 pub mod cv;
 pub mod dataset;
+pub mod hwscale;
 pub mod markdown;
 pub mod model;
 pub mod predict;

@@ -278,6 +278,33 @@ impl CounterSet {
     }
 }
 
+/// Architecture bits for counter-availability masks, one per
+/// [`GpuArchitecture`] in ordinal order (`arch.bit()` yields the same
+/// values). Combine with `|` to describe which generations' PM units can
+/// produce a counter.
+pub mod arch_mask {
+    /// Compute capability 2.x.
+    pub const FERMI: u8 = 1 << 0;
+    /// Compute capability 3.x.
+    pub const KEPLER: u8 = 1 << 1;
+    /// Compute capability 5.x.
+    pub const MAXWELL: u8 = 1 << 2;
+    /// Compute capability 6.x.
+    pub const PASCAL: u8 = 1 << 3;
+    /// Compute capability 7.0.
+    pub const VOLTA: u8 = 1 << 4;
+    /// Every modelled generation.
+    pub const ALL: u8 = FERMI | KEPLER | MAXWELL | PASCAL | VOLTA;
+    /// Generations whose L1 caches global loads (and therefore report L1
+    /// global hit/miss counters): Fermi's line-tagged L1 and the
+    /// sector-tagged Pascal/Volta L1s.
+    pub const L1_GLOBAL: u8 = FERMI | PASCAL | VOLTA;
+    /// Generations reporting bank conflicts through the nvprof-era
+    /// `shared_ld/st_bank_conflict` events rather than Kepler's replay
+    /// counters or Fermi's single conflict counter.
+    pub const POST_KEPLER: u8 = MAXWELL | PASCAL | VOLTA;
+}
+
 /// Description of one counter: its name, meaning (Table 1 wording), and the
 /// architectures it exists on.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -286,48 +313,57 @@ pub struct CounterInfo {
     pub name: &'static str,
     /// Human-readable meaning.
     pub meaning: &'static str,
-    /// Present on Fermi-class GPUs.
-    pub on_fermi: bool,
-    /// Present on Kepler-class GPUs.
-    pub on_kepler: bool,
+    /// Bitmask of [`GpuArchitecture`]s whose PM units produce this counter
+    /// (bit `arch.bit()`; see [`arch_mask`]).
+    pub available: u8,
+}
+
+impl CounterInfo {
+    /// Whether this counter exists on the given architecture.
+    pub fn on(&self, arch: GpuArchitecture) -> bool {
+        self.available & arch.bit() != 0
+    }
 }
 
 /// The full catalogue of counters this profiler emits — the paper's Table 1
 /// plus the extra counters referenced by its figures (`inst_issued`,
 /// `l2_read_transactions`, `gld_throughput`, `ldst_fu_utilization`, ...).
 pub const COUNTER_CATALOG: &[CounterInfo] = &[
-    CounterInfo { name: "shared_replay_overhead", meaning: "average number of replays due to shared memory conflicts for each instruction executed", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "shared_load", meaning: "number of executed shared load instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "shared_store", meaning: "number of executed shared store instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "inst_replay_overhead", meaning: "average number of replays for each instruction executed", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "l1_global_load_hit", meaning: "number of cache lines that hit in L1 for global memory load accesses", on_fermi: true, on_kepler: false },
-    CounterInfo { name: "l1_global_load_miss", meaning: "number of cache lines that miss in L1 for global memory load accesses", on_fermi: true, on_kepler: false },
-    CounterInfo { name: "l1_shared_bank_conflict", meaning: "number of shared memory bank conflicts", on_fermi: true, on_kepler: false },
-    CounterInfo { name: "shared_load_replay", meaning: "replays of shared load instructions due to bank conflicts", on_fermi: false, on_kepler: true },
-    CounterInfo { name: "shared_store_replay", meaning: "replays of shared store instructions due to bank conflicts", on_fermi: false, on_kepler: true },
-    CounterInfo { name: "gld_request", meaning: "number of executed global load instructions, increments per warp on a multiprocessor", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "gst_request", meaning: "similar to gld_request for store instructions", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "global_load_transaction", meaning: "number of global load transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "global_store_transaction", meaning: "number of global store transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "gld_requested_throughput", meaning: "requested global memory load throughput (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "gst_requested_throughput", meaning: "requested global memory store throughput (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "gld_throughput", meaning: "achieved global memory load throughput (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "gst_throughput", meaning: "achieved global memory store throughput (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "achieved_occupancy", meaning: "ratio of average active warps per active cycle to the maximum number of warps per SM", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "l2_read_transactions", meaning: "memory read transactions at L2 cache", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "l2_write_transactions", meaning: "memory write transactions at L2 cache", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "l2_read_throughput", meaning: "memory read throughput at L2 cache (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "l2_write_throughput", meaning: "memory write throughput at L2 cache (GB/s)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "dram_read_transactions", meaning: "device memory read transactions", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "dram_write_transactions", meaning: "device memory write transactions", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "ipc", meaning: "number of instructions executed per cycle", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "issue_slot_utilization", meaning: "percentage of issue slots that issued at least one instruction, averaged across all cycles", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "warp_execution_efficiency", meaning: "ratio of the average active threads per warp to the maximum number of threads per warp supported by the multiprocessor", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "inst_executed", meaning: "number of warp instructions executed (does not include replays)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "inst_issued", meaning: "number of warp instructions issued (includes replays)", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "branch", meaning: "number of branch instructions executed per warp on a multiprocessor", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "divergent_branch", meaning: "number of divergent branches within a warp", on_fermi: true, on_kepler: true },
-    CounterInfo { name: "ldst_fu_utilization", meaning: "utilization level of the load/store function units", on_fermi: true, on_kepler: true },
+    CounterInfo { name: "shared_replay_overhead", meaning: "average number of replays due to shared memory conflicts for each instruction executed", available: arch_mask::ALL },
+    CounterInfo { name: "shared_load", meaning: "number of executed shared load instructions, increments per warp on a multiprocessor", available: arch_mask::ALL },
+    CounterInfo { name: "shared_store", meaning: "number of executed shared store instructions, increments per warp on a multiprocessor", available: arch_mask::ALL },
+    CounterInfo { name: "inst_replay_overhead", meaning: "average number of replays for each instruction executed", available: arch_mask::ALL },
+    CounterInfo { name: "l1_global_load_hit", meaning: "number of cache lines that hit in L1 for global memory load accesses", available: arch_mask::L1_GLOBAL },
+    CounterInfo { name: "l1_global_load_miss", meaning: "number of cache lines that miss in L1 for global memory load accesses", available: arch_mask::L1_GLOBAL },
+    CounterInfo { name: "l1_shared_bank_conflict", meaning: "number of shared memory bank conflicts", available: arch_mask::FERMI },
+    CounterInfo { name: "shared_load_replay", meaning: "replays of shared load instructions due to bank conflicts", available: arch_mask::KEPLER },
+    CounterInfo { name: "shared_store_replay", meaning: "replays of shared store instructions due to bank conflicts", available: arch_mask::KEPLER },
+    CounterInfo { name: "shared_ld_bank_conflict", meaning: "number of shared load bank conflicts (Maxwell-era event naming)", available: arch_mask::POST_KEPLER },
+    CounterInfo { name: "shared_st_bank_conflict", meaning: "number of shared store bank conflicts (Maxwell-era event naming)", available: arch_mask::POST_KEPLER },
+    CounterInfo { name: "global_hit_rate", meaning: "hit rate of global loads in the sectored unified L1 (%)", available: arch_mask::PASCAL | arch_mask::VOLTA },
+    CounterInfo { name: "gld_request", meaning: "number of executed global load instructions, increments per warp on a multiprocessor", available: arch_mask::ALL },
+    CounterInfo { name: "gst_request", meaning: "similar to gld_request for store instructions", available: arch_mask::ALL },
+    CounterInfo { name: "global_load_transaction", meaning: "number of global load transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", available: arch_mask::ALL },
+    CounterInfo { name: "global_store_transaction", meaning: "number of global store transactions; increments per transaction which can be 32, 64, 96 or 128 bytes", available: arch_mask::ALL },
+    CounterInfo { name: "gld_requested_throughput", meaning: "requested global memory load throughput (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "gst_requested_throughput", meaning: "requested global memory store throughput (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "gld_throughput", meaning: "achieved global memory load throughput (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "gst_throughput", meaning: "achieved global memory store throughput (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "achieved_occupancy", meaning: "ratio of average active warps per active cycle to the maximum number of warps per SM", available: arch_mask::ALL },
+    CounterInfo { name: "l2_read_transactions", meaning: "memory read transactions at L2 cache", available: arch_mask::ALL },
+    CounterInfo { name: "l2_write_transactions", meaning: "memory write transactions at L2 cache", available: arch_mask::ALL },
+    CounterInfo { name: "l2_read_throughput", meaning: "memory read throughput at L2 cache (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "l2_write_throughput", meaning: "memory write throughput at L2 cache (GB/s)", available: arch_mask::ALL },
+    CounterInfo { name: "dram_read_transactions", meaning: "device memory read transactions", available: arch_mask::ALL },
+    CounterInfo { name: "dram_write_transactions", meaning: "device memory write transactions", available: arch_mask::ALL },
+    CounterInfo { name: "ipc", meaning: "number of instructions executed per cycle", available: arch_mask::ALL },
+    CounterInfo { name: "issue_slot_utilization", meaning: "percentage of issue slots that issued at least one instruction, averaged across all cycles", available: arch_mask::ALL },
+    CounterInfo { name: "warp_execution_efficiency", meaning: "ratio of the average active threads per warp to the maximum number of threads per warp supported by the multiprocessor", available: arch_mask::ALL },
+    CounterInfo { name: "inst_executed", meaning: "number of warp instructions executed (does not include replays)", available: arch_mask::ALL },
+    CounterInfo { name: "inst_issued", meaning: "number of warp instructions issued (includes replays)", available: arch_mask::ALL },
+    CounterInfo { name: "branch", meaning: "number of branch instructions executed per warp on a multiprocessor", available: arch_mask::ALL },
+    CounterInfo { name: "divergent_branch", meaning: "number of divergent branches within a warp", available: arch_mask::ALL },
+    CounterInfo { name: "ldst_fu_utilization", meaning: "utilization level of the load/store function units", available: arch_mask::ALL },
 ];
 
 /// Looks up a counter's catalogue entry by name.
@@ -337,20 +373,14 @@ pub fn counter_info(name: &str) -> Option<&'static CounterInfo> {
 
 /// Whether a counter exists on the given architecture.
 pub fn counter_available(name: &str, arch: GpuArchitecture) -> bool {
-    counter_info(name).is_some_and(|c| match arch {
-        GpuArchitecture::Fermi => c.on_fermi,
-        GpuArchitecture::Kepler => c.on_kepler,
-    })
+    counter_info(name).is_some_and(|c| c.on(arch))
 }
 
 /// All counter names available on an architecture, in catalogue order.
 pub fn counters_for(arch: GpuArchitecture) -> Vec<&'static str> {
     COUNTER_CATALOG
         .iter()
-        .filter(|c| match arch {
-            GpuArchitecture::Fermi => c.on_fermi,
-            GpuArchitecture::Kepler => c.on_kepler,
-        })
+        .filter(|c| c.on(arch))
         .map(|c| c.name)
         .collect()
 }
@@ -491,6 +521,93 @@ mod tests {
         // Common counters exist in both.
         for c in ["ipc", "gld_request", "achieved_occupancy"] {
             assert!(fermi.contains(&c) && kepler.contains(&c));
+        }
+    }
+
+    #[test]
+    fn availability_masks_track_memory_paths_across_the_zoo() {
+        // L1 global hit/miss exists exactly where globals are L1-cached:
+        // Fermi's line-tagged L1 and the Pascal/Volta sectored L1s.
+        for (arch, cached) in [
+            (GpuArchitecture::Fermi, true),
+            (GpuArchitecture::Kepler, false),
+            (GpuArchitecture::Maxwell, false),
+            (GpuArchitecture::Pascal, true),
+            (GpuArchitecture::Volta, true),
+        ] {
+            assert_eq!(
+                counter_available("l1_global_load_hit", arch),
+                cached,
+                "l1_global_load_hit on {}",
+                arch.name()
+            );
+            assert_eq!(
+                counter_available("l1_global_load_miss", arch),
+                cached,
+                "l1_global_load_miss on {}",
+                arch.name()
+            );
+        }
+        // Bank conflicts are reported through three generation-specific
+        // spellings, mutually exclusive per architecture.
+        for arch in GpuArchitecture::all() {
+            let fermi_style = counter_available("l1_shared_bank_conflict", arch);
+            let kepler_style = counter_available("shared_load_replay", arch);
+            let maxwell_style = counter_available("shared_ld_bank_conflict", arch);
+            assert_eq!(
+                [fermi_style, kepler_style, maxwell_style]
+                    .iter()
+                    .filter(|&&b| b)
+                    .count(),
+                1,
+                "exactly one conflict-counter spelling on {}",
+                arch.name()
+            );
+        }
+        // global_hit_rate is a sectored-L1 metric only.
+        assert!(counter_available(
+            "global_hit_rate",
+            GpuArchitecture::Pascal
+        ));
+        assert!(counter_available("global_hit_rate", GpuArchitecture::Volta));
+        assert!(!counter_available(
+            "global_hit_rate",
+            GpuArchitecture::Fermi
+        ));
+        assert!(!counter_available(
+            "global_hit_rate",
+            GpuArchitecture::Kepler
+        ));
+        assert!(!counter_available(
+            "global_hit_rate",
+            GpuArchitecture::Maxwell
+        ));
+    }
+
+    #[test]
+    fn arch_mask_bits_match_arch_bit() {
+        use super::arch_mask;
+        assert_eq!(arch_mask::FERMI, GpuArchitecture::Fermi.bit());
+        assert_eq!(arch_mask::KEPLER, GpuArchitecture::Kepler.bit());
+        assert_eq!(arch_mask::MAXWELL, GpuArchitecture::Maxwell.bit());
+        assert_eq!(arch_mask::PASCAL, GpuArchitecture::Pascal.bit());
+        assert_eq!(arch_mask::VOLTA, GpuArchitecture::Volta.bit());
+        let all = GpuArchitecture::all()
+            .into_iter()
+            .fold(0u8, |m, a| m | a.bit());
+        assert_eq!(arch_mask::ALL, all);
+    }
+
+    #[test]
+    fn every_catalog_entry_exists_somewhere() {
+        for c in COUNTER_CATALOG {
+            assert_ne!(c.available, 0, "{} available nowhere", c.name);
+            assert_eq!(
+                c.available & !arch_mask::ALL,
+                0,
+                "{} sets unknown architecture bits",
+                c.name
+            );
         }
     }
 }

@@ -87,7 +87,9 @@ pub fn loop_extrapolation_enabled() -> bool {
 fn fresh_caches(gpu: &GpuConfig) -> (Cache, Cache) {
     let l2_slice = (gpu.l2_size / gpu.num_sms).max(gpu.l2_line * gpu.l2_assoc);
     (
-        Cache::new(gpu.l1_size, gpu.l1_line, gpu.l1_assoc),
+        // Sector-tagged L1s (Pascal/Volta) track 32-byte sectors in their
+        // tag store; line-tagged L1s track whole lines.
+        Cache::new(gpu.l1_size, gpu.l1_tag_line(), gpu.l1_assoc),
         Cache::new(l2_slice, gpu.l2_line.max(32), gpu.l2_assoc),
     )
 }
@@ -158,7 +160,7 @@ pub fn simulate_sampled_launch_with(
     let elapsed_cycles = time_seconds * gpu.clock_ghz * 1e9;
     events.elapsed_cycles = elapsed_cycles;
     events.active_cycles = elapsed_cycles;
-    events.issue_slots = elapsed_cycles * gpu.warp_schedulers as f64;
+    events.issue_slots = elapsed_cycles * gpu.issue_width() as f64;
     events.time_seconds = time_seconds;
 
     Ok(LaunchResult {

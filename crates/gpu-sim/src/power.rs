@@ -66,6 +66,39 @@ impl PowerModel {
                 dram_pj: 1900.0,
                 static_w: 55.0,
             },
+            // The younger generations follow the process-shrink trend:
+            // per-op energies keep falling (28 nm → 16 nm → 12 nm), while
+            // per-SM static power drops as dies pack more, smaller SMs.
+            GpuArchitecture::Maxwell => PowerModel {
+                alu_pj: 32.0,
+                sfu_pj: 80.0,
+                issue_pj: 13.0,
+                smem_pj: 28.0,
+                l1_pj: 38.0,
+                l2_pj: 170.0,
+                dram_pj: 1700.0,
+                static_w: 40.0,
+            },
+            GpuArchitecture::Pascal => PowerModel {
+                alu_pj: 22.0,
+                sfu_pj: 58.0,
+                issue_pj: 9.0,
+                smem_pj: 21.0,
+                l1_pj: 30.0,
+                l2_pj: 140.0,
+                dram_pj: 1400.0,
+                static_w: 34.0,
+            },
+            GpuArchitecture::Volta => PowerModel {
+                alu_pj: 18.0,
+                sfu_pj: 48.0,
+                issue_pj: 7.5,
+                smem_pj: 18.0,
+                l1_pj: 26.0,
+                l2_pj: 120.0,
+                dram_pj: 1150.0,
+                static_w: 30.0,
+            },
         }
     }
 }
@@ -183,5 +216,20 @@ mod tests {
         let k = PowerModel::for_arch(GpuArchitecture::Kepler);
         assert!(k.alu_pj < f.alu_pj);
         assert!(k.dram_pj < f.dram_pj);
+    }
+
+    #[test]
+    fn per_op_energy_falls_monotonically_across_generations() {
+        let models: Vec<PowerModel> = GpuArchitecture::all()
+            .into_iter()
+            .map(PowerModel::for_arch)
+            .collect();
+        for pair in models.windows(2) {
+            assert!(pair[1].alu_pj < pair[0].alu_pj);
+            assert!(pair[1].issue_pj < pair[0].issue_pj);
+            assert!(pair[1].l2_pj < pair[0].l2_pj);
+            assert!(pair[1].dram_pj < pair[0].dram_pj);
+            assert!(pair[1].static_w < pair[0].static_w);
+        }
     }
 }

@@ -40,7 +40,9 @@ pub fn derive_counters(gpu: &GpuConfig, ev: &RawEvents) -> CounterSet {
     let sms = gpu.num_sms as f64;
     let inst_exec = ev.inst_executed.max(1.0);
     let shared_replays = ev.shared_load_replay + ev.shared_store_replay;
-    let line_bytes = if gpu.l1_caches_globals { 128.0 } else { 32.0 };
+    // Transaction size for global loads: the L1 line on line-tagged Fermi,
+    // one 32-byte sector on every other path.
+    let line_bytes = gpu.load_segment_bytes() as f64;
     let gbps = |bytes: f64| bytes / time / 1e9;
 
     for name in counters_for(gpu.arch) {
@@ -54,6 +56,17 @@ pub fn derive_counters(gpu: &GpuConfig, ev: &RawEvents) -> CounterSet {
             "l1_shared_bank_conflict" => shared_replays,
             "shared_load_replay" => ev.shared_load_replay,
             "shared_store_replay" => ev.shared_store_replay,
+            // Maxwell-era spelling of the same bank-conflict events.
+            "shared_ld_bank_conflict" => ev.shared_load_replay,
+            "shared_st_bank_conflict" => ev.shared_store_replay,
+            "global_hit_rate" => {
+                let looked_up = ev.l1_global_load_hit + ev.l1_global_load_miss;
+                if looked_up > 0.0 {
+                    ev.l1_global_load_hit / looked_up * 100.0
+                } else {
+                    0.0
+                }
+            }
             "gld_request" => ev.gld_request,
             "gst_request" => ev.gst_request,
             "global_load_transaction" => ev.global_load_transactions,
@@ -73,7 +86,7 @@ pub fn derive_counters(gpu: &GpuConfig, ev: &RawEvents) -> CounterSet {
             "dram_write_transactions" => ev.dram_write_transactions,
             "ipc" => ev.inst_executed / (elapsed_per_sm * sms),
             "issue_slot_utilization" => {
-                (ev.inst_issued / (elapsed_per_sm * sms * gpu.warp_schedulers as f64)).min(1.0)
+                (ev.inst_issued / (elapsed_per_sm * sms * gpu.issue_width() as f64)).min(1.0)
                     * 100.0
             }
             "warp_execution_efficiency" => {

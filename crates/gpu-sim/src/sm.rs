@@ -3,7 +3,8 @@
 //! The SM executes the resident thread blocks' warp streams under a greedy,
 //! earliest-ready-first scheduler, modeling:
 //!
-//! * issue bandwidth (`warp_schedulers` instructions per cycle),
+//! * issue bandwidth ([`GpuConfig::issue_width`] = schedulers × dispatch
+//!   ports instructions per cycle),
 //! * pipeline throughput (ALU / LDST / SFU next-free times),
 //! * dependent-issue latencies per instruction class,
 //! * shared-memory bank-conflict replays (each replay re-occupies the LDST
@@ -123,7 +124,7 @@ pub fn simulate_sm(
     let mut alu_free = 0.0f64;
     let mut ldst_free = 0.0f64;
     let mut sfu_free = 0.0f64;
-    let issue_period = 1.0 / gpu.warp_schedulers as f64;
+    let issue_period = 1.0 / gpu.issue_width() as f64;
     let alu_period = 1.0 / gpu.alu_throughput;
     let ldst_period = 1.0 / gpu.ldst_units;
     let sfu_period = 1.0 / gpu.sfu_throughput;
@@ -257,8 +258,11 @@ pub fn simulate_sm(
                 let mut worst_latency = gpu.l1_latency as f64;
                 let ntrans: f64;
                 if gpu.l1_caches_globals {
-                    // Fermi: 128-byte L1 transactions.
-                    let lines = coalesce(addrs, *width, *mask, gpu.l1_line as u32);
+                    // Fermi: whole 128-byte L1 lines; Pascal/Volta: the
+                    // same walk at 32-byte sector granularity
+                    // (load_segment_bytes covers both).
+                    let segment = gpu.load_segment_bytes();
+                    let lines = coalesce(addrs, *width, *mask, segment);
                     ntrans = lines.len() as f64;
                     for line in &lines {
                         match l1.read(line.addr) {
@@ -268,9 +272,9 @@ pub fn simulate_sm(
                             Access::Miss => {
                                 ev.l1_global_load_miss += 1.0;
                                 worst_latency = worst_latency.max(gpu.l2_latency as f64);
-                                // A 128B line refill is serviced as 32B L2
-                                // sectors.
-                                let sectors = (gpu.l1_line / 32).max(1) as u64;
+                                // The refill is serviced as 32B L2 sectors:
+                                // four per Fermi line, one per sector miss.
+                                let sectors = (segment / 32).max(1) as u64;
                                 for s in 0..sectors {
                                     ev.l2_read_transactions += 1.0;
                                     match l2.read(line.addr + s * 32) {
@@ -287,7 +291,7 @@ pub fn simulate_sm(
                         }
                     }
                 } else {
-                    // Kepler: straight to L2 in 32-byte sectors.
+                    // Kepler/Maxwell: straight to L2 in 32-byte sectors.
                     let sectors = coalesce(addrs, *width, *mask, 32);
                     ntrans = sectors.len() as f64;
                     worst_latency = gpu.l2_latency as f64;
@@ -316,11 +320,13 @@ pub fn simulate_sm(
                 ev.inst_executed += 1.0;
                 ev.thread_inst_executed += lanes;
                 let start = t_issue.max(ldst_free);
-                // Stores are write-through to L2 in 32-byte sectors on both
-                // architectures; Fermi additionally evicts the L1 line.
+                // Stores are write-through to L2 in 32-byte sectors on
+                // every architecture; global-caching L1s additionally
+                // evict at their tag granularity (whole Fermi lines,
+                // Pascal/Volta sectors).
                 let sectors = coalesce(addrs, *width, *mask, 32);
                 if gpu.l1_caches_globals {
-                    let lines = coalesce(addrs, *width, *mask, gpu.l1_line as u32);
+                    let lines = coalesce(addrs, *width, *mask, gpu.l1_tag_line() as u32);
                     for line in &lines {
                         l1.write_evict(line.addr);
                     }
@@ -364,7 +370,7 @@ pub fn simulate_sm(
     let cycles = makespan.max(1.0);
     ev.elapsed_cycles = cycles;
     ev.active_cycles = cycles;
-    ev.issue_slots = cycles * gpu.warp_schedulers as f64;
+    ev.issue_slots = cycles * gpu.issue_width() as f64;
     ev.time_seconds = cycles / (gpu.clock_ghz * 1e9);
     Ok(SmResult {
         cycles,
@@ -378,9 +384,15 @@ pub fn simulate_sm(
 /// `l1_shared_bank_conflict`.
 pub fn shared_conflicts(ev: &RawEvents, arch: GpuArchitecture) -> f64 {
     match arch {
-        GpuArchitecture::Fermi | GpuArchitecture::Kepler => {
-            ev.shared_load_replay + ev.shared_store_replay
-        }
+        // Every modelled generation reports the sum of load and store
+        // replays; only the counter *name* differs per architecture
+        // (l1_shared_bank_conflict / shared_*_replay /
+        // shared_*_bank_conflict — see the availability masks).
+        GpuArchitecture::Fermi
+        | GpuArchitecture::Kepler
+        | GpuArchitecture::Maxwell
+        | GpuArchitecture::Pascal
+        | GpuArchitecture::Volta => ev.shared_load_replay + ev.shared_store_replay,
     }
 }
 
@@ -395,7 +407,7 @@ mod tests {
 
     fn caches(g: &GpuConfig) -> (Cache, Cache) {
         (
-            Cache::new(g.l1_size, g.l1_line, g.l1_assoc),
+            Cache::new(g.l1_size, g.l1_tag_line(), g.l1_assoc),
             Cache::new(g.l2_size / g.num_sms, g.l2_line.max(32), g.l2_assoc),
         )
     }
@@ -514,6 +526,36 @@ mod tests {
         assert_eq!(r.events.l1_global_load_miss, 0.0);
         assert_eq!(r.events.l2_read_transactions, 8.0);
         assert_eq!(r.events.l2_read_hits, 4.0); // second access hits L2
+    }
+
+    #[test]
+    fn pascal_loads_cache_in_l1_at_sector_granularity() {
+        let g = GpuConfig::gtx1080();
+        let mut b = BlockTrace::with_warps(1);
+        b.warps[0].push(coalesced_load(0));
+        b.warps[0].push(coalesced_load(0));
+        let r = run(&g, &[b]);
+        // 128 requested bytes coalesce into 4 × 32B sectors, each tagged
+        // separately in the sectored L1: 4 cold misses, then 4 hits.
+        assert_eq!(r.events.global_load_transactions, 8.0);
+        assert_eq!(r.events.l1_global_load_miss, 4.0);
+        assert_eq!(r.events.l1_global_load_hit, 4.0);
+        // Each sector miss refills exactly one L2 sector (no 128B lines).
+        assert_eq!(r.events.l2_read_transactions, 4.0);
+        assert_eq!(r.events.dram_read_transactions, 4.0);
+    }
+
+    #[test]
+    fn maxwell_loads_bypass_l1_like_kepler() {
+        let g = GpuConfig::gtx980();
+        let mut b = BlockTrace::with_warps(1);
+        b.warps[0].push(coalesced_load(0));
+        b.warps[0].push(coalesced_load(0));
+        let r = run(&g, &[b]);
+        assert_eq!(r.events.l1_global_load_hit, 0.0);
+        assert_eq!(r.events.l1_global_load_miss, 0.0);
+        assert_eq!(r.events.l2_read_transactions, 8.0);
+        assert_eq!(r.events.l2_read_hits, 4.0);
     }
 
     #[test]

@@ -63,11 +63,14 @@ struct Op {
     store_trans: f64,
     /// Bytes the active lanes requested (global load/store).
     req_bytes: f64,
-    /// Arena range of coalesced transaction addresses: L1 lines (Fermi
-    /// loads), 32-byte sectors (Kepler loads, stores on both).
+    /// Arena range of coalesced transaction addresses, at the load-segment
+    /// granularity ([`GpuConfig::load_segment_bytes`]: whole L1 lines on
+    /// Fermi, 32-byte sectors everywhere else) for loads and 32-byte
+    /// sectors for stores.
     trans_start: u32,
     trans_len: u32,
-    /// Arena range of L1 lines a Fermi store evicts.
+    /// Arena range of L1 tags a store evicts on global-caching L1s
+    /// (whole Fermi lines, Pascal/Volta sectors).
     evict_start: u32,
     evict_len: u32,
 }
@@ -187,11 +190,7 @@ pub fn compile(gpu: &GpuConfig, blocks: &[BlockTrace]) -> Result<CompiledLaunch>
         let _coal = bf_trace::span!("coalesce");
         let mut scratch: Vec<u64> = Vec::with_capacity(64);
         let mut cursor = 0usize;
-        let load_segment = if gpu.l1_caches_globals {
-            gpu.l1_line as u32
-        } else {
-            32
-        };
+        let load_segment = gpu.load_segment_bytes();
         for b in blocks {
             for stream in &b.warps {
                 for instr in stream {
@@ -210,7 +209,7 @@ pub fn compile(gpu: &GpuConfig, blocks: &[BlockTrace]) -> Result<CompiledLaunch>
                                     addrs,
                                     *width,
                                     *mask,
-                                    gpu.l1_line as u32,
+                                    gpu.l1_tag_line() as u32,
                                     &mut scratch,
                                 );
                                 (op.evict_start, op.evict_len) =
@@ -306,7 +305,7 @@ pub fn execute(gpu: &GpuConfig, cl: &CompiledLaunch, l1: &mut Cache, l2: &mut Ca
     let mut alu_free = 0.0f64;
     let mut ldst_free = 0.0f64;
     let mut sfu_free = 0.0f64;
-    let issue_period = 1.0 / gpu.warp_schedulers as f64;
+    let issue_period = 1.0 / gpu.issue_width() as f64;
     let alu_period = 1.0 / gpu.alu_throughput;
     let ldst_period = 1.0 / gpu.ldst_units;
     let sfu_period = 1.0 / gpu.sfu_throughput;
@@ -416,6 +415,7 @@ pub fn execute(gpu: &GpuConfig, cl: &CompiledLaunch, l1: &mut Cache, l2: &mut Ca
                     &cl.arena[op.trans_start as usize..(op.trans_start + op.trans_len) as usize];
                 let ntrans = trans.len() as f64;
                 if gpu.l1_caches_globals {
+                    let segment = gpu.load_segment_bytes();
                     for &line in trans {
                         match l1.read(line) {
                             Access::Hit => {
@@ -424,7 +424,7 @@ pub fn execute(gpu: &GpuConfig, cl: &CompiledLaunch, l1: &mut Cache, l2: &mut Ca
                             Access::Miss => {
                                 ev.l1_global_load_miss += 1.0;
                                 worst_latency = worst_latency.max(gpu.l2_latency as f64);
-                                let sectors = (gpu.l1_line / 32).max(1) as u64;
+                                let sectors = (segment / 32).max(1) as u64;
                                 for s in 0..sectors {
                                     ev.l2_read_transactions += 1.0;
                                     match l2.read(line + s * 32) {
@@ -507,7 +507,7 @@ pub fn execute(gpu: &GpuConfig, cl: &CompiledLaunch, l1: &mut Cache, l2: &mut Ca
     let cycles = makespan.max(1.0);
     ev.elapsed_cycles = cycles;
     ev.active_cycles = cycles;
-    ev.issue_slots = cycles * gpu.warp_schedulers as f64;
+    ev.issue_slots = cycles * gpu.issue_width() as f64;
     ev.time_seconds = cycles / (gpu.clock_ghz * 1e9);
     SmResult {
         cycles,
@@ -536,7 +536,7 @@ mod tests {
 
     fn caches(g: &GpuConfig) -> (Cache, Cache) {
         (
-            Cache::new(g.l1_size, g.l1_line, g.l1_assoc),
+            Cache::new(g.l1_size, g.l1_tag_line(), g.l1_assoc),
             Cache::new(g.l2_size / g.num_sms, g.l2_line.max(32), g.l2_assoc),
         )
     }
@@ -609,6 +609,22 @@ mod tests {
     #[test]
     fn matches_reference_on_kepler() {
         assert_bit_identical(&GpuConfig::k20m(), &[mixed_block(0), mixed_block(1 << 16)]);
+    }
+
+    #[test]
+    fn matches_reference_across_the_zoo() {
+        // Every memory-path flavour beyond the paper pair: L1-bypassing
+        // Maxwell and the sector-tagged Pascal/Volta L1s.
+        for g in [
+            GpuConfig::gtx750ti(),
+            GpuConfig::gtx980(),
+            GpuConfig::gtx1080(),
+            GpuConfig::p100(),
+            GpuConfig::titanv(),
+            GpuConfig::v100(),
+        ] {
+            assert_bit_identical(&g, &[mixed_block(0), mixed_block(1 << 16)]);
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Current bundle schema version. Bump on any breaking change to the
 /// serialized layout of [`ModelBundle`] or the models nested inside it.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added `gpu_arch` (the training GPU's architecture name) so
+/// consumers can reason about cross-architecture promotion without
+/// re-deriving the architecture from the fingerprint.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Errors raised when saving or loading a bundle.
 #[derive(Debug)]
@@ -91,6 +94,11 @@ pub struct ModelBundle {
     pub workload: String,
     /// Name of the GPU the sweep ran on.
     pub gpu_name: String,
+    /// Architecture generation of the training GPU (`fermi`, `kepler`,
+    /// `maxwell`, `pascal`, `volta`). Counter availability differs across
+    /// generations, so a bundle's retained features only make sense on
+    /// architectures that produce them.
+    pub gpu_arch: String,
     /// Configuration fingerprint of the training GPU — a prediction served
     /// from this bundle is only valid for a GPU with this exact fingerprint.
     pub gpu_fingerprint: u64,
@@ -124,6 +132,7 @@ impl ModelBundle {
             schema_version: SCHEMA_VERSION,
             workload: report.workload.name(),
             gpu_name: gpu.name.clone(),
+            gpu_arch: gpu.arch.name().to_string(),
             gpu_fingerprint: gpu.fingerprint(),
             characteristics: report.predictor.counters.characteristics.clone(),
             feature_names: report.predictor.model.feature_names.clone(),
@@ -325,6 +334,7 @@ mod tests {
         assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.workload, "matrixMul");
         assert_eq!(back.gpu_fingerprint, GpuConfig::gtx580().fingerprint());
+        assert_eq!(back.gpu_arch, "fermi");
         for size in [48.0, 120.0, 224.0] {
             let chars = back.characteristics_for(size, None, None).unwrap();
             let p = back.predict(&chars).unwrap();
